@@ -1,0 +1,122 @@
+"""Ablation benches for the design decisions called out in DESIGN.md §5.
+
+* exact vs approximate nearest-neighbour replacement (§4.2),
+* model merging savings (§3.4),
+* quantile-binning granularity for continuous attributes.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    ARCompletionModel,
+    EuclideanReplacer,
+    IncompletenessJoin,
+    ModelConfig,
+    PathLayout,
+    build_encoders,
+    training_savings,
+)
+from repro.datasets import HousingConfig, generate_housing
+from repro.incomplete import RemovalSpec, make_incomplete
+from repro.metrics import bias_reduction, weighted_average
+from repro.nn import TrainConfig
+from repro.relational import CompletionPath, enumerate_completion_paths
+
+from .conftest import run_once
+
+
+def _housing_dataset(scale=0.4, seed=0):
+    db = generate_housing(HousingConfig(
+        num_neighborhoods=int(120 * scale),
+        num_landlords=int(700 * scale),
+        apartments_per_neighborhood=15.0,
+        seed=seed,
+    ))
+    return db, make_incomplete(
+        db, [RemovalSpec("apartment", "price", 0.5, 0.4)],
+        tf_keep_rate=0.3, seed=seed,
+    )
+
+
+def test_ablation_nn_replacement_modes(benchmark):
+    """Exact vs approximate euclidean replacement: quality and speed."""
+
+    def run():
+        db, dataset = _housing_dataset()
+        table = dataset.incomplete.table("landlord")
+        rng = np.random.default_rng(0)
+        queries = {
+            c: table[c][rng.integers(0, len(table), 3000)]
+            for c in ["landlord_since", "landlord_response_time",
+                      "landlord_response_rate"]
+        }
+        out = {}
+        for mode in (False, True):
+            replacer = EuclideanReplacer(table, approximate=mode)
+            start = time.perf_counter()
+            rows = replacer.replace(queries)
+            out[mode] = (time.perf_counter() - start, rows)
+        return out
+
+    out = run_once(benchmark, run)
+    exact_time, exact_rows = out[False]
+    approx_time, approx_rows = out[True]
+    agreement = float((exact_rows == approx_rows).mean())
+    print(f"\nexact {exact_time * 1e3:.1f}ms vs approx {approx_time * 1e3:.1f}ms, "
+          f"agreement {agreement:.1%}")
+    assert agreement > 0.2  # projection keeps a useful share of neighbours
+    assert len(exact_rows) == len(approx_rows) == 3000
+
+
+def test_ablation_model_merging_savings(benchmark):
+    """§3.4: merging cuts the number of trained models on real schemas."""
+
+    def run():
+        db, dataset = _housing_dataset()
+        paths = enumerate_completion_paths(
+            dataset.incomplete, dataset.annotation, "apartment", max_length=4
+        )
+        return training_savings(paths), [str(p) for p in paths]
+
+    stats, paths = run_once(benchmark, run)
+    print(f"\npaths: {paths}\nmerging: {stats}")
+    assert stats["models_with_merging"] <= stats["models_without_merging"]
+
+
+def test_ablation_binning_granularity(benchmark):
+    """Continuous binning: too-coarse bins hurt the completed average."""
+
+    def run():
+        db, dataset = _housing_dataset()
+        true_mean = weighted_average(db.table("apartment")["price"])
+        inc_mean = weighted_average(dataset.incomplete.table("apartment")["price"])
+        results = {}
+        for bins in (4, 32):
+            encoders = build_encoders(dataset.incomplete, num_bins=bins)
+            layout = PathLayout(dataset.incomplete, dataset.annotation,
+                                CompletionPath(("neighborhood", "apartment")),
+                                encoders)
+            model = ARCompletionModel(layout, ModelConfig(
+                hidden=(48, 48),
+                train=TrainConfig(epochs=10, batch_size=256, lr=5e-3, patience=3),
+            ))
+            model.fit()
+            completed = IncompletenessJoin(model, seed=0).run()
+            comp_mean = weighted_average(
+                completed.result.resolve("apartment.price"),
+                completed.result.effective_weights(),
+            )
+            results[bins] = bias_reduction(true_mean, inc_mean, comp_mean)
+        return results
+
+    results = run_once(benchmark, run)
+    print(f"\nbias reduction by bin count: "
+          f"{ {k: round(v, 3) for k, v in results.items()} }")
+    # Both granularities must produce a valid completion.  Note: at smoke-
+    # scale training budgets, coarse bins can *win* (fewer output classes to
+    # learn) — granularity only pays off once the model is trained long
+    # enough, which is exactly the trade-off this ablation documents.
+    assert all(not np.isnan(v) for v in results.values())
+    assert max(results.values()) > 0.0

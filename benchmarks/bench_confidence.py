@@ -1,0 +1,49 @@
+"""Confidence-interval benches — Fig. 6, Fig. 13 (synthetic), Fig. 14 (real)."""
+
+import numpy as np
+
+from repro.experiments import print_confidence, run_fig6, run_fig13, run_fig14
+
+from .conftest import run_once
+
+
+def test_fig6(benchmark, experiment_config):
+    """Fig. 6: bands cover the truth; predictability tightens them."""
+    cells = run_once(benchmark, run_fig6, experiment_config)
+    print()
+    print_confidence(cells, "Fig 6")
+    coverage = np.mean([c.covered for c in cells])
+    assert coverage >= 0.75  # paper: covered in (almost) all cases
+
+    # Widths shrink as predictability grows (same keep rate).
+    by_keep = {}
+    for cell in cells:
+        by_keep.setdefault(cell.keep_rate, []).append(cell)
+    for keep, group in by_keep.items():
+        group = sorted(group, key=lambda c: c.predictability)
+        assert group[-1].width <= group[0].width + 0.05
+
+    # Bands stay inside the theoretical envelope.
+    for cell in cells:
+        assert cell.theoretical_min - 1e-9 <= cell.lower
+        assert cell.upper <= cell.theoretical_max + 1e-9
+
+
+def test_fig13(benchmark, experiment_config):
+    """Fig. 13 (appendix): the full synthetic grid."""
+    cells = run_once(benchmark, run_fig13, experiment_config)
+    print()
+    print_confidence(cells, "Fig 13")
+    coverage = np.mean([c.covered for c in cells])
+    assert coverage >= 0.7
+
+
+def test_fig14(benchmark, experiment_config):
+    """Fig. 14 (appendix): real-data categorical setups."""
+    pairs = run_once(benchmark, run_fig14, ["H3", "M3"], experiment_config)
+    cells = [cell for _, cell in pairs]
+    print()
+    print_confidence(cells, "Fig 14")
+    coverage = np.mean([c.covered for c in cells])
+    # Paper: contained or close to the bounds in nearly all cases.
+    assert coverage >= 0.5

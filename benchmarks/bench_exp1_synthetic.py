@@ -1,0 +1,72 @@
+"""Exp. 1 benches — Fig. 5a (predictability & skew), Fig. 5b, Fig. 5c."""
+
+import numpy as np
+
+from repro.experiments import (
+    fig5a_predictability,
+    fig5a_skew,
+    fig5b_training_loss,
+    fig5c_fan_out,
+)
+
+from .conftest import run_once
+
+
+def test_fig5a_predictability(benchmark, experiment_config):
+    """Fig. 5a top row: bias reduction grows with predictability."""
+    cells = run_once(benchmark, fig5a_predictability, experiment_config)
+    by_pred = {}
+    for cell in cells:
+        by_pred.setdefault(cell.predictability, []).append(cell.bias_reduction)
+    print("\nFig 5a (top): bias reduction by predictability")
+    means = {}
+    for pred in sorted(by_pred):
+        vals = [v for v in by_pred[pred] if not np.isnan(v)]
+        means[pred] = float(np.mean(vals)) if vals else float("nan")
+        print(f"  predictability {pred:4.0%}: mean bias reduction {means[pred]:7.1%}")
+    # Paper shape: bias reduction grows monotonically with predictability,
+    # and full predictability debiases substantially.
+    ordered = [means[p] for p in sorted(means)]
+    assert all(a <= b + 0.05 for a, b in zip(ordered, ordered[1:]))
+    assert ordered[-1] > 0.3
+
+
+def test_fig5a_skew(benchmark, experiment_config):
+    """Fig. 5a bottom row: skew has no strong effect on completion quality."""
+    cells = run_once(benchmark, fig5a_skew, experiment_config)
+    by_skew = {}
+    for cell in cells:
+        by_skew.setdefault(cell.skew, []).append(cell.bias_reduction)
+    print("\nFig 5a (bottom): bias reduction by zipf skew (predictability 80%)")
+    means = []
+    for skew in sorted(by_skew):
+        vals = [v for v in by_skew[skew] if not np.isnan(v)]
+        mean = float(np.mean(vals)) if vals else float("nan")
+        means.append(mean)
+        print(f"  zipf {skew:3.1f}: mean bias reduction {mean:7.1%}")
+    # All skews should debias substantially (no collapse at high skew).
+    assert all(m > 0.2 for m in means if not np.isnan(m))
+
+
+def test_fig5b_training_loss(benchmark, experiment_config):
+    """Fig. 5b: held-out loss decreases with predictability (selection signal)."""
+    points = run_once(benchmark, fig5b_training_loss, experiment_config)
+    print("\nFig 5b: (predictability, test loss)")
+    for pred, loss in points:
+        print(f"  predictability {pred:4.0%}: loss {loss:6.3f}")
+    losses = [loss for _, loss in sorted(points)]
+    assert losses[0] > losses[-1]
+
+
+def test_fig5c_fan_out(benchmark, experiment_config):
+    """Fig. 5c: SSAR's edge over AR grows with fan-out predictability."""
+    rows = run_once(benchmark, fig5c_fan_out, experiment_config)
+    print("\nFig 5c: (fan-out predictability, AR, SSAR, improvement)")
+    improvements = []
+    for level, ar, ssar in rows:
+        improvements.append(ssar - ar)
+        print(f"  fp {level:4.0%}: AR {ar:7.1%}  SSAR {ssar:7.1%}  "
+              f"improvement {ssar - ar:+7.1%}")
+    # At the highest coherence SSAR must clearly beat AR.
+    assert improvements[-1] > 0.2
+    assert improvements[-1] > improvements[0]

@@ -1,0 +1,67 @@
+"""Exp. 2 benches — Fig. 7a (bias reduction) and Fig. 7b (cardinality
+correction) on the housing and movies schemas."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import print_fig7, run_fig7, summarize_fig7
+
+from .conftest import run_once
+
+HOUSING = ["H1", "H3", "H4"]
+MOVIES = ["M1", "M3", "M5"]
+
+
+@pytest.fixture(scope="module")
+def housing_rows(request):
+    return None
+
+
+def _run(benchmark, experiment_config, setups):
+    rows = run_once(benchmark, run_fig7, setups, experiment_config)
+    print()
+    print_fig7(rows)
+    return rows
+
+
+def test_fig7a_housing(benchmark, experiment_config):
+    """Fig. 7a housing: the completion substantially reduces the bias."""
+    rows = _run(benchmark, experiment_config, HOUSING)
+    summary = summarize_fig7(rows)
+    print("per-setup summary:", {k: round(v["bias_reduction"], 3)
+                                 for k, v in summary.items()})
+    # At least one setup debiases substantially; no setup catastrophically
+    # worse than doing nothing on average.
+    reductions = [v["bias_reduction"] for v in summary.values()
+                  if not np.isnan(v["bias_reduction"])]
+    assert max(reductions) > 0.25
+    assert np.mean(reductions) > -0.25
+
+
+def test_fig7b_housing(benchmark, experiment_config):
+    """Fig. 7b housing: cardinalities recovered from 30% of tuple factors."""
+    rows = _run(benchmark, experiment_config, ["H1"])
+    corrections = [r.cardinality_correction for r in rows
+                   if not np.isnan(r.cardinality_correction)]
+    print("cardinality corrections:", [round(c, 3) for c in corrections])
+    assert np.mean(corrections) > 0.5
+
+
+def test_fig7a_movies(benchmark, experiment_config):
+    """Fig. 7a movies: bias reduction across the movie setups."""
+    rows = _run(benchmark, experiment_config, MOVIES)
+    summary = summarize_fig7(rows)
+    print("per-setup summary:", {k: round(v["bias_reduction"], 3)
+                                 for k, v in summary.items()})
+    reductions = [v["bias_reduction"] for v in summary.values()
+                  if not np.isnan(v["bias_reduction"])]
+    assert max(reductions) > 0.2
+
+
+def test_fig7b_movies(benchmark, experiment_config):
+    """Fig. 7b movies: cardinality correction with only 20% of TFs kept."""
+    rows = _run(benchmark, experiment_config, ["M3"])
+    corrections = [r.cardinality_correction for r in rows
+                   if not np.isnan(r.cardinality_correction)]
+    print("cardinality corrections:", [round(c, 3) for c in corrections])
+    assert np.mean(corrections) > 0.4

@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures.  Each bench runs its
+experiment exactly once (pedantic mode) and prints the same series the
+paper plots; wall time is what pytest-benchmark records.  Default grids are
+scaled down for CPU smoke runs — set ``RESTORE_BENCH_FULL=1`` for the full
+paper grid.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, full_grid
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    if full_grid():
+        return ExperimentConfig.default()
+    # Bench-sized: one keep rate x two correlations, small scale, short
+    # training.  Chosen so the whole suite finishes in a few minutes on CPU.
+    return ExperimentConfig(
+        keep_rates=(0.5,),
+        removal_correlations=(0.2, 0.6),
+        scale=0.45,
+        epochs=16,
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

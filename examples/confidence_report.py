@@ -1,0 +1,71 @@
+"""Confidence-interval deep dive (paper §6 / Fig. 6).
+
+Shows how the tightness of ReStore's completion confidence bands tracks the
+predictability of the missing data: when the evidence pins the missing
+attribute down, the band collapses onto the estimate; when the evidence is
+uninformative, the band widens toward the theoretical envelope.
+"""
+
+import numpy as np
+
+from repro.core import (
+    ARCompletionModel,
+    ConfidenceEstimator,
+    IncompletenessJoin,
+    ModelConfig,
+    PathLayout,
+    build_encoders,
+)
+from repro.datasets import SyntheticConfig, generate_synthetic
+from repro.incomplete import RemovalSpec, make_incomplete
+from repro.nn import TrainConfig
+from repro.relational import CompletionPath
+
+
+def band_for(predictability: float, seed: int = 0):
+    db = generate_synthetic(SyntheticConfig(
+        num_parents=1500, predictability=predictability, seed=seed,
+    ))
+    dataset = make_incomplete(
+        db, [RemovalSpec("tb", "b", keep_rate=0.5, removal_correlation=0.4)],
+        tf_keep_rate=0.5, seed=seed,
+    )
+    layout = PathLayout(
+        dataset.incomplete, dataset.annotation, CompletionPath(("ta", "tb")),
+        build_encoders(dataset.incomplete, num_bins=16),
+    )
+    model = ARCompletionModel(layout, ModelConfig(
+        train=TrainConfig(epochs=20, batch_size=256, lr=5e-3, patience=4),
+    ))
+    model.fit()
+    completed = IncompletenessJoin(model, seed=seed).run()
+
+    # Query the frequency of the most-deviating value (the hard case).
+    uniques = np.unique(db.table("tb")["b"])
+    deviations = [
+        abs((db.table("tb")["b"] == v).mean()
+            - (dataset.incomplete.table("tb")["b"] == v).mean())
+        for v in uniques
+    ]
+    value = uniques[int(np.argmax(deviations))]
+    true_fraction = (db.table("tb")["b"] == value).mean()
+    band = ConfidenceEstimator(model, completed).count_fraction("b", value)
+    return value, true_fraction, band
+
+
+def main() -> None:
+    print("95% confidence bands for COUNT(b = most-deviating value) / COUNT(*)")
+    print(f"{'predictability':>14s} {'true':>7s} {'estimate':>9s} "
+          f"{'band':>19s} {'width':>7s} {'covered':>8s}")
+    for predictability in (0.2, 0.5, 0.8, 1.0):
+        value, true_fraction, band = band_for(predictability)
+        covered = band.contains(true_fraction)
+        print(f"{predictability:14.0%} {true_fraction:7.1%} {band.estimate:9.1%} "
+              f"[{band.lower:7.1%}, {band.upper:7.1%}] {band.width:7.1%} "
+              f"{'yes' if covered else 'NO':>8s}")
+    print("\nExpected shape (paper Fig. 6): bands always cover the true")
+    print("fraction and tighten monotonically as predictability grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Database-integration scenario: merging movie catalogs with missing films.
+
+The paper's second application (§2.3): two film databases are merged; one
+source never shipped its movie table, so after integration entire movies
+are missing — and with them their m:n link rows to directors and companies.
+ReStore completes the movie table *through* the incomplete link tables
+(§4.3: repeated incompleteness joins) using the complete director / actor /
+company tables as evidence.
+"""
+
+import numpy as np
+
+from repro import ReStore, ReStoreConfig, parse_query
+from repro.core import ModelConfig
+from repro.datasets import MoviesConfig, generate_movies
+from repro.incomplete import RemovalSpec, make_incomplete
+from repro.nn import TrainConfig
+from repro.query import execute
+
+
+def main() -> None:
+    db = generate_movies(MoviesConfig(seed=3))
+
+    # The lost source contributed mostly recent movies: the removal is
+    # biased against high production years.
+    dataset = make_incomplete(
+        db,
+        [RemovalSpec("movie", "production_year", keep_rate=0.5,
+                     removal_correlation=0.6)],
+        tf_keep_rate=0.2,
+        drop_dangling_links=True,  # dangling movie_* link rows vanish too
+        seed=3,
+    )
+    incomplete_tables = sorted(dataset.annotation.incomplete_tables)
+    print(f"incomplete after integration: {incomplete_tables}")
+    print(f"movies: {len(db.table('movie'))} true, "
+          f"{len(dataset.incomplete.table('movie'))} available")
+
+    engine = ReStore.from_dataset(dataset, ReStoreConfig(
+        model=ModelConfig(
+            hidden=(96, 96),
+            train=TrainConfig(epochs=25, batch_size=256, lr=5e-3, patience=5),
+        ),
+        max_path_length=4,
+    )).fit()
+
+    print("\ncompletion paths discovered through the incomplete link tables:")
+    for candidate in engine.candidates("movie"):
+        print(f"  {candidate.describe()}")
+
+    queries = [
+        "SELECT COUNT(*) FROM movie;",
+        "SELECT AVG(production_year) FROM movie;",
+        "SELECT COUNT(*) FROM movie NATURAL JOIN movie_company "
+        "NATURAL JOIN company WHERE country_code = '[us]';",
+    ]
+    print(f"\n{'query':75s} {'truth':>9s} {'naive':>9s} {'restored':>9s}")
+    for sql in queries:
+        query = parse_query(sql)
+        truth = execute(db, query).scalar
+        naive = execute(dataset.incomplete, query).scalar
+        answer = engine.answer(query)
+        print(f"{sql:75s} {truth:9.1f} {naive:9.1f} {answer.result.scalar:9.1f}")
+
+    # Group-by query over the completed join.
+    per_year = parse_query("SELECT COUNT(*) FROM movie GROUP BY genre;")
+    truth = execute(db, per_year)
+    answer = engine.answer(per_year)
+    print("\nmovies per genre (truth vs restored):")
+    for group in sorted(truth.groups()):
+        restored = answer.result.values.get(group, 0.0)
+        print(f"  {group[0]:14s} {truth[group]:6.0f} {restored:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""ReStore: neural data completion for relational databases (SIGMOD 2021).
+
+Reproduction of Hilprecht & Binnig, "ReStore - Neural Data Completion for
+Relational Databases".  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+
+Quickstart::
+
+    from repro import ReStore, parse_query
+    from repro.datasets import generate_housing
+    from repro.incomplete import RemovalSpec, make_incomplete
+
+    db = generate_housing()
+    dataset = make_incomplete(db, [RemovalSpec("apartment", "price", 0.5, 0.5)])
+    engine = ReStore.from_dataset(dataset).fit()
+    answer = engine.answer(parse_query(
+        "SELECT AVG(price) FROM neighborhood NATURAL JOIN apartment GROUP BY state;"
+    ))
+"""
+
+from .core import (
+    Answer,
+    BiasDirection,
+    ConfidenceBand,
+    ConfidenceEstimator,
+    ReStore,
+    ReStoreConfig,
+    SuspectedBias,
+)
+from .query import Query, QueryResult, parse_query
+from .relational import ColumnKind, Database, ForeignKey, SchemaAnnotation, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReStore",
+    "ReStoreConfig",
+    "Answer",
+    "SuspectedBias",
+    "BiasDirection",
+    "ConfidenceBand",
+    "ConfidenceEstimator",
+    "Query",
+    "QueryResult",
+    "parse_query",
+    "Database",
+    "Table",
+    "ForeignKey",
+    "SchemaAnnotation",
+    "ColumnKind",
+]

@@ -1,0 +1,441 @@
+"""The ReStore engine: annotate → train completion models → answer queries.
+
+This is the public facade tying together everything the paper describes:
+
+1. **fit** — enumerate admissible completion paths per incomplete table
+   (§3.2/§4), merge them (§3.4), and train AR and SSAR candidates (§3).
+2. **answer** — for a query touching incomplete tables, select a model
+   (§5), run the incompleteness join (§4, Algorithm 1), project/extend it to
+   the query's join path, and evaluate filters/aggregates with the normal
+   operators.  Completed joins are cached and reused across queries (§4.5).
+3. **confidence** — per-answer §6 confidence bands for supported aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..incomplete import IncompleteDataset
+from ..query import (
+    JoinResult,
+    Query,
+    QueryResult,
+    execute,
+    execute_on_join,
+)
+from ..relational import (
+    CompletionPath,
+    Database,
+    SchemaAnnotation,
+    enumerate_completion_paths,
+    fan_out_relations,
+)
+from .confidence import ConfidenceBand, ConfidenceEstimator
+from .forest import EvidenceForest
+from .incompleteness_join import CompletedJoin, IncompletenessJoin
+from .merging import MergedGroup, merge_paths, training_savings
+from .models import ARCompletionModel, ModelConfig, SSARCompletionModel, _CompletionModelBase
+from .path_data import PathLayout, build_encoders
+from .selection import (
+    BiasDirection,
+    CandidateScore,
+    SuspectedBias,
+    apply_suspected_bias,
+    basic_filter,
+    score_candidates,
+)
+
+
+@dataclass
+class ReStoreConfig:
+    """Engine-level configuration."""
+
+    model: ModelConfig = field(default_factory=ModelConfig)
+    num_bins: int = 32
+    use_ar: bool = True
+    use_ssar: bool = True
+    max_path_length: int = 4
+    max_paths_per_target: int = 4
+    min_signal: float = 0.0
+    approximate_replacement: bool = True
+    seed: int = 0
+
+
+@dataclass
+class Answer:
+    """A completed query answer plus provenance."""
+
+    result: QueryResult
+    query: Query
+    used_completion: bool
+    model: Optional[_CompletionModelBase] = None
+    completed: Optional[CompletedJoin] = None
+    from_cache: bool = False
+
+    def confidence(self, confidence: float = 0.95) -> Optional[ConfidenceEstimator]:
+        """A §6 confidence estimator for this answer (None if no completion)."""
+        if self.model is None or self.completed is None:
+            return None
+        return ConfidenceEstimator(self.model, self.completed, confidence)
+
+
+class ReStore:
+    """Neural data completion for one incomplete relational database.
+
+    Parameters
+    ----------
+    db / annotation:
+        The incomplete database and its §2.2 completeness annotation (pass
+        an :class:`~repro.incomplete.IncompleteDataset` via
+        :meth:`from_dataset` for convenience).
+    config:
+        Engine configuration.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        annotation: SchemaAnnotation,
+        config: Optional[ReStoreConfig] = None,
+    ):
+        annotation.check_covers(db)
+        self.db = db
+        self.annotation = annotation
+        self.config = config or ReStoreConfig()
+        self.encoders = build_encoders(db, self.config.num_bins)
+        self._models: Dict[Tuple[str, Tuple[str, ...]], _CompletionModelBase] = {}
+        self._candidates: Dict[str, List[CandidateScore]] = {}
+        self._join_cache: Dict[Tuple[str, Tuple[str, ...]], CompletedJoin] = {}
+        self.cache_hits = 0
+        self.merge_stats: Dict[str, int] = {}
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: IncompleteDataset, config: Optional[ReStoreConfig] = None
+    ) -> "ReStore":
+        return cls(dataset.incomplete, dataset.annotation, config)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def incomplete_targets(self) -> List[str]:
+        """Incomplete tables with modelable columns (link tables excluded —
+        they are completed as interior hops of other targets' paths)."""
+        return [
+            t for t in self.db.table_names()
+            if not self.annotation.is_complete(t)
+            and self.db.table(t).modelable_columns()
+        ]
+
+    def paths_for(self, target: str) -> List[CompletionPath]:
+        paths = enumerate_completion_paths(
+            self.db, self.annotation, target, self.config.max_path_length
+        )
+        return paths[: self.config.max_paths_per_target]
+
+    def fit(self, targets: Optional[Sequence[str]] = None) -> "ReStore":
+        """Train AR (and SSAR where fan-out evidence exists) candidates."""
+        targets = list(targets) if targets is not None else self.incomplete_targets()
+        all_paths: List[CompletionPath] = []
+        for target in targets:
+            paths = self.paths_for(target)
+            if not paths:
+                raise ValueError(f"no admissible completion path for {target!r}")
+            all_paths.extend(paths)
+            models: List[_CompletionModelBase] = []
+            for i, path in enumerate(paths):
+                models.extend(self._train_path(path, seed_offset=i))
+            self._candidates[target] = score_candidates(models)
+        self.merge_stats = training_savings(all_paths)
+        return self
+
+    def _train_path(self, path: CompletionPath, seed_offset: int = 0):
+        models = []
+        layout = PathLayout(self.db, self.annotation, path, self.encoders)
+        base_seed = self.config.seed + 31 * seed_offset
+        if self.config.use_ar:
+            cfg = self._model_config(base_seed)
+            ar = ARCompletionModel(layout, cfg)
+            ar.fit()
+            self._models[("ar", path.tables)] = ar
+            models.append(ar)
+        if self.config.use_ssar:
+            walks = fan_out_relations(self.db, self.annotation, path)
+            if walks:
+                forest = EvidenceForest(
+                    self.db, path.tables[0], walks, self.encoders,
+                    self_evidence_table=path.target,
+                )
+                cfg = self._model_config(base_seed + 17)
+                ssar = SSARCompletionModel(layout, forest, cfg)
+                ssar.fit()
+                self._models[("ssar", path.tables)] = ssar
+                models.append(ssar)
+        return models
+
+    def _model_config(self, seed: int) -> ModelConfig:
+        base = self.config.model
+        return ModelConfig(
+            embed_dim=base.embed_dim,
+            hidden=base.hidden,
+            tree_dim=base.tree_dim,
+            seed=seed,
+            train=base.train,
+        )
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def candidates(self, target: str) -> List[CandidateScore]:
+        if target not in self._candidates:
+            raise RuntimeError(f"call fit() first (no candidates for {target!r})")
+        return self._candidates[target]
+
+    def select_model(
+        self,
+        target: str,
+        query: Optional[Query] = None,
+        suspected_bias: Optional[SuspectedBias] = None,
+    ) -> CandidateScore:
+        """§5 selection: query coverage (hard), basic signal filter,
+        optional suspected-bias hint."""
+        candidates = self.candidates(target)
+
+        # Coverage is a hard constraint: the completed join must contain
+        # every query table, otherwise the query cannot be evaluated on it.
+        if query is not None:
+            covering = [
+                c for c in candidates
+                if set(query.tables) <= set(c.path.tables)
+            ]
+            if covering:
+                candidates = covering
+
+        candidates = basic_filter(candidates, self.config.min_signal)
+
+        if suspected_bias is not None and len(candidates) > 1:
+            incomplete_value = self._aggregate_on_incomplete(target, suspected_bias)
+            candidates = apply_suspected_bias(
+                candidates,
+                suspected_bias,
+                lambda c: self._aggregate_on_completed(c, target, suspected_bias),
+                incomplete_value,
+            )
+        return candidates[0]
+
+    def advanced_select(
+        self,
+        target: str,
+        dataset: IncompleteDataset,
+        seed: int = 0,
+    ) -> CandidateScore:
+        """§5 advanced selection via a derived incompleteness scenario.
+
+        Re-applies the dataset's removal characteristics to the available
+        data, trains each candidate's (path, kind) afresh on the derived
+        data, completes it, and scores how well the *first-level* statistic
+        is reconstructed — the first-level incomplete data acts as ground
+        truth.  Candidates are ranked by that score.
+        """
+        from ..incomplete import derive_selection_scenario
+        from ..metrics import bias_reduction, categorical_fraction, weighted_average
+        from .selection import rank_by_derived_scenario
+
+        derived = derive_selection_scenario(dataset, seed=seed)
+        spec = next(s for s in dataset.specs if s.table == target)
+        attribute = spec.biased_attribute
+
+        derived_engine = ReStore.from_dataset(derived, self.config)
+        derived_engine.fit(targets=[target])
+        derived_by_key = {
+            (c.model.kind, c.path.tables): c
+            for c in derived_engine.candidates(target)
+        }
+
+        truth_table = derived.complete.table(target)  # = first-level data
+        inc_table = derived.incomplete.table(target)
+        categorical = truth_table.meta(attribute).kind.value == "categorical"
+        if categorical:
+            uniques, counts = np.unique(truth_table[attribute], return_counts=True)
+            value = uniques[counts.argmax()]
+            true_stat = categorical_fraction(truth_table[attribute], value)
+            inc_stat = categorical_fraction(inc_table[attribute], value)
+        else:
+            true_stat = weighted_average(truth_table[attribute])
+            inc_stat = weighted_average(inc_table[attribute])
+
+        def evaluate(candidate: CandidateScore) -> float:
+            derived_candidate = derived_by_key.get(
+                (candidate.model.kind, candidate.path.tables)
+            )
+            if derived_candidate is None:
+                return float("-inf")
+            completed = derived_engine.completed_join(derived_candidate.model)
+            projected = derived_engine.project_to_tables(completed, (target,))
+            values = projected.resolve(f"{target}.{attribute}")
+            weights = projected.effective_weights()
+            if categorical:
+                stat = categorical_fraction(values, value, weights)
+            else:
+                stat = weighted_average(values, weights)
+            score = bias_reduction(true_stat, inc_stat, stat)
+            return score if not np.isnan(score) else float("-inf")
+
+        ranked = rank_by_derived_scenario(self.candidates(target), evaluate)
+        return ranked[0]
+
+    def _aggregate_on_incomplete(self, target: str, bias: SuspectedBias) -> float:
+        values = self.db.table(target)[bias.attribute]
+        if bias.value is not None:
+            return float(np.mean(values == bias.value))
+        return float(np.mean(values.astype(float)))
+
+    def _aggregate_on_completed(
+        self, candidate: CandidateScore, target: str, bias: SuspectedBias
+    ) -> float:
+        completed = self.completed_join(candidate.model)
+        projected = self.project_to_tables(completed, (target,))
+        values = projected.resolve(f"{target}.{bias.attribute}")
+        weights = projected.effective_weights()
+        total = weights.sum()
+        if total == 0:
+            return float("nan")
+        if bias.value is not None:
+            return float((weights * (values == bias.value)).sum() / total)
+        return float((weights * values.astype(float)).sum() / total)
+
+    # ------------------------------------------------------------------
+    # Completion + caching (§4.5)
+    # ------------------------------------------------------------------
+    def completed_join(self, model: _CompletionModelBase) -> CompletedJoin:
+        """Run (or reuse) the incompleteness join for a model's full path."""
+        key = (model.kind, model.layout.path.tables)
+        if key in self._join_cache:
+            self.cache_hits += 1
+            return self._join_cache[key]
+        join = IncompletenessJoin(
+            model,
+            approximate_replacement=self.config.approximate_replacement,
+            seed=self.config.seed,
+        ).run()
+        self._join_cache[key] = join
+        return join
+
+    def clear_cache(self) -> None:
+        self._join_cache.clear()
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Projection (§4.4: completion path may exceed the query path)
+    # ------------------------------------------------------------------
+    def project_to_tables(
+        self, completed: CompletedJoin, tables: Sequence[str]
+    ) -> JoinResult:
+        """Restrict a completed join to the query's tables.
+
+        Extra completion-path tables multiply rows (one per evidence
+        combination); deduplicating by the logical identity of the kept
+        tables' tuples restores correct query-path multiplicities.  Real
+        tuples are identified by their primary key, synthetic ones by their
+        unique negative ids.
+        """
+        result = completed.result
+        keep_tables = [t for t in completed.path.tables if t in set(tables)]
+        missing = set(tables) - set(keep_tables)
+        if missing:
+            raise ValueError(f"completed join does not contain {sorted(missing)}")
+
+        identity_parts: List[np.ndarray] = []
+        for table_name in keep_tables:
+            table = self.db.table(table_name)
+            key_col = table.primary_key
+            if key_col is not None:
+                identity_parts.append(
+                    np.asarray(result.columns[f"{table_name}.{key_col}"], dtype=np.int64)
+                )
+        synth = completed.synthesized_mask.get(completed.path.target)
+
+        if identity_parts:
+            identity = np.stack(identity_parts, axis=1)
+            _, first_idx = np.unique(identity, axis=0, return_index=True)
+            keep_rows = np.sort(first_idx)
+        else:
+            keep_rows = np.arange(result.num_rows)
+
+        columns = {
+            name: arr[keep_rows]
+            for name, arr in result.columns.items()
+            if name.split(".", 1)[0] in set(keep_tables)
+        }
+        weights = result.effective_weights()[keep_rows]
+        return JoinResult(columns, weights=weights)
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        query: Query,
+        suspected_bias: Optional[SuspectedBias] = None,
+        model: Optional[_CompletionModelBase] = None,
+    ) -> Answer:
+        """Answer an SPJA query over the (completed) database."""
+        incomplete_in_query = [
+            t for t in query.tables if not self.annotation.is_complete(t)
+        ]
+        if not incomplete_in_query:
+            return Answer(
+                result=execute(self.db, query),
+                query=query,
+                used_completion=False,
+            )
+
+        target = self._primary_target(incomplete_in_query)
+        if model is None:
+            choice = self.select_model(target, query=query,
+                                       suspected_bias=suspected_bias)
+            model = choice.model
+
+        cached_before = (model.kind, model.layout.path.tables) in self._join_cache
+        completed = self.completed_join(model)
+
+        path_tables = set(completed.path.tables)
+        if not set(query.tables) <= path_tables:
+            raise ValueError(
+                f"selected completion path {completed.path} does not cover "
+                f"query tables {query.tables}; no admissible covering path"
+            )
+        if path_tables == set(query.tables):
+            joined = completed.result
+        else:
+            joined = self.project_to_tables(completed, query.tables)
+
+        return Answer(
+            result=execute_on_join(joined, query),
+            query=query,
+            used_completion=True,
+            model=model,
+            completed=completed,
+            from_cache=cached_before,
+        )
+
+    def _primary_target(self, incomplete_tables: Sequence[str]) -> str:
+        """The incomplete table whose models drive the completion.
+
+        Link tables (no modelable columns) are completed as interior hops,
+        so prefer a table with attributes; ties break to the table with the
+        most candidates available.
+        """
+        with_columns = [
+            t for t in incomplete_tables if self.db.table(t).modelable_columns()
+        ]
+        pool = with_columns or list(incomplete_tables)
+        known = [t for t in pool if t in self._candidates]
+        if not known:
+            raise RuntimeError(
+                f"fit() has not trained models for any of {sorted(pool)}"
+            )
+        return known[0]

@@ -1,0 +1,479 @@
+"""The incompleteness join (paper Algorithm 1, §4.2/§4.3).
+
+Walks a completion path from the root evidence table to the incomplete
+target, producing the join as it would look on a complete database:
+
+* **1:n hops** — per evidence tuple, determine the total tuple factor
+  (annotated truth where available, model prediction otherwise), join the
+  *existing* children, and synthesize the missing ``TF - existing`` children
+  with the AR/SSAR model.
+* **n:1 hops** — join the existing partner where the foreign key resolves;
+  synthesize a partner for rows without one.  Rows whose own tuples were
+  synthesized (no real keys) receive the over-generation weight correction
+  of §4.3: a missing parent re-appears once per synthesized child, so each
+  occurrence is down-weighted by the expected children-per-parent.
+* **Euclidean replacement** — synthesized tuples of *complete* tables are
+  replaced by their nearest existing tuples (restoring real keys), per §4.2.
+
+The result is a :class:`~repro.query.JoinResult` with fractional row
+weights, directly consumable by the shared filter/aggregate operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..query import JoinResult
+from ..relational import MISSING_KEY, ColumnKind, CompletionPath
+from ..relational.tuple_factors import TF_UNKNOWN
+from .forest import _gather_children, build_child_index
+from .models import _CompletionModelBase
+from .nn_replacement import EuclideanReplacer
+
+
+@dataclass
+class CompletedJoin:
+    """Output of an incompleteness join plus synthesis bookkeeping.
+
+    ``codes`` holds the final model-space code matrix of every output row
+    (evidence + synthesized values) and ``context`` the SSAR tree contexts —
+    the confidence estimator (§6) re-derives per-tuple conditional
+    distributions from them.
+    """
+
+    result: JoinResult
+    path: CompletionPath
+    num_synthesized: Dict[str, int] = field(default_factory=dict)
+    synthesized_mask: Dict[str, np.ndarray] = field(default_factory=dict)
+    codes: Optional[np.ndarray] = None
+    context: Optional[np.ndarray] = None
+
+    @property
+    def num_rows(self) -> int:
+        return self.result.num_rows
+
+    def target_synthesized(self) -> np.ndarray:
+        """Per-row flag: the target-table tuple of this row is synthetic."""
+        return self.synthesized_mask[self.path.target]
+
+
+@dataclass
+class _WalkState:
+    """Rows of the partially completed join after some number of hops."""
+
+    codes: np.ndarray                 # (R, V) model-space codes, prefix filled
+    columns: Dict[str, np.ndarray]    # qualified raw columns of visited tables
+    weights: np.ndarray               # (R,) fractional multiplicities
+    synthesized: np.ndarray           # (R,) latest-table tuple is synthetic
+    current_rows: np.ndarray          # (R,) row in the db table, -1 if synthetic
+    context: Optional[np.ndarray]     # (R, C) SSAR context or None
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.weights)
+
+    def take(self, idx: np.ndarray) -> "_WalkState":
+        return _WalkState(
+            codes=self.codes[idx],
+            columns={k: v[idx] for k, v in self.columns.items()},
+            weights=self.weights[idx],
+            synthesized=self.synthesized[idx],
+            current_rows=self.current_rows[idx],
+            context=None if self.context is None else self.context[idx],
+        )
+
+
+def _concat_states(a: _WalkState, b: _WalkState) -> _WalkState:
+    if a.num_rows == 0:
+        return b
+    if b.num_rows == 0:
+        return a
+    return _WalkState(
+        codes=np.concatenate([a.codes, b.codes]),
+        columns={
+            k: np.concatenate([a.columns[k], b.columns[k]]) for k in a.columns
+        },
+        weights=np.concatenate([a.weights, b.weights]),
+        synthesized=np.concatenate([a.synthesized, b.synthesized]),
+        current_rows=np.concatenate([a.current_rows, b.current_rows]),
+        context=(
+            None if a.context is None
+            else np.concatenate([a.context, b.context])
+        ),
+    )
+
+
+class IncompletenessJoin:
+    """Executes Algorithm 1 for one completion model.
+
+    Parameters
+    ----------
+    model:
+        A fitted AR or SSAR completion model; its layout supplies the
+        database, annotation, path and codecs.
+    approximate_replacement:
+        Use the random-projection approximate nearest-neighbour mode.
+    replace_synthesized:
+        Disable to keep synthesized tuples even for complete tables
+        (used by ablation benchmarks; the paper always replaces).
+    """
+
+    def __init__(
+        self,
+        model: _CompletionModelBase,
+        approximate_replacement: bool = True,
+        replace_synthesized: bool = True,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.layout = model.layout
+        self.db = model.layout.db
+        self.annotation = model.layout.annotation
+        self.path = model.layout.path
+        self.approximate_replacement = approximate_replacement
+        self.replace_synthesized = replace_synthesized
+        self.rng = np.random.default_rng(seed)
+        self._replacers: Dict[str, EuclideanReplacer] = {}
+        self._num_synth: Dict[str, int] = {}
+        self._synth_masks: Dict[str, np.ndarray] = {}
+        # Synthetic tuples get unique negative ids (below the -1 sentinel)
+        # so projections can deduplicate logical tuples.
+        self._next_synth_id = -2
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, stop_table: Optional[str] = None) -> CompletedJoin:
+        """Complete the join along the path.
+
+        ``stop_table`` truncates the walk after that table is reached — a
+        merged model trained on a longer path serves any prefix sub-path
+        this way (§3.4).
+        """
+        tables = list(self.path.tables)
+        if stop_table is not None:
+            if stop_table not in tables:
+                raise ValueError(f"{stop_table} is not on {self.path}")
+            tables = tables[: tables.index(stop_table) + 1]
+            if len(tables) < 2:
+                raise ValueError("stop_table must leave at least one hop")
+        state = self._initial_state()
+        for slot in range(1, len(tables)):
+            state = self._hop(state, slot)
+        # The final state's synthesized flags refer to the last completed
+        # table — exactly what confidence estimation (§6) needs.
+        final_target = tables[-1]
+        self._synth_masks[final_target] = state.synthesized
+        result = JoinResult(dict(state.columns), weights=state.weights)
+        effective_path = CompletionPath(tuple(tables))
+        return CompletedJoin(
+            result=result,
+            path=effective_path,
+            num_synthesized=dict(self._num_synth),
+            synthesized_mask=dict(self._synth_masks),
+            codes=state.codes,
+            context=state.context,
+        )
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _initial_state(self) -> _WalkState:
+        root = self.path.tables[0]
+        table = self.db.table(root)
+        rows = np.arange(len(table), dtype=np.int64)
+        codes = np.zeros((len(table), self.layout.num_variables), dtype=np.int64)
+        start, stop = self.layout.slot_range(0)
+        encoder = self.layout.encoders[root]
+        if encoder.columns:
+            codes[:, start:stop] = encoder.encode_table(table)
+        columns = {f"{root}.{c}": np.array(table[c]) for c in table.column_names}
+        context = self.model.context_for_roots(rows)
+        return _WalkState(
+            codes=codes,
+            columns=columns,
+            weights=np.ones(len(table)),
+            synthesized=np.zeros(len(table), dtype=bool),
+            current_rows=rows,
+            context=context,
+        )
+
+    def _replacer(self, table_name: str) -> EuclideanReplacer:
+        if table_name not in self._replacers:
+            self._replacers[table_name] = EuclideanReplacer(
+                self.db.table(table_name),
+                approximate=self.approximate_replacement,
+                seed=int(self.rng.integers(1 << 31)),
+            )
+        return self._replacers[table_name]
+
+    # ------------------------------------------------------------------
+    # Hops
+    # ------------------------------------------------------------------
+    def _hop(self, state: _WalkState, slot: int) -> _WalkState:
+        prev = self.path.tables[slot - 1]
+        new = self.path.tables[slot]
+        if self.db.is_fan_out_step(prev, new):
+            out = self._fan_out_hop(state, slot, prev, new)
+        else:
+            out = self._n_to_1_hop(state, slot, prev, new)
+        return out
+
+    def _fan_out_hop(self, state: _WalkState, slot: int, prev: str, new: str) -> _WalkState:
+        fk = self.layout.fan_out_hops[slot]
+        tf_idx = self.layout.tf_variable_index(slot)
+        child_index = build_child_index(self.db, fk)
+        existing_counts = np.zeros(state.num_rows, dtype=np.int64)
+        real = state.current_rows >= 0
+        existing_counts[real] = child_index.counts()[state.current_rows[real]]
+
+        # Total tuple factor: annotated truth where available, else sampled.
+        annotated = self.layout.annotated_tfs(slot)
+        totals = np.full(state.num_rows, TF_UNKNOWN, dtype=np.int64)
+        totals[real] = annotated[state.current_rows[real]]
+        unknown = totals == TF_UNKNOWN
+        if unknown.any():
+            prefix = state.codes[unknown]
+            ctx = None if state.context is None else state.context[unknown]
+            sampled = self.model.predict_tuple_factors(
+                prefix, slot, self.rng, ctx, min_counts=existing_counts[unknown]
+            )
+            totals[unknown] = sampled
+        totals = np.maximum(totals, existing_counts)
+        tf_codes = self.layout.tf_codec_for(slot).encode(totals)
+
+        # ---- existing part: join available children ----
+        parts: List[_WalkState] = []
+        if real.any():
+            rows_real = np.flatnonzero(real)
+            child_rows, local_owner = _gather_children(
+                child_index, state.current_rows[rows_real]
+            )
+            owners = rows_real[local_owner]
+            if len(child_rows):
+                existing = state.take(owners)
+                existing.codes[:, tf_idx] = tf_codes[owners]
+                self._fill_real_table(existing, slot, new, child_rows)
+                parts.append(existing)
+
+        # ---- synthesized part ----
+        missing = totals - existing_counts
+        owners_syn = np.repeat(np.arange(state.num_rows), np.maximum(missing, 0))
+        if len(owners_syn):
+            synth = state.take(owners_syn)
+            synth.codes[:, tf_idx] = tf_codes[owners_syn]
+            self._synthesize_table(synth, slot, new)
+            # The synthesized child's FK to its evidence parent is known.
+            parent_keys = self._parent_keys_for(state, prev, fk.parent_column)
+            synth.columns[f"{new}.{fk.child_column}"] = np.where(
+                state.synthesized[owners_syn],
+                MISSING_KEY,
+                parent_keys[owners_syn],
+            )
+            synth = self._maybe_replace(synth, slot, new)
+            parts.append(synth)
+
+        if not parts:
+            return self._empty_after_slot(state, slot, new)
+        out = parts[0]
+        for part in parts[1:]:
+            out = _concat_states(out, part)
+        return out
+
+    def _n_to_1_hop(self, state: _WalkState, slot: int, prev: str, new: str) -> _WalkState:
+        fk = self.db.fk_between(prev, new)
+        parent_table = self.db.table(new)
+        key_to_row = parent_table.key_index()
+        fk_values = state.columns[f"{prev}.{fk.child_column}"]
+        partner = np.array(
+            [key_to_row.get(int(v), -1) if v >= 0 else -1 for v in fk_values],
+            dtype=np.int64,
+        )
+
+        parts: List[_WalkState] = []
+        has_partner = partner >= 0
+        if has_partner.any():
+            idx = np.flatnonzero(has_partner)
+            existing = state.take(idx)
+            self._fill_real_table(existing, slot, new, partner[idx])
+            parts.append(existing)
+
+        needs_synth = ~has_partner
+        # Children whose FK is a real key reference a *removed* parent: the
+        # missing tuple's key is known, so all children sharing it must get
+        # one shared synthesized parent (keyed by that FK value).  Children
+        # that are themselves synthetic (sentinel FK) get per-row parents
+        # with the §4.3 over-generation weight correction.
+        dangling = needs_synth & (np.asarray(fk_values) >= 0)
+        orphan = needs_synth & ~dangling
+
+        if dangling.any():
+            idx = np.flatnonzero(dangling)
+            keys = np.asarray(fk_values)[idx].astype(np.int64)
+            unique_keys, first_pos, inverse = np.unique(
+                keys, return_index=True, return_inverse=True
+            )
+            reps = state.take(idx[first_pos])
+            self._synthesize_table(reps, slot, new)
+            shared = reps.take(inverse)
+            shared_state = state.take(idx)
+            # Keep each row's own evidence prefix; graft only the shared
+            # parent's slot codes and columns on top.
+            start, stop = self.layout.slot_range(slot)
+            shared_state.codes[:, start:stop] = shared.codes[:, start:stop]
+            for column in self.db.table(new).column_names:
+                shared_state.columns[f"{new}.{column}"] = shared.columns[
+                    f"{new}.{column}"
+                ].copy()
+            pk = self.db.table(new).primary_key
+            if pk is not None:
+                shared_state.columns[f"{new}.{pk}"] = keys
+            shared_state.synthesized = np.ones(len(idx), dtype=bool)
+            shared_state.current_rows = np.full(len(idx), -1, dtype=np.int64)
+            parts.append(shared_state)
+
+        if orphan.any():
+            idx = np.flatnonzero(orphan)
+            synth = state.take(idx)
+            self._synthesize_table(synth, slot, new)
+            from_synth = state.synthesized[idx]
+            if from_synth.any():
+                correction = self._orphan_weight(fk)
+                synth.weights = synth.weights * np.where(from_synth, correction, 1.0)
+            synth = self._maybe_replace(synth, slot, new)
+            parts.append(synth)
+
+        if not parts:
+            return self._empty_after_slot(state, slot, new)
+        out = parts[0]
+        for part in parts[1:]:
+            out = _concat_states(out, part)
+        return out
+
+    # ------------------------------------------------------------------
+    # Row materialization helpers
+    # ------------------------------------------------------------------
+    def _fill_real_table(self, part: _WalkState, slot: int, table_name: str,
+                         rows: np.ndarray) -> None:
+        """Attach real tuples of ``table_name`` (by row) to the state part."""
+        table = self.db.table(table_name)
+        for column in table.column_names:
+            part.columns[f"{table_name}.{column}"] = table[column][rows]
+        start, stop = self.layout.slot_range(slot)
+        tf_idx = self.layout.tf_variable_index(slot)
+        col_start = start if tf_idx is None else tf_idx + 1
+        encoder = self.layout.encoders[table_name]
+        if encoder.columns:
+            part.codes[:, col_start:stop] = encoder.encode_columns(
+                {c: table[c][rows] for c in encoder.columns}
+            )
+        part.synthesized = np.zeros(part.num_rows, dtype=bool)
+        part.current_rows = np.asarray(rows, dtype=np.int64)
+
+    def _synthesize_table(self, part: _WalkState, slot: int, table_name: str) -> None:
+        """Sample the slot's columns and materialize raw values/keys."""
+        sampled = self.model.sample_slot(part.codes, slot, self.rng, part.context)
+        part.codes = sampled
+        start, stop = self.layout.slot_range(slot)
+        tf_idx = self.layout.tf_variable_index(slot)
+        col_start = start if tf_idx is None else tf_idx + 1
+        decoded = self.layout.decode_slot_codes(
+            slot, sampled[:, col_start:stop], rng=self.rng
+        )
+        table = self.db.table(table_name)
+        for column in table.column_names:
+            if column in decoded:
+                part.columns[f"{table_name}.{column}"] = decoded[column]
+            elif column == table.primary_key:
+                ids = np.arange(
+                    self._next_synth_id,
+                    self._next_synth_id - part.num_rows,
+                    -1,
+                    dtype=np.int64,
+                )
+                self._next_synth_id -= part.num_rows
+                part.columns[f"{table_name}.{column}"] = ids
+            else:
+                part.columns[f"{table_name}.{column}"] = np.full(
+                    part.num_rows, MISSING_KEY, dtype=np.int64
+                )
+        part.synthesized = np.ones(part.num_rows, dtype=bool)
+        part.current_rows = np.full(part.num_rows, -1, dtype=np.int64)
+        self._num_synth[table_name] = (
+            self._num_synth.get(table_name, 0) + part.num_rows
+        )
+
+    def _maybe_replace(self, part: _WalkState, slot: int, table_name: str) -> _WalkState:
+        """Euclidean replacement for synthesized tuples of complete tables."""
+        if not self.replace_synthesized or not self.annotation.is_complete(table_name):
+            return part
+        if part.num_rows == 0:
+            return part
+        replacer = self._replacer(table_name)
+        synth_cols = {
+            c: part.columns[f"{table_name}.{c}"] for c in replacer.space.columns
+        }
+        rows = replacer.replace(synth_cols)
+        self._fill_real_table(part, slot, table_name, rows)
+        return part
+
+    def _parent_keys_for(self, state: _WalkState, table_name: str,
+                         key_column: str) -> np.ndarray:
+        column = f"{table_name}.{key_column}"
+        if column in state.columns:
+            return state.columns[column]
+        return np.full(state.num_rows, MISSING_KEY, dtype=np.int64)
+
+    def _empty_after_slot(self, state: _WalkState, slot: int, new: str) -> _WalkState:
+        table = self.db.table(new)
+        columns = {k: v[:0] for k, v in state.columns.items()}
+        for column in table.column_names:
+            columns[f"{new}.{column}"] = np.array(table[column][:0])
+        return _WalkState(
+            codes=state.codes[:0],
+            columns=columns,
+            weights=state.weights[:0],
+            synthesized=state.synthesized[:0],
+            current_rows=state.current_rows[:0],
+            context=None if state.context is None else state.context[:0],
+        )
+
+    def _mean_children_per_parent(self, fk) -> float:
+        """Average observed fan-out (children per matched parent) >= 1."""
+        index = build_child_index(self.db, fk)
+        counts = index.counts()
+        positive = counts[counts > 0]
+        if len(positive) == 0:
+            return 1.0
+        return float(positive.mean())
+
+    def _orphan_weight(self, fk) -> float:
+        """§4.3 over-generation correction for keyless synthesized children.
+
+        A synthesized child row spawns a parent tuple, but a missing parent
+        re-appears once per child, and — when the available links still
+        carry dangling keys — most synthesized links actually point at
+        *existing* parents.  A random link references a missing parent with
+        the observed dangling fraction ``d``, and each missing parent is hit
+        ``mean children`` times, so the weight is ``d / mean``.  When the
+        removal protocol dropped the dangling links (``d == 0`` observed but
+        children of missing parents are known to be gone), every synthesized
+        child stands for a missing parent: weight ``1 / mean``.
+        """
+        child = self.db.table(fk.child_table)
+        refs = child[fk.child_column]
+        parent_keys = set(self.db.table(fk.parent_table)[fk.parent_column].tolist())
+        valid = refs[refs >= 0]
+        if len(valid) == 0:
+            return 1.0
+        dangling = np.fromiter(
+            (v not in parent_keys for v in valid.tolist()), dtype=bool,
+            count=len(valid),
+        ).mean()
+        mean_children = self._mean_children_per_parent(fk)
+        if dangling > 0:
+            return float(dangling) / mean_children
+        return 1.0 / mean_children

@@ -1,0 +1,360 @@
+"""AR and SSAR completion models over a completion path.
+
+``ARCompletionModel`` (paper §3.2) is a residual MADE over all variables of
+a :class:`~repro.core.path_data.PathLayout`; ``SSARCompletionModel``
+(paper §3.3) additionally conditions every output on a deep-sets encoding of
+the evidence tuple's fan-out tree (including self-evidence with
+leave-one-out during training).
+
+Both expose the same hop-level API used by the incompleteness join:
+
+* :meth:`predict_tuple_factors` — sample/read the number of child tuples an
+  evidence tuple should have,
+* :meth:`sample_slot` — synthesize the columns of the next table on the
+  path, conditioned on everything sampled so far,
+* :meth:`conditional_probs` — the per-variable distribution needed by the
+  confidence estimator (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import (
+    EvidenceTreeEncoder,
+    Module,
+    ResidualMADE,
+    Tensor,
+    TrainConfig,
+    TrainResult,
+    train,
+)
+from ..nn.made import _sample_rows
+from .forest import EvidenceForest
+from .path_data import PathLayout, TrainingData, assemble_training_data
+
+
+@dataclass
+class ModelConfig:
+    """Architecture and training hyper-parameters of a completion model."""
+
+    embed_dim: int = 16
+    hidden: Sequence[int] = (64, 64)
+    tree_dim: int = 16
+    seed: int = 0
+    train: TrainConfig = field(default_factory=lambda: TrainConfig(
+        epochs=20, batch_size=256, lr=5e-3, patience=4,
+    ))
+
+
+class _CompletionModelBase(Module):
+    """Shared plumbing of AR and SSAR completion models."""
+
+    kind = "base"
+
+    def __init__(self, layout: PathLayout, config: Optional[ModelConfig] = None):
+        self.layout = layout
+        self.config = config or ModelConfig()
+        self.train_result: Optional[TrainResult] = None
+        self.training_data: Optional[TrainingData] = None
+        self._val_indices: Optional[np.ndarray] = None
+
+    # -- context hooks (overridden by SSAR) ----------------------------
+    def _training_context(self, indices: np.ndarray) -> Optional[Tensor]:
+        return None
+
+    def context_for_roots(self, root_rows: np.ndarray) -> Optional[np.ndarray]:
+        """Raw context vectors for evidence root rows (None for AR)."""
+        return None
+
+    def _context_tensor(self, context: Optional[np.ndarray]) -> Optional[Tensor]:
+        return None if context is None else Tensor(context)
+
+    # -- training -------------------------------------------------------
+    def fit(self) -> TrainResult:
+        """Assemble training data from the incomplete database and train."""
+        data = assemble_training_data(self.layout)
+        if data.num_rows < 8:
+            raise ValueError(
+                f"path {self.layout.path} yields only {data.num_rows} training rows"
+            )
+        self.training_data = data
+        matrix = data.matrix
+        var_weights = self._debias_weights(data)
+        self._init_output_bias(matrix, var_weights)
+
+        def loss_fn(idx: np.ndarray):
+            vw = {v: w[idx] for v, w in var_weights.items()}
+            return self.made.nll(
+                matrix[idx], context=self._training_context(idx), variable_weights=vw
+            )
+
+        def eval_fn(idx: np.ndarray) -> float:
+            ctx = self._training_context(idx)
+            return float(self.made.per_example_nll(matrix[idx], context=ctx).mean())
+
+        cfg = self.config.train
+        result = train(self, data.num_rows, loss_fn, eval_fn, cfg)
+        self.train_result = result
+        self._val_indices = result.val_indices
+        return result
+
+    def _require_fitted(self) -> None:
+        if self.train_result is None:
+            raise RuntimeError("completion model must be fitted first")
+
+    def _init_output_bias(
+        self, matrix: np.ndarray, var_weights: Dict[int, np.ndarray]
+    ) -> None:
+        """Start each output head at the variable's (debiased) marginal.
+
+        Standard practice in the naru lineage [40]: with log-marginal output
+        biases, an under-trained conditional degrades gracefully to the
+        marginal instead of to uniform — which matters most for the
+        tuple-factor heads, whose expectation drives how many tuples the
+        incompleteness join synthesizes.  The marginal uses the same
+        size-debiasing weights as the loss, so a parent appearing once per
+        child does not skew its own TF marginal upward.
+        """
+        bias = self.made.output_layer.bias
+        if bias is None:
+            return
+        for i, spec in enumerate(self.layout.variables):
+            vocab = spec.vocab_size
+            weights = var_weights.get(i)
+            counts = np.bincount(
+                matrix[:, i], weights=weights, minlength=vocab
+            ).astype(float)
+            probs = (counts + 0.5) / (counts.sum() + 0.5 * vocab)
+            start = int(self.made._logit_offsets[i])
+            bias.data[start:start + vocab] = np.log(probs)
+
+    def _debias_weights(self, data: TrainingData) -> Dict[int, np.ndarray]:
+        """Per-variable training weights undoing join size bias.
+
+        A join row exists once per child combination, so the variables of
+        path slot *j* (and the tuple factor entering slot *j*, which belongs
+        to the slot *j-1* tuple) would otherwise be learned size-biased:
+        parents with many kept children dominate.  Weighting each slot's
+        variables by ``1 / multiplicity`` of its distinct tuple combination
+        restores per-tuple semantics — in particular E[TF | evidence] becomes
+        unbiased, which drives the cardinality correction (Fig. 7b).
+        """
+        tables = self.layout.path.tables
+        weights: Dict[int, np.ndarray] = {}
+        stacked: List[np.ndarray] = []
+        slot_weight: Dict[int, np.ndarray] = {}
+        for slot, table in enumerate(tables):
+            stacked.append(data.row_positions[table])
+            combo = np.stack(stacked, axis=1)
+            _, inverse, counts = np.unique(
+                combo, axis=0, return_inverse=True, return_counts=True
+            )
+            slot_weight[slot] = 1.0 / counts[inverse]
+        for var_idx, spec in enumerate(self.layout.variables):
+            if spec.is_tuple_factor:
+                weights[var_idx] = slot_weight[spec.slot - 1]
+            else:
+                weights[var_idx] = slot_weight[spec.slot]
+        return weights
+
+    # -- selection criteria ----------------------------------------------
+    def target_test_loss(self) -> float:
+        """Held-out NLL restricted to the target table's variables (§5).
+
+        This is the paper's basic model-selection signal: if the target
+        attributes cannot be predicted from the evidence, this loss stays
+        near the marginal entropy and the model should not be trusted.
+        """
+        self._require_fitted()
+        idx = self._val_indices
+        ctx = self._training_context(idx)
+        per_row = self.made.per_example_nll(
+            self.training_data.matrix[idx], context=ctx,
+            variables=self.layout.target_variables(),
+        )
+        return float(per_row.mean())
+
+    def marginal_target_loss(self) -> float:
+        """NLL of the empirical per-column marginals on the same held-out rows.
+
+        The gap ``marginal - model`` measures how much signal the evidence
+        actually provides (0 gap = unpredictable target, prune the model).
+        """
+        self._require_fitted()
+        matrix = self.training_data.matrix
+        idx = self._val_indices
+        total = np.zeros(len(idx))
+        for var in self.layout.target_variables():
+            values = matrix[:, var]
+            counts = np.bincount(values, minlength=self.layout.variables[var].vocab_size)
+            probs = (counts + 0.5) / (counts.sum() + 0.5 * len(counts))
+            total += -np.log(probs[matrix[idx, var]])
+        return float(total.mean())
+
+    # -- hop-level sampling API ------------------------------------------
+    def predict_tuple_factors(
+        self,
+        prefix: np.ndarray,
+        slot: int,
+        rng: np.random.Generator,
+        context: Optional[np.ndarray] = None,
+        min_counts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Sample tuple factors for the fan-out hop entering ``slot``.
+
+        The reserved ``unknown`` code is masked out, so the result is always
+        an actual count.  ``min_counts`` truncates each row's conditional at
+        the number of children already observed — we *know* TF >= existing,
+        and sampling untruncated then clamping would bias counts upward.
+        The sampled code is also written into ``prefix`` (callers pass the
+        same array on to :meth:`sample_slot`).
+        """
+        self._require_fitted()
+        tf_idx = self.layout.tf_variable_index(slot)
+        if tf_idx is None:
+            raise ValueError(f"slot {slot} is not a fan-out hop")
+        codec = self.layout.tf_codec_for(slot)
+        probs = self.made.conditional_probs(
+            prefix, tf_idx, context=self._context_tensor(context)
+        )
+        probs = probs * codec.sampling_mask()[None, :]
+        if min_counts is not None:
+            counts_axis = np.arange(probs.shape[1])
+            probs = probs * (counts_axis[None, :] >= np.asarray(min_counts)[:, None])
+            # Rows whose observed count exceeds every remaining code fall
+            # back to exactly the observed count.
+            dead = probs.sum(axis=1) <= 0
+            if dead.any():
+                probs[dead] = 0.0
+                clip = np.minimum(np.asarray(min_counts)[dead], codec.cap)
+                probs[np.flatnonzero(dead), clip] = 1.0
+        probs = probs / probs.sum(axis=1, keepdims=True)
+        codes = _sample_rows(probs, rng)
+        prefix[:, tf_idx] = codes
+        return codec.decode(codes)
+
+    def expected_tuple_factors(
+        self,
+        prefix: np.ndarray,
+        slot: int,
+        context: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Expected (mean) tuple factor per row — used for reweighting."""
+        self._require_fitted()
+        tf_idx = self.layout.tf_variable_index(slot)
+        if tf_idx is None:
+            raise ValueError(f"slot {slot} is not a fan-out hop")
+        codec = self.layout.tf_codec_for(slot)
+        probs = self.made.conditional_probs(
+            prefix, tf_idx, context=self._context_tensor(context)
+        )
+        probs = probs * codec.sampling_mask()[None, :]
+        probs = probs / probs.sum(axis=1, keepdims=True)
+        counts = np.arange(probs.shape[1], dtype=float)
+        return probs @ counts
+
+    def sample_slot(
+        self,
+        prefix: np.ndarray,
+        slot: int,
+        rng: np.random.Generator,
+        context: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Synthesize the column variables of path slot ``slot``.
+
+        ``prefix`` must already contain all earlier variables (and the
+        slot's TF variable if the hop fans out).  Returns the full code
+        matrix with the slot filled in.
+        """
+        self._require_fitted()
+        start, stop = self.layout.slot_range(slot)
+        tf_idx = self.layout.tf_variable_index(slot)
+        first_column = start if tf_idx is None else tf_idx + 1
+        return self.made.sample(
+            prefix, first_column, rng,
+            context=self._context_tensor(context), stop_variable=stop,
+        )
+
+    def conditional_probs(
+        self,
+        prefix: np.ndarray,
+        variable: int,
+        context: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``P(x_variable | earlier variables, context)`` for confidence."""
+        self._require_fitted()
+        return self.made.conditional_probs(
+            prefix, variable, context=self._context_tensor(context)
+        )
+
+    def describe(self) -> str:
+        return f"{self.kind.upper()}({self.layout.path})"
+
+
+class ARCompletionModel(_CompletionModelBase):
+    """Simple autoregressive completion model (paper §3.2)."""
+
+    kind = "ar"
+
+    def __init__(self, layout: PathLayout, config: Optional[ModelConfig] = None):
+        super().__init__(layout, config)
+        rng = np.random.default_rng(self.config.seed)
+        self.made = ResidualMADE(
+            layout.vocab_sizes(),
+            embed_dim=self.config.embed_dim,
+            hidden=tuple(self.config.hidden),
+            rng=rng,
+        )
+
+
+class SSARCompletionModel(_CompletionModelBase):
+    """Schema-structured autoregressive model with fan-out evidence (§3.3)."""
+
+    kind = "ssar"
+
+    def __init__(
+        self,
+        layout: PathLayout,
+        forest: EvidenceForest,
+        config: Optional[ModelConfig] = None,
+    ):
+        super().__init__(layout, config)
+        if not forest.has_walks:
+            raise ValueError(
+                "SSAR model needs at least one fan-out walk; use AR instead"
+            )
+        self.forest = forest
+        rng = np.random.default_rng(self.config.seed)
+        self.tree_encoder = EvidenceTreeEncoder(
+            forest.specs(),
+            embed_dim=self.config.embed_dim,
+            node_dim=self.config.tree_dim,
+            rng=rng,
+        )
+        self.made = ResidualMADE(
+            layout.vocab_sizes(),
+            embed_dim=self.config.embed_dim,
+            hidden=tuple(self.config.hidden),
+            rng=rng,
+            context_dim=self.tree_encoder.context_dim,
+        )
+
+    def _training_context(self, indices: np.ndarray) -> Optional[Tensor]:
+        data = self.training_data
+        root_table = self.layout.path.tables[0]
+        target_table = self.layout.path.target
+        roots = data.row_positions[root_table][indices]
+        exclude = None
+        if self.forest.self_evidence_table == target_table:
+            exclude = data.row_positions[target_table][indices]
+        batches = self.forest.batch_for_roots(roots, exclude_target_rows=exclude)
+        return self.tree_encoder(batches, len(indices))
+
+    def context_for_roots(self, root_rows: np.ndarray) -> Optional[np.ndarray]:
+        """Inference-time contexts: full trees, no leave-one-out."""
+        batches = self.forest.batch_for_roots(np.asarray(root_rows, dtype=np.int64))
+        return self.tree_encoder(batches, len(root_rows)).numpy()

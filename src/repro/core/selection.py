@@ -1,0 +1,147 @@
+"""Model and path selection (paper §5).
+
+Three escalating strategies:
+
+* **Basic** — compare each candidate's held-out target loss with the loss of
+  the unconditional marginal.  No gap ⇒ the evidence carries no signal for
+  the target attributes ⇒ prune the model (Fig. 5b shows the test loss
+  tracks predictability).
+* **Advanced** — derive a second-level incomplete scenario from the
+  available data (re-applying the removal characteristics), train each
+  candidate there, and score how well it reconstructs the first-level data —
+  which we actually possess.  Rank candidates by that reconstruction score.
+* **Suspected bias** — the user suspects a direction ("average rent is
+  underestimated"): keep only candidates whose completion moves the
+  suspected aggregate in the right direction, then rank as before.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..relational import CompletionPath
+from .incompleteness_join import CompletedJoin, IncompletenessJoin
+from .models import _CompletionModelBase
+
+
+class BiasDirection(enum.Enum):
+    """The user's suspicion about the incomplete aggregate (§5)."""
+
+    UNDERESTIMATED = "under"   # completion should move the average up
+    OVERESTIMATED = "over"     # completion should move the average down
+
+
+@dataclass
+class SuspectedBias:
+    """User-provided hint: ``attribute``'s average is biased in ``direction``.
+
+    For categorical attributes, ``value`` names the category whose fraction
+    is suspected biased.
+    """
+
+    attribute: str
+    direction: BiasDirection
+    value: Optional[object] = None
+
+
+@dataclass
+class CandidateScore:
+    """Selection bookkeeping for one candidate completion model."""
+
+    model: _CompletionModelBase
+    target_loss: float
+    marginal_loss: float
+    derived_score: Optional[float] = None
+    direction_ok: Optional[bool] = None
+
+    @property
+    def signal(self) -> float:
+        """How much better than the marginal the model predicts the target."""
+        return self.marginal_loss - self.target_loss
+
+    @property
+    def path(self) -> CompletionPath:
+        return self.model.layout.path
+
+    def describe(self) -> str:
+        extra = ""
+        if self.derived_score is not None:
+            extra = f", derived={self.derived_score:.3f}"
+        return (
+            f"{self.model.kind}:{self.path} "
+            f"(loss={self.target_loss:.3f}, signal={self.signal:.3f}{extra})"
+        )
+
+
+def score_candidates(models: Sequence[_CompletionModelBase]) -> List[CandidateScore]:
+    """Wrap fitted models with their basic-selection statistics."""
+    return [
+        CandidateScore(
+            model=m,
+            target_loss=m.target_test_loss(),
+            marginal_loss=m.marginal_target_loss(),
+        )
+        for m in models
+    ]
+
+
+def basic_filter(
+    candidates: Sequence[CandidateScore],
+    min_signal: float = 0.0,
+) -> List[CandidateScore]:
+    """Drop models whose evidence provides no predictive signal (§5 basic).
+
+    If every candidate fails the bar, the single best one is kept — the
+    paper still answers the query, just with the least-bad model (and wide
+    confidence intervals, §6).
+    """
+    kept = [c for c in candidates if c.signal > min_signal]
+    if kept:
+        return sorted(kept, key=lambda c: -c.signal)
+    best = max(candidates, key=lambda c: c.signal)
+    return [best]
+
+
+def rank_by_derived_scenario(
+    candidates: Sequence[CandidateScore],
+    evaluate: Callable[[CandidateScore], float],
+) -> List[CandidateScore]:
+    """Advanced selection: rank by reconstruction quality on a derived
+    scenario.  ``evaluate`` returns a bias-reduction-style score (higher is
+    better); it is supplied by the engine, which owns the derived dataset
+    and retraining machinery."""
+    scored = []
+    for candidate in candidates:
+        candidate.derived_score = evaluate(candidate)
+        scored.append(candidate)
+    return sorted(scored, key=lambda c: -(c.derived_score or float("-inf")))
+
+
+def apply_suspected_bias(
+    candidates: Sequence[CandidateScore],
+    bias: SuspectedBias,
+    completed_aggregate: Callable[[CandidateScore], float],
+    incomplete_aggregate: float,
+) -> List[CandidateScore]:
+    """Keep candidates whose completion moves the aggregate as suspected.
+
+    ``completed_aggregate`` computes the suspected attribute's aggregate on
+    the candidate's completed data.  Candidates moving the aggregate the
+    wrong way are demoted (not dropped — if none move correctly the original
+    ranking survives, mirroring the paper's soft use of the hint).
+    """
+    annotated: List[CandidateScore] = []
+    for candidate in candidates:
+        value = completed_aggregate(candidate)
+        if bias.direction is BiasDirection.UNDERESTIMATED:
+            candidate.direction_ok = value > incomplete_aggregate
+        else:
+            candidate.direction_ok = value < incomplete_aggregate
+        annotated.append(candidate)
+    correct = [c for c in annotated if c.direction_ok]
+    wrong = [c for c in annotated if not c.direction_ok]
+    return correct + wrong

@@ -1,0 +1,14 @@
+"""Dataset generators: synthetic two-table, housing (Airbnb-like), movies (IMDB-like)."""
+
+from .synthetic import SyntheticConfig, generate_synthetic
+from .housing import HousingConfig, generate_housing
+from .movies import MoviesConfig, generate_movies
+
+__all__ = [
+    "SyntheticConfig",
+    "generate_synthetic",
+    "HousingConfig",
+    "generate_housing",
+    "MoviesConfig",
+    "generate_movies",
+]

@@ -1,0 +1,184 @@
+"""Synthetic housing database standing in for the paper's Airbnb dataset.
+
+The paper normalizes the public Airbnb listing dump into three relations
+(Fig. 4a): ``neighborhood`` (≈8K rows), ``apartment`` (≈500K) and
+``landlord`` (≈360K).  That dump is not available offline, so this module
+generates a statistically faithful substitute at a configurable scale
+(default ≈100× smaller so CPU-only training stays in seconds; see DESIGN.md
+§1 for the substitution argument).
+
+The correlation structure is what the completion setups H1–H5 (Fig. 4c)
+exercise, so it is engineered explicitly:
+
+* ``apartment.price`` strongly depends on the neighborhood (population
+  density, state wealth) and on ``room_type`` → H1 is *debiasable* from
+  neighborhood evidence.
+* ``apartment.room_type`` is only weakly linked to evidence tables → H2 is
+  intentionally hard (the paper reports low bias reduction there).
+* ``apartment.property_type`` depends on the state → H3 is moderate.
+* ``landlord.landlord_since`` correlates with the price tier of the
+  landlord's apartments → H4 recoverable through apartment evidence.
+* ``landlord.landlord_response_rate`` correlates with ``room_type`` and
+  ``landlord_response_time`` → H5 recoverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..relational import ColumnKind, Database, ForeignKey, Table
+
+K = ColumnKind.KEY
+C = ColumnKind.CATEGORICAL
+N = ColumnKind.CONTINUOUS
+
+STATES = ["NY", "CA", "TX", "FL", "WA", "IL", "CO", "GA"]
+ROOM_TYPES = ["Entire home/apt", "Private room", "Shared room"]
+PROPERTY_TYPES = ["Apartment", "House", "Condo"]
+
+# Per-state wealth multiplier: drives density, prices and property mix.
+_STATE_WEALTH = np.array([1.6, 1.5, 0.9, 1.0, 1.3, 1.1, 1.05, 0.85])
+# P(property_type | state tier): richer states skew to apartments/condos.
+_PROP_RICH = np.array([0.55, 0.15, 0.30])
+_PROP_POOR = np.array([0.25, 0.60, 0.15])
+
+
+@dataclass
+class HousingConfig:
+    """Scale and seed of the generated housing database."""
+
+    num_neighborhoods: int = 120
+    num_landlords: int = 700
+    apartments_per_neighborhood: float = 25.0
+    seed: int = 0
+
+
+def generate_housing(config: HousingConfig = HousingConfig()) -> Database:
+    """Generate the complete (ground-truth) housing database."""
+    rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------
+    # Neighborhoods: state + population density (log-normal around wealth).
+    # ------------------------------------------------------------------
+    n_n = config.num_neighborhoods
+    state_codes = rng.integers(0, len(STATES), size=n_n)
+    wealth = _STATE_WEALTH[state_codes]
+    pop_density = np.exp(rng.normal(np.log(2000.0 * wealth), 0.6))
+    neighborhood = Table(
+        "neighborhood",
+        {
+            "id": np.arange(n_n, dtype=np.int64),
+            "state": np.array(STATES, dtype=object)[state_codes],
+            "pop_density": pop_density.round(1),
+        },
+        {"id": K, "state": C, "pop_density": N},
+    )
+
+    # ------------------------------------------------------------------
+    # Landlords: tenure, response behaviour.  A hidden "professionalism"
+    # score ties the landlord attributes to the apartments they own.
+    # ------------------------------------------------------------------
+    n_l = config.num_landlords
+    professionalism = rng.beta(2.0, 2.0, size=n_l)  # 0 = casual, 1 = professional
+    landlord_since = (2008 + np.floor((1 - professionalism) * 12)
+                      + rng.integers(0, 2, size=n_l)).clip(2008, 2020)
+    response_time = np.where(
+        professionalism > 0.66, 1,
+        np.where(professionalism > 0.33, 2, 3),
+    ) + (rng.random(n_l) < 0.15).astype(int)
+    response_rate = (55 + 40 * professionalism + rng.normal(0, 6, n_l)).clip(10, 100)
+    landlord = Table(
+        "landlord",
+        {
+            "id": np.arange(n_l, dtype=np.int64),
+            "landlord_since": landlord_since.astype(float),
+            "landlord_response_time": response_time.astype(float),
+            "landlord_response_rate": response_rate.round(1),
+        },
+        {"id": K, "landlord_since": N, "landlord_response_time": N,
+         "landlord_response_rate": N},
+    )
+
+    # ------------------------------------------------------------------
+    # Apartments: fan-out grows with density; prices follow neighborhood
+    # wealth/density and room type; property type follows state tier.
+    # ------------------------------------------------------------------
+    density_norm = pop_density / pop_density.mean()
+    lam = config.apartments_per_neighborhood * (0.4 + 0.6 * density_norm)
+    fan_outs = rng.poisson(lam).clip(1, None)
+    apt_neighborhood = np.repeat(np.arange(n_n, dtype=np.int64), fan_outs)
+    n_a = len(apt_neighborhood)
+
+    apt_wealth = wealth[apt_neighborhood]
+    apt_density = density_norm[apt_neighborhood]
+
+    # Professional landlords list more apartments: sample owners weighted by
+    # professionalism so landlord attributes correlate with listing traits.
+    owner_weights = 0.3 + professionalism
+    owner_weights = owner_weights / owner_weights.sum()
+    apt_landlord = rng.choice(n_l, size=n_a, p=owner_weights).astype(np.int64)
+    owner_prof = professionalism[apt_landlord]
+
+    # Room type: professionals list entire homes; wealth mildly shifts it
+    # upward; otherwise noisy (this keeps H2 hard on purpose).
+    room_scores = np.stack(
+        [
+            0.8 + 1.2 * owner_prof + 0.2 * (apt_wealth - 1.0),
+            1.0 + rng.normal(0, 0.2, n_a),
+            0.45 - 0.3 * owner_prof,
+        ],
+        axis=1,
+    ) + rng.normal(0, 0.55, size=(n_a, 3))
+    room_codes = room_scores.argmax(axis=1)
+
+    prop_probs = np.where(
+        (apt_wealth > 1.15)[:, None], _PROP_RICH[None, :], _PROP_POOR[None, :]
+    )
+    prop_codes = _vectorized_choice(rng, prop_probs)
+
+    accommodates = np.clip(
+        rng.poisson(2.2 + 1.5 * (room_codes == 0)), 1, 8
+    ).astype(float)
+
+    room_premium = np.array([1.35, 0.85, 0.55])[room_codes]
+    price = (
+        60.0
+        * apt_wealth ** 1.6
+        * (0.6 + 0.8 * apt_density ** 0.5)
+        * room_premium
+        * (1.0 + 0.08 * accommodates)
+        * np.exp(rng.normal(0, 0.25, n_a))
+    )
+
+    apartment = Table(
+        "apartment",
+        {
+            "id": np.arange(n_a, dtype=np.int64),
+            "neighborhood_id": apt_neighborhood,
+            "landlord_id": apt_landlord,
+            "price": price.round(0),
+            "room_type": np.array(ROOM_TYPES, dtype=object)[room_codes],
+            "property_type": np.array(PROPERTY_TYPES, dtype=object)[prop_codes],
+            "accommodates": accommodates,
+        },
+        {"id": K, "neighborhood_id": K, "landlord_id": K, "price": N,
+         "room_type": C, "property_type": C, "accommodates": N},
+    )
+
+    return Database(
+        [neighborhood, apartment, landlord],
+        [
+            ForeignKey("apartment", "neighborhood_id", "neighborhood"),
+            ForeignKey("apartment", "landlord_id", "landlord"),
+        ],
+    )
+
+
+def _vectorized_choice(rng: np.random.Generator, probs: np.ndarray) -> np.ndarray:
+    """One categorical draw per row of a probability matrix."""
+    cdf = np.cumsum(probs, axis=1)
+    cdf[:, -1] = 1.0
+    draws = rng.random((len(probs), 1))
+    return (draws > cdf).sum(axis=1)

@@ -1,0 +1,217 @@
+"""Synthetic movie database standing in for the paper's IMDB dataset.
+
+The paper derives a seven-table schema from IMDB (Fig. 4b): ``movie``
+(with merged genre/rating attributes), ``actor``, ``director``, ``company``
+and the three m:n link tables ``movie_actor``, ``movie_director``,
+``movie_company``.  The IMDB dump is not available offline, so we generate a
+scaled-down substitute preserving the relational structure and the
+correlations the setups M1–M5 rely on:
+
+* ``movie.production_year`` correlates with the director generation
+  (``director.birth_year``) and with rating drift → M1/M4 recoverable.
+* ``movie.genre`` is largely idiosyncratic → M2 is intentionally hard.
+* ``movie.country`` strongly correlates with ``company.country_code``
+  (studios produce domestically) → M3/M5 recoverable through the
+  ``movie_company`` link.
+* the m:n links have heavy-tailed fan-outs, and removing a movie removes its
+  dangling link rows — exactly the paper's hardened removal protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..relational import ColumnKind, Database, ForeignKey, Table
+
+K = ColumnKind.KEY
+C = ColumnKind.CATEGORICAL
+N = ColumnKind.CONTINUOUS
+
+GENRES = ["Drama", "Comedy", "Action", "Documentary", "Horror", "Romance"]
+COUNTRIES = ["USA", "UK", "France", "Germany", "India", "Japan"]
+COUNTRY_CODES = ["[us]", "[gb]", "[fr]", "[de]", "[in]", "[jp]"]
+_COUNTRY_WEIGHTS = np.array([0.38, 0.16, 0.12, 0.10, 0.14, 0.10])
+
+
+@dataclass
+class MoviesConfig:
+    """Scale and seed of the generated movie database."""
+
+    num_movies: int = 1500
+    num_directors: int = 400
+    num_actors: int = 900
+    num_companies: int = 200
+    seed: int = 0
+
+
+def generate_movies(config: MoviesConfig = MoviesConfig()) -> Database:
+    """Generate the complete (ground-truth) movie database."""
+    rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------
+    # Directors: a "generation" latent ties birth year to the production
+    # years of their movies.
+    # ------------------------------------------------------------------
+    n_d = config.num_directors
+    generation = rng.random(n_d)  # 0 = old guard, 1 = newcomer
+    d_birth_year = (1920 + generation * 70 + rng.normal(0, 4, n_d)).round()
+    d_gender = np.where(rng.random(n_d) < 0.25 + 0.2 * generation, "f", "m")
+    d_country_codes = rng.choice(len(COUNTRIES), size=n_d, p=_COUNTRY_WEIGHTS)
+    director = Table(
+        "director",
+        {
+            "id": np.arange(n_d, dtype=np.int64),
+            "birth_year": d_birth_year,
+            "gender": d_gender.astype(object),
+            "birth_country": np.array(COUNTRIES, dtype=object)[d_country_codes],
+        },
+        {"id": K, "birth_year": N, "gender": C, "birth_country": C},
+    )
+
+    # ------------------------------------------------------------------
+    # Actors.
+    # ------------------------------------------------------------------
+    n_act = config.num_actors
+    act_gen = rng.random(n_act)
+    actor = Table(
+        "actor",
+        {
+            "id": np.arange(n_act, dtype=np.int64),
+            "birth_year": (1930 + act_gen * 65 + rng.normal(0, 5, n_act)).round(),
+            "gender": np.where(rng.random(n_act) < 0.45, "f", "m").astype(object),
+        },
+        {"id": K, "birth_year": N, "gender": C},
+    )
+
+    # ------------------------------------------------------------------
+    # Companies.
+    # ------------------------------------------------------------------
+    n_c = config.num_companies
+    c_country = rng.choice(len(COUNTRY_CODES), size=n_c, p=_COUNTRY_WEIGHTS)
+    company = Table(
+        "company",
+        {
+            "id": np.arange(n_c, dtype=np.int64),
+            "country_code": np.array(COUNTRY_CODES, dtype=object)[c_country],
+        },
+        {"id": K, "country_code": C},
+    )
+
+    # ------------------------------------------------------------------
+    # Movies: the production year follows the (future) director generation;
+    # we first assign each movie a latent "era" then link matching directors.
+    # ------------------------------------------------------------------
+    n_m = config.num_movies
+    era = rng.random(n_m)
+    production_year = (1955 + era * 65 + rng.normal(0, 4, n_m)).clip(1950, 2020).round()
+    # Country follows the lead company, assigned below; start from the prior.
+    m_country = rng.choice(len(COUNTRIES), size=n_m, p=_COUNTRY_WEIGHTS)
+    genre_scores = rng.normal(0, 1.0, size=(n_m, len(GENRES)))
+    genre_scores[:, 0] += 0.4 * era          # modern drama boom (weak signal)
+    genre_scores[:, 3] += 0.3 * (era > 0.7)  # documentaries are recent
+    genre = genre_scores.argmax(axis=1)
+    rating = (5.2 + 1.2 * (genre == 3) + 0.8 * era + rng.normal(0, 1.0, n_m)).clip(1, 10)
+
+    # ------------------------------------------------------------------
+    # movie_company links: one lead company per movie (domestic with high
+    # probability) plus occasional co-producers.
+    # ------------------------------------------------------------------
+    companies_by_country = [np.flatnonzero(c_country == i) for i in range(len(COUNTRY_CODES))]
+    lead_company = np.empty(n_m, dtype=np.int64)
+    for i in range(n_m):
+        domestic = rng.random() < 0.8
+        pool = companies_by_country[m_country[i]] if domestic else None
+        if pool is None or len(pool) == 0:
+            lead_company[i] = rng.integers(0, n_c)
+            m_country[i] = c_country[lead_company[i]]  # country follows studio
+        else:
+            lead_company[i] = rng.choice(pool)
+    extra_counts = rng.poisson(0.8, size=n_m)
+    mc_movie = np.concatenate([np.arange(n_m), np.repeat(np.arange(n_m), extra_counts)])
+    mc_company = np.concatenate([
+        lead_company,
+        rng.integers(0, n_c, size=int(extra_counts.sum())),
+    ]).astype(np.int64)
+
+    movie = Table(
+        "movie",
+        {
+            "id": np.arange(n_m, dtype=np.int64),
+            "production_year": production_year,
+            "genre": np.array(GENRES, dtype=object)[genre],
+            "country": np.array(COUNTRIES, dtype=object)[m_country],
+            "rating": rating.round(1),
+        },
+        {"id": K, "production_year": N, "genre": C, "country": C, "rating": N},
+    )
+
+    movie_company = Table(
+        "movie_company",
+        {
+            "id": np.arange(len(mc_movie), dtype=np.int64),
+            "movie_id": mc_movie.astype(np.int64),
+            "company_id": mc_company,
+        },
+        {"id": K, "movie_id": K, "company_id": K},
+    )
+
+    # ------------------------------------------------------------------
+    # movie_director links: directors work in their own era.
+    # ------------------------------------------------------------------
+    director_order = np.argsort(generation)
+    sorted_gen = generation[director_order]
+    md_movie: list = []
+    md_director: list = []
+    for i in range(n_m):
+        num_dirs = 1 + (rng.random() < 0.12)
+        center = np.searchsorted(sorted_gen, era[i])
+        for _ in range(num_dirs):
+            offset = int(rng.normal(0, max(2, n_d // 20)))
+            pos = int(np.clip(center + offset, 0, n_d - 1))
+            md_movie.append(i)
+            md_director.append(int(director_order[pos]))
+    movie_director = Table(
+        "movie_director",
+        {
+            "id": np.arange(len(md_movie), dtype=np.int64),
+            "movie_id": np.array(md_movie, dtype=np.int64),
+            "director_id": np.array(md_director, dtype=np.int64),
+        },
+        {"id": K, "movie_id": K, "director_id": K},
+    )
+
+    # ------------------------------------------------------------------
+    # movie_actor links: heavy-tailed cast sizes, era-matched actors.
+    # ------------------------------------------------------------------
+    actor_order = np.argsort(act_gen)
+    sorted_act_gen = act_gen[actor_order]
+    cast_sizes = np.clip(rng.poisson(4.0, size=n_m), 1, 12)
+    ma_movie = np.repeat(np.arange(n_m), cast_sizes)
+    centers = np.searchsorted(sorted_act_gen, era[ma_movie])
+    offsets = rng.normal(0, max(3, n_act // 15), size=len(ma_movie)).astype(int)
+    positions = np.clip(centers + offsets, 0, n_act - 1)
+    ma_actor = actor_order[positions]
+    movie_actor = Table(
+        "movie_actor",
+        {
+            "id": np.arange(len(ma_movie), dtype=np.int64),
+            "movie_id": ma_movie.astype(np.int64),
+            "actor_id": ma_actor.astype(np.int64),
+        },
+        {"id": K, "movie_id": K, "actor_id": K},
+    )
+
+    return Database(
+        [movie, director, actor, company, movie_director, movie_actor, movie_company],
+        [
+            ForeignKey("movie_director", "movie_id", "movie"),
+            ForeignKey("movie_director", "director_id", "director"),
+            ForeignKey("movie_actor", "movie_id", "movie"),
+            ForeignKey("movie_actor", "actor_id", "actor"),
+            ForeignKey("movie_company", "movie_id", "movie"),
+            ForeignKey("movie_company", "company_id", "company"),
+        ],
+    )

@@ -1,0 +1,104 @@
+"""The two-table synthetic dataset of Exp. 1 (paper §7.2).
+
+A complete table ``ta`` with a single categorical attribute ``a`` and an
+incomplete table ``tb`` with a single categorical attribute ``b`` connected
+by a foreign key.  Three generator knobs drive the figures:
+
+* **predictability** — probability that ``b`` equals the value functionally
+  determined by ``a`` (the rest is uniform noise).  Fig. 5a top row, Fig. 5b,
+  Fig. 6/13.
+* **skew** — Zipf factor of the distribution of ``a`` (0 = uniform).
+  Fig. 5a bottom row.
+* **fan-out predictability** — coherence of ``b`` *within* the group of
+  ``tb`` tuples sharing a parent: each group draws a hidden base value
+  (independent of ``a``) and members copy it with this probability.
+  Fig. 5c — only SSAR models can exploit it via self-evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..relational import ColumnKind, Database, ForeignKey, Table
+
+
+@dataclass
+class SyntheticConfig:
+    """Generator parameters for the Exp. 1 dataset."""
+
+    num_parents: int = 1000
+    domain_size: int = 8
+    predictability: float = 1.0
+    skew: float = 0.0
+    fan_out_mean: float = 3.0
+    fan_out_predictability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.predictability <= 1.0:
+            raise ValueError("predictability must be in [0, 1]")
+        if not 0.0 <= self.fan_out_predictability <= 1.0:
+            raise ValueError("fan_out_predictability must be in [0, 1]")
+        if self.skew < 0:
+            raise ValueError("skew must be >= 0")
+        if self.domain_size < 2:
+            raise ValueError("domain_size must be >= 2")
+
+
+def _zipf_weights(domain: int, skew: float) -> np.ndarray:
+    if skew == 0.0:
+        return np.full(domain, 1.0 / domain)
+    ranks = np.arange(1, domain + 1, dtype=float)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+def generate_synthetic(config: SyntheticConfig) -> Database:
+    """Build the complete two-table database for one Exp. 1 configuration."""
+    rng = np.random.default_rng(config.seed)
+    domain = np.array([f"v{i}" for i in range(config.domain_size)], dtype=object)
+
+    a_codes = rng.choice(
+        config.domain_size, size=config.num_parents,
+        p=_zipf_weights(config.domain_size, config.skew),
+    )
+    fan_outs = rng.poisson(config.fan_out_mean, size=config.num_parents)
+
+    parent_ids = np.arange(config.num_parents, dtype=np.int64)
+    ta = Table(
+        "ta",
+        {"id": parent_ids, "a": domain[a_codes]},
+        {"id": ColumnKind.KEY, "a": ColumnKind.CATEGORICAL},
+    )
+
+    # Hidden per-parent base value: independent of ``a`` so that only the
+    # sibling structure (fan-out predictability) reveals it.
+    group_base = rng.integers(0, config.domain_size, size=config.num_parents)
+
+    child_parent = np.repeat(parent_ids, fan_outs)
+    num_children = len(child_parent)
+    child_a = a_codes[child_parent]
+
+    # b starts as uniform noise, is overridden by f(a) = a with probability
+    # ``predictability``, and then by the group base value with probability
+    # ``fan_out_predictability`` (the group signal dominates when present,
+    # matching the Fig. 5c setup where AR models cannot see it).
+    b_codes = rng.integers(0, config.domain_size, size=num_children)
+    from_a = rng.random(num_children) < config.predictability
+    b_codes[from_a] = child_a[from_a]
+    from_group = rng.random(num_children) < config.fan_out_predictability
+    b_codes[from_group] = group_base[child_parent[from_group]]
+
+    tb = Table(
+        "tb",
+        {
+            "id": np.arange(num_children, dtype=np.int64),
+            "ta_id": child_parent,
+            "b": domain[b_codes],
+        },
+        {"id": ColumnKind.KEY, "ta_id": ColumnKind.KEY, "b": ColumnKind.CATEGORICAL},
+    )
+
+    return Database([ta, tb], [ForeignKey("tb", "ta_id", "ta")])

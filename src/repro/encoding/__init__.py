@@ -1,0 +1,11 @@
+"""Column discretization codecs for the completion models."""
+
+from .codecs import CategoricalCodec, ContinuousCodec, TupleFactorCodec
+from .table_encoder import TableEncoder
+
+__all__ = [
+    "CategoricalCodec",
+    "ContinuousCodec",
+    "TupleFactorCodec",
+    "TableEncoder",
+]

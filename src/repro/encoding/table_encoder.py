@@ -1,0 +1,79 @@
+"""Fit per-column codecs for a table and encode/decode row batches."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..relational import ColumnKind, Table
+from .codecs import CategoricalCodec, ContinuousCodec
+
+Codec = Union[CategoricalCodec, ContinuousCodec]
+
+
+class TableEncoder:
+    """Codecs for the modelable (non-key) columns of one table.
+
+    The encoder is fitted once per table on the available data and reused by
+    every completion model that touches the table, so all models share one
+    consistent code space (a prerequisite for model merging).
+    """
+
+    def __init__(self, table: Table, num_bins: int = 32):
+        self.table_name = table.name
+        self.columns: List[str] = table.modelable_columns()
+        self._codecs: Dict[str, Codec] = {}
+        for column in self.columns:
+            kind = table.meta(column).kind
+            if kind is ColumnKind.CATEGORICAL:
+                codec: Codec = CategoricalCodec().fit(table[column])
+            else:
+                codec = ContinuousCodec(num_bins).fit(table[column])
+            self._codecs[column] = codec
+
+    def codec(self, column: str) -> Codec:
+        if column not in self._codecs:
+            raise KeyError(f"{self.table_name} has no encoded column {column!r}")
+        return self._codecs[column]
+
+    def vocab_sizes(self) -> List[int]:
+        return [self._codecs[c].vocab_size for c in self.columns]
+
+    def encode_table(self, table: Table) -> np.ndarray:
+        """Encode the modelable columns of ``table`` to ``(rows, cols)`` codes."""
+        if not self.columns:
+            return np.zeros((table.num_rows, 0), dtype=np.int64)
+        return self.encode_columns({c: table[c] for c in self.columns})
+
+    def encode_columns(self, columns: Dict[str, Sequence]) -> np.ndarray:
+        """Encode a column dict (e.g. a slice of a join result)."""
+        if not self.columns:
+            return np.zeros((self._infer_len(columns), 0), dtype=np.int64)
+        encoded = [self._codecs[c].encode(columns[c]) for c in self.columns]
+        return np.stack(encoded, axis=1)
+
+    def decode_codes(
+        self,
+        codes: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Decode a ``(rows, cols)`` code matrix back to raw column values."""
+        if codes.ndim != 2 or codes.shape[1] != len(self.columns):
+            raise ValueError(
+                f"expected (rows, {len(self.columns)}) codes for {self.table_name}"
+            )
+        out: Dict[str, np.ndarray] = {}
+        for i, column in enumerate(self.columns):
+            codec = self._codecs[column]
+            if isinstance(codec, ContinuousCodec):
+                out[column] = codec.decode(codes[:, i], rng=rng)
+            else:
+                out[column] = codec.decode(codes[:, i], rng=rng)
+        return out
+
+    @staticmethod
+    def _infer_len(columns: Dict[str, Sequence]) -> int:
+        for values in columns.values():
+            return len(values)
+        return 0

@@ -1,0 +1,71 @@
+"""Experiment runners: one per paper table/figure (see DESIGN.md §3)."""
+
+from .common import (
+    ExperimentConfig,
+    SetupEvaluation,
+    biased_value_of,
+    evaluate_candidates,
+    full_grid,
+    run_setup_cell,
+)
+from .exp1_synthetic import (
+    SyntheticCell,
+    fig5a_predictability,
+    fig5a_skew,
+    fig5b_training_loss,
+    fig5c_fan_out,
+)
+from .exp2_real import Fig7Row, print_fig7, run_fig7, summarize_fig7
+from .exp3_queries import Fig8Row, print_fig8, run_fig8, summarize_fig8
+from .exp4_perf import (
+    Fig10Row,
+    TimingRow,
+    fig9_ar_vs_ssar,
+    print_fig9,
+    print_fig10,
+    print_timings,
+    run_fig10,
+    run_timings,
+)
+from .confidence_figures import (
+    ConfidenceCell,
+    print_confidence,
+    run_fig6,
+    run_fig13,
+    run_fig14,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "SetupEvaluation",
+    "full_grid",
+    "run_setup_cell",
+    "evaluate_candidates",
+    "biased_value_of",
+    "SyntheticCell",
+    "fig5a_predictability",
+    "fig5a_skew",
+    "fig5b_training_loss",
+    "fig5c_fan_out",
+    "Fig7Row",
+    "run_fig7",
+    "summarize_fig7",
+    "print_fig7",
+    "Fig8Row",
+    "run_fig8",
+    "summarize_fig8",
+    "print_fig8",
+    "fig9_ar_vs_ssar",
+    "print_fig9",
+    "Fig10Row",
+    "run_fig10",
+    "print_fig10",
+    "TimingRow",
+    "run_timings",
+    "print_timings",
+    "ConfidenceCell",
+    "run_fig6",
+    "run_fig13",
+    "run_fig14",
+    "print_confidence",
+]

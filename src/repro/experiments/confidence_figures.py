@@ -1,0 +1,184 @@
+"""Confidence-interval experiments (Fig. 6, Fig. 13, Fig. 14).
+
+Fig. 6/13 (synthetic): the 95% band for the count-fraction of the
+most-deviating attribute value must contain the true fraction, tighten as
+predictability and keep rate grow, and stay inside the theoretical min/max.
+Fig. 14 (real data): the same construction on the categorical setups of the
+housing and movies datasets, swept over the removal correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import (
+    ARCompletionModel,
+    ConfidenceEstimator,
+    IncompletenessJoin,
+    ModelConfig,
+    PathLayout,
+    build_encoders,
+)
+from ..datasets import SyntheticConfig, generate_synthetic
+from ..incomplete import RemovalSpec, make_incomplete
+from ..metrics import categorical_fraction
+from ..nn import TrainConfig
+from ..relational import ColumnKind, CompletionPath
+from ..workloads import ALL_SETUPS, base_database
+from .common import ExperimentConfig, biased_value_of, full_grid, run_setup_cell
+
+
+@dataclass
+class ConfidenceCell:
+    """One panel point of Fig. 6/13/14."""
+
+    predictability: float
+    keep_rate: float
+    removal_correlation: float
+    true_fraction: float
+    estimate: float
+    lower: float
+    upper: float
+    theoretical_min: float
+    theoretical_max: float
+
+    @property
+    def covered(self) -> bool:
+        return self.lower - 1e-9 <= self.true_fraction <= self.upper + 1e-9
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def _synthetic_confidence_cell(
+    predictability: float,
+    keep_rate: float,
+    removal_correlation: float,
+    experiment: ExperimentConfig,
+) -> ConfidenceCell:
+    db = generate_synthetic(SyntheticConfig(
+        num_parents=1000, predictability=predictability, seed=experiment.seed,
+    ))
+    dataset = make_incomplete(
+        db, [RemovalSpec("tb", "b", keep_rate, removal_correlation)],
+        tf_keep_rate=0.5, seed=experiment.seed,
+    )
+    encoders = build_encoders(dataset.incomplete, num_bins=16)
+    layout = PathLayout(dataset.incomplete, dataset.annotation,
+                        CompletionPath(("ta", "tb")), encoders)
+    model = ARCompletionModel(layout, ModelConfig(
+        hidden=experiment.hidden, seed=experiment.seed,
+        train=TrainConfig(epochs=experiment.epochs, batch_size=256, lr=5e-3,
+                          patience=4, seed=experiment.seed),
+    ))
+    model.fit()
+    completed = IncompletenessJoin(model, seed=experiment.seed).run()
+
+    # The paper picks the attribute value with the highest deviation between
+    # incomplete and complete data — the hardest case for the bounds.
+    value = _most_deviating_value(db.table("tb")["b"],
+                                  dataset.incomplete.table("tb")["b"])
+    true_fraction = categorical_fraction(db.table("tb")["b"], value)
+    band = ConfidenceEstimator(model, completed).count_fraction("b", value)
+    return ConfidenceCell(
+        predictability=predictability,
+        keep_rate=keep_rate,
+        removal_correlation=removal_correlation,
+        true_fraction=true_fraction,
+        estimate=band.estimate,
+        lower=band.lower, upper=band.upper,
+        theoretical_min=band.theoretical_min,
+        theoretical_max=band.theoretical_max,
+    )
+
+
+def _most_deviating_value(true_values: np.ndarray, incomplete_values: np.ndarray):
+    uniques = np.unique(true_values)
+    deviations = []
+    for value in uniques:
+        t = float(np.mean(true_values == value))
+        i = float(np.mean(incomplete_values == value))
+        deviations.append(abs(t - i))
+    return uniques[int(np.argmax(deviations))]
+
+
+def run_fig6(experiment: Optional[ExperimentConfig] = None) -> List[ConfidenceCell]:
+    """Fig. 6: removal correlation fixed at 40%, predictability × keep rate."""
+    experiment = experiment or ExperimentConfig.default()
+    predictabilities = ((0.25, 0.5, 0.75, 1.0) if full_grid() else (0.25, 0.75))
+    cells = []
+    for keep in experiment.keep_rates:
+        for predictability in predictabilities:
+            cells.append(_synthetic_confidence_cell(
+                predictability, keep, 0.4, experiment
+            ))
+    return cells
+
+
+def run_fig13(experiment: Optional[ExperimentConfig] = None) -> List[ConfidenceCell]:
+    """Fig. 13 (appendix): the full removal-correlation × keep-rate grid."""
+    experiment = experiment or ExperimentConfig.default()
+    predictabilities = ((0.2, 0.6, 1.0) if full_grid() else (0.3, 0.9))
+    cells = []
+    for corr in experiment.removal_correlations:
+        for keep in experiment.keep_rates:
+            for predictability in predictabilities:
+                cells.append(_synthetic_confidence_cell(
+                    predictability, keep, corr, experiment
+                ))
+    return cells
+
+
+def run_fig14(
+    setups: Optional[Sequence[str]] = None,
+    experiment: Optional[ExperimentConfig] = None,
+) -> List[Tuple[str, ConfidenceCell]]:
+    """Fig. 14: confidence bands on the categorical real-data setups."""
+    experiment = experiment or ExperimentConfig.default()
+    names = list(setups) if setups is not None else ["H2", "H3", "M3", "M5"]
+    out: List[Tuple[str, ConfidenceCell]] = []
+    for name in names:
+        setup = ALL_SETUPS[name]
+        target = setup.incomplete_table
+        attribute = setup.biased_attribute
+        for keep in experiment.keep_rates:
+            for corr in experiment.removal_correlations:
+                engine, dataset = run_setup_cell(setup, keep, corr, experiment)
+                choice = engine.select_model(target)
+                completed = engine.completed_join(choice.model)
+                value = _most_deviating_value(
+                    dataset.complete.table(target)[attribute],
+                    dataset.incomplete.table(target)[attribute],
+                )
+                true_fraction = categorical_fraction(
+                    dataset.complete.table(target)[attribute], value
+                )
+                band = ConfidenceEstimator(choice.model, completed).count_fraction(
+                    attribute, value
+                )
+                out.append((name, ConfidenceCell(
+                    predictability=float("nan"),
+                    keep_rate=keep, removal_correlation=corr,
+                    true_fraction=true_fraction,
+                    estimate=band.estimate,
+                    lower=band.lower, upper=band.upper,
+                    theoretical_min=band.theoretical_min or float("nan"),
+                    theoretical_max=band.theoretical_max or float("nan"),
+                )))
+    return out
+
+
+def print_confidence(cells: Sequence[ConfidenceCell], label: str) -> None:
+    covered = sum(c.covered for c in cells)
+    print(f"{label}: {covered}/{len(cells)} cells cover the true fraction")
+    print(f"{'pred':>5s} {'keep':>5s} {'corr':>5s} {'true':>6s} "
+          f"{'band':>17s} {'theoretical':>17s}")
+    for cell in cells:
+        pred = f"{cell.predictability:.2f}" if not np.isnan(cell.predictability) else "  - "
+        print(f"{pred:>5s} {cell.keep_rate:5.0%} {cell.removal_correlation:5.0%} "
+              f"{cell.true_fraction:6.1%} [{cell.lower:6.1%}, {cell.upper:6.1%}] "
+              f"[{cell.theoretical_min:6.1%}, {cell.theoretical_max:6.1%}]")

@@ -1,0 +1,105 @@
+"""Exp. 3 — end-to-end query processing (Table 1 + Fig. 8).
+
+For every Table 1 query, build the incomplete dataset of its setup, answer
+the query on (a) the incomplete data directly and (b) the ReStore-completed
+data, and report the improvement of the average relative error (Eq. 1)
+against the ground truth — the y-axis of Fig. 8.
+
+Engines are shared across the queries of one (setup, cell): completed joins
+are cached (§4.5), so e.g. housing Q1 and Q6 under H1 reuse one completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics import relative_error, relative_error_improvement
+from ..query import Query, execute
+from ..workloads import ALL_SETUPS, base_database, queries_for
+from .common import ExperimentConfig, run_setup_cell
+
+
+@dataclass
+class Fig8Row:
+    """Relative-error improvement of one query under one sweep cell."""
+
+    dataset: str
+    query: str
+    setup: str
+    keep_rate: float
+    removal_correlation: float
+    error_incomplete: float
+    error_completed: float
+
+    @property
+    def improvement(self) -> float:
+        return self.error_incomplete - self.error_completed
+
+
+def run_fig8(
+    dataset: str,
+    queries: Optional[Sequence[str]] = None,
+    experiment: Optional[ExperimentConfig] = None,
+) -> List[Fig8Row]:
+    """Fig. 8 rows for one dataset ("housing" or "movies")."""
+    experiment = experiment or ExperimentConfig.default()
+    workload = queries_for(dataset)
+    names = list(queries) if queries is not None else list(workload)
+
+    # Group queries by their setup so each (setup, cell) trains one engine.
+    by_setup: Dict[str, List[Tuple[str, Query]]] = {}
+    for name in names:
+        setup_name, query = workload[name]
+        by_setup.setdefault(setup_name, []).append((name, query))
+
+    db = base_database(dataset, seed=experiment.seed, scale=experiment.scale)
+    rows: List[Fig8Row] = []
+    for setup_name, members in by_setup.items():
+        setup = ALL_SETUPS[setup_name]
+        for keep in experiment.keep_rates:
+            for corr in experiment.removal_correlations:
+                engine, incomplete = run_setup_cell(
+                    setup, keep, corr, experiment, db=db
+                )
+                for query_name, query in members:
+                    truth = execute(db, query)
+                    on_incomplete = execute(incomplete.incomplete, query)
+                    answer = engine.answer(query)
+                    rows.append(Fig8Row(
+                        dataset=dataset,
+                        query=query_name,
+                        setup=setup_name,
+                        keep_rate=keep,
+                        removal_correlation=corr,
+                        error_incomplete=relative_error(on_incomplete, truth),
+                        error_completed=relative_error(answer.result, truth),
+                    ))
+    return rows
+
+
+def summarize_fig8(rows: Sequence[Fig8Row]) -> Dict[str, float]:
+    """Mean relative-error improvement per query."""
+    out: Dict[str, float] = {}
+    for query in sorted({r.query for r in rows}, key=lambda q: int(q[1:])):
+        mine = [r.improvement for r in rows if r.query == query]
+        out[query] = float(np.mean(mine))
+    return out
+
+
+def print_fig8(rows: Sequence[Fig8Row]) -> None:
+    """Paper-style per-query summary."""
+    if not rows:
+        return
+    dataset = rows[0].dataset
+    print(f"{dataset}: relative error improvement (Eq. 1, higher is better)")
+    print(f"{'query':6s} {'setup':6s} {'err(incomplete)':>16s} "
+          f"{'err(completed)':>15s} {'improvement':>12s}")
+    for query in sorted({r.query for r in rows}, key=lambda q: int(q[1:])):
+        mine = [r for r in rows if r.query == query]
+        inc = float(np.mean([r.error_incomplete for r in mine]))
+        comp = float(np.mean([r.error_completed for r in mine]))
+        print(f"{query:6s} {mine[0].setup:6s} {inc:16.3f} {comp:15.3f} "
+              f"{inc - comp:12.3f}")

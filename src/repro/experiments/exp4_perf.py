@@ -1,0 +1,226 @@
+"""Exp. 4 — accuracy and performance aspects (Fig. 9, 10, 11, 12).
+
+* **Fig. 9** — distribution of bias reductions for AR vs SSAR models across
+  all setups: neither dominates, motivating model selection.
+* **Fig. 10** — bias reduction of (a) every model, (b) the basic-selection
+  pick, (c) the pick with the suspected-bias hint.
+* **Fig. 11** — training time per model (AR vs SSAR, per dataset).
+* **Fig. 12** — completion time per path, with and without nearest-
+  neighbour replacement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import (
+    BiasDirection,
+    IncompletenessJoin,
+    SuspectedBias,
+)
+from ..relational import ColumnKind
+from ..workloads import ALL_SETUPS, base_database
+from .common import (
+    ExperimentConfig,
+    SetupEvaluation,
+    biased_value_of,
+    evaluate_candidates,
+    run_setup_cell,
+)
+from .exp2_real import Fig7Row, run_fig7
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — AR vs SSAR distributions
+# ----------------------------------------------------------------------
+
+def fig9_ar_vs_ssar(rows: Sequence[Fig7Row]) -> Dict[str, Dict[str, List[float]]]:
+    """Bias-reduction samples per setup, split by model kind.
+
+    Accepts the Fig. 7 rows (which retain per-candidate evaluations) so the
+    sweep is not recomputed.
+    """
+    out: Dict[str, Dict[str, List[float]]] = {}
+    for row in rows:
+        per_kind = out.setdefault(row.setup, {"ar": [], "ssar": []})
+        for evaluation in row.candidates:
+            if not np.isnan(evaluation.bias_reduction):
+                per_kind.setdefault(evaluation.model_kind, []).append(
+                    evaluation.bias_reduction
+                )
+    return out
+
+
+def print_fig9(distributions: Dict[str, Dict[str, List[float]]]) -> None:
+    print(f"{'setup':6s} {'AR mean':>9s} {'SSAR mean':>10s} {'winner':>7s}")
+    for setup, kinds in sorted(distributions.items()):
+        ar = float(np.mean(kinds["ar"])) if kinds.get("ar") else float("nan")
+        ssar = float(np.mean(kinds["ssar"])) if kinds.get("ssar") else float("nan")
+        winner = "-"
+        if not (np.isnan(ar) or np.isnan(ssar)):
+            winner = "AR" if ar > ssar else "SSAR"
+        print(f"{setup:6s} {ar:9.1%} {ssar:10.1%} {winner:>7s}")
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — model-selection quality
+# ----------------------------------------------------------------------
+
+@dataclass
+class Fig10Row:
+    setup: str
+    keep_rate: float
+    removal_correlation: float
+    all_models: List[float]
+    selected: float
+    selected_with_hint: float
+    best_possible: float
+
+
+def run_fig10(
+    setups: Optional[Sequence[str]] = None,
+    experiment: Optional[ExperimentConfig] = None,
+) -> List[Fig10Row]:
+    """Compare all models vs basic selection vs selection with the hint."""
+    experiment = experiment or ExperimentConfig.default()
+    names = list(setups) if setups is not None else list(ALL_SETUPS)
+    rows: List[Fig10Row] = []
+    db_cache: Dict[str, object] = {}
+    for name in names:
+        setup = ALL_SETUPS[name]
+        if setup.dataset not in db_cache:
+            db_cache[setup.dataset] = base_database(
+                setup.dataset, seed=experiment.seed, scale=experiment.scale
+            )
+        db = db_cache[setup.dataset]
+        for keep in experiment.keep_rates:
+            for corr in experiment.removal_correlations:
+                engine, dataset = run_setup_cell(setup, keep, corr, experiment,
+                                                 db=db)
+                evaluations = evaluate_candidates(engine, dataset, setup, keep, corr)
+                by_key = {
+                    (e.model_kind, e.path): e.bias_reduction for e in evaluations
+                }
+
+                target = setup.incomplete_table
+                chosen = engine.select_model(target)
+                selected = by_key.get(
+                    (chosen.model.kind, str(chosen.path)), float("nan")
+                )
+
+                hint = _suspected_bias_for(dataset, setup)
+                chosen_hint = engine.select_model(target, suspected_bias=hint)
+                selected_hint = by_key.get(
+                    (chosen_hint.model.kind, str(chosen_hint.path)), float("nan")
+                )
+
+                valid = [v for v in by_key.values() if not np.isnan(v)]
+                rows.append(Fig10Row(
+                    setup=name, keep_rate=keep, removal_correlation=corr,
+                    all_models=valid,
+                    selected=selected,
+                    selected_with_hint=selected_hint,
+                    best_possible=max(valid) if valid else float("nan"),
+                ))
+    return rows
+
+
+def _suspected_bias_for(dataset, setup) -> SuspectedBias:
+    """The oracle-ish hint a practitioner would provide: the direction the
+    incomplete aggregate deviates from the (suspected) truth."""
+    target = setup.incomplete_table
+    attribute = setup.biased_attribute
+    complete = dataset.complete.table(target)
+    incomplete = dataset.incomplete.table(target)
+    if complete.meta(attribute).kind is ColumnKind.CATEGORICAL:
+        value = biased_value_of(dataset.complete, target, attribute)
+        true_stat = float(np.mean(complete[attribute] == value))
+        inc_stat = float(np.mean(incomplete[attribute] == value))
+        direction = (BiasDirection.UNDERESTIMATED if inc_stat < true_stat
+                     else BiasDirection.OVERESTIMATED)
+        return SuspectedBias(attribute, direction, value=value)
+    true_stat = float(np.mean(complete[attribute].astype(float)))
+    inc_stat = float(np.mean(incomplete[attribute].astype(float)))
+    direction = (BiasDirection.UNDERESTIMATED if inc_stat < true_stat
+                 else BiasDirection.OVERESTIMATED)
+    return SuspectedBias(attribute, direction)
+
+
+def print_fig10(rows: Sequence[Fig10Row]) -> None:
+    print(f"{'setup':6s} {'mean(all)':>10s} {'selected':>9s} "
+          f"{'w/ hint':>9s} {'best':>9s}")
+    for setup in sorted({r.setup for r in rows}):
+        mine = [r for r in rows if r.setup == setup]
+        all_vals = [v for r in mine for v in r.all_models]
+        sel = [r.selected for r in mine if not np.isnan(r.selected)]
+        hint = [r.selected_with_hint for r in mine
+                if not np.isnan(r.selected_with_hint)]
+        best = [r.best_possible for r in mine if not np.isnan(r.best_possible)]
+        print(f"{setup:6s} {np.mean(all_vals):10.1%} {np.mean(sel):9.1%} "
+              f"{np.mean(hint):9.1%} {np.mean(best):9.1%}")
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 / Fig. 12 — training and completion time
+# ----------------------------------------------------------------------
+
+@dataclass
+class TimingRow:
+    dataset: str
+    setup: str
+    model_kind: str
+    path: str
+    train_seconds: float
+    completion_seconds: float
+    completion_with_replacement_seconds: float
+
+
+def run_timings(
+    setups: Optional[Sequence[str]] = None,
+    experiment: Optional[ExperimentConfig] = None,
+) -> List[TimingRow]:
+    """Fig. 11 (training time) and Fig. 12 (completion time ± replacement)."""
+    experiment = experiment or ExperimentConfig.default()
+    names = list(setups) if setups is not None else ["H1", "H4", "M1", "M5"]
+    rows: List[TimingRow] = []
+    for name in names:
+        setup = ALL_SETUPS[name]
+        keep = experiment.keep_rates[0]
+        corr = experiment.removal_correlations[0]
+        engine, dataset = run_setup_cell(setup, keep, corr, experiment)
+        for candidate in engine.candidates(setup.incomplete_table):
+            model = candidate.model
+            train_time = (model.train_result.wall_time_s
+                          if model.train_result else float("nan"))
+
+            start = time.perf_counter()
+            IncompletenessJoin(model, replace_synthesized=False,
+                               seed=experiment.seed).run()
+            plain = time.perf_counter() - start
+
+            start = time.perf_counter()
+            IncompletenessJoin(model, replace_synthesized=True,
+                               seed=experiment.seed).run()
+            with_replacement = time.perf_counter() - start
+
+            rows.append(TimingRow(
+                dataset=setup.dataset, setup=name, model_kind=model.kind,
+                path=str(model.layout.path),
+                train_seconds=train_time,
+                completion_seconds=plain,
+                completion_with_replacement_seconds=with_replacement,
+            ))
+    return rows
+
+
+def print_timings(rows: Sequence[TimingRow]) -> None:
+    print(f"{'setup':6s} {'kind':5s} {'train s':>8s} {'complete s':>11s} "
+          f"{'(+NN repl) s':>13s}  path")
+    for row in rows:
+        print(f"{row.setup:6s} {row.model_kind:5s} {row.train_seconds:8.2f} "
+              f"{row.completion_seconds:11.3f} "
+              f"{row.completion_with_replacement_seconds:13.3f}  {row.path}")

@@ -1,0 +1,12 @@
+"""Incompleteness injection: biased removal, TF masking, derived scenarios."""
+
+from .removal import IncompleteDataset, RemovalSpec, make_incomplete, removal_mask
+from .scenarios import derive_selection_scenario
+
+__all__ = [
+    "RemovalSpec",
+    "IncompleteDataset",
+    "make_incomplete",
+    "removal_mask",
+    "derive_selection_scenario",
+]

@@ -1,0 +1,51 @@
+"""Derived incompleteness scenarios for advanced model/path selection.
+
+Paper §5 ("Advanced Selection"): to rank candidate completion models without
+access to the true complete database, ReStore *re-removes* tuples from the
+already-incomplete dataset using the same removal characteristics, treating
+the incomplete dataset as ground truth.  Models that reconstruct the
+first-level incomplete data well are assumed to also reconstruct the actual
+missing data well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..relational import Database
+from .removal import IncompleteDataset, RemovalSpec, make_incomplete
+
+
+def derive_selection_scenario(
+    dataset: IncompleteDataset,
+    tf_keep_rate: float = 1.0,
+    seed: int = 0,
+) -> IncompleteDataset:
+    """Second-level removal: the incomplete database becomes "ground truth".
+
+    Every removal spec of the original dataset is re-applied (same biased
+    attribute, keep rate and correlation) to the incomplete data.  The
+    returned :class:`IncompleteDataset` has ``complete`` set to the original
+    *incomplete* database, so all quality metrics evaluate reconstruction of
+    data we actually possess.
+    """
+    respecs = []
+    for spec in dataset.specs:
+        respecs.append(
+            RemovalSpec(
+                table=spec.table,
+                biased_attribute=spec.biased_attribute,
+                keep_rate=spec.keep_rate,
+                removal_correlation=spec.removal_correlation,
+                biased_value=spec.biased_value,
+            )
+        )
+    return make_incomplete(
+        dataset.incomplete,
+        respecs,
+        tf_keep_rate=tf_keep_rate,
+        drop_dangling_links=True,
+        seed=seed + 104729,  # decorrelate from the first-level removal
+    )

@@ -1,0 +1,19 @@
+"""Paper evaluation metrics (Eq. 1, Eq. 2, cardinality correction)."""
+
+from .errors import (
+    bias_reduction,
+    cardinality_correction,
+    categorical_fraction,
+    relative_error,
+    relative_error_improvement,
+    weighted_average,
+)
+
+__all__ = [
+    "relative_error",
+    "relative_error_improvement",
+    "bias_reduction",
+    "cardinality_correction",
+    "categorical_fraction",
+    "weighted_average",
+]

@@ -1,0 +1,98 @@
+"""Evaluation metrics of the paper (§2.1, §7).
+
+* **relative error** — |estimate - truth| / |truth|; for group-by queries
+  the average over all result tuples (following DeepDB [17]).
+* **relative error reduction / improvement** (Eq. 1) — error on the
+  incomplete database minus error on the completed database.
+* **bias reduction** (Eq. 2) — how much of the aggregate bias the completion
+  removes, in [-inf, 1] (1 = fully debiased); for categorical attributes the
+  fraction of the biased value replaces the average.
+* **cardinality correction** (§7.3) — same construction on table sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..query import QueryResult
+
+
+def relative_error(estimate: QueryResult, truth: QueryResult) -> float:
+    """Average relative error over the truth's result tuples.
+
+    Groups absent from the estimate contribute an error of 1 (the result
+    tuple is effectively missing); division guards against zero truths.
+    """
+    if not truth.values:
+        return 0.0 if not estimate.values else 1.0
+    errors = []
+    for group, true_value in truth.values.items():
+        if group not in estimate.values:
+            errors.append(1.0)
+            continue
+        est = estimate.values[group]
+        denom = abs(true_value)
+        if denom < 1e-12:
+            errors.append(0.0 if abs(est) < 1e-12 else 1.0)
+        else:
+            errors.append(abs(est - true_value) / denom)
+    return float(np.mean(errors))
+
+
+def relative_error_improvement(
+    incomplete: QueryResult, completed: QueryResult, truth: QueryResult
+) -> float:
+    """Eq. 1: error(incomplete) - error(completed); positive = completion
+    helped.  This is the y-axis of Fig. 8."""
+    return relative_error(incomplete, truth) - relative_error(completed, truth)
+
+
+def bias_reduction(
+    true_value: float, incomplete_value: float, completed_value: float
+) -> float:
+    """Eq. 2 on aggregate statistics (averages or categorical fractions).
+
+    1 means the completion fully restored the statistic; 0 means no
+    improvement; negative means the completion made it worse.  When the
+    incomplete data shows (almost) no bias the metric is undefined — we
+    return NaN and experiment runners skip those cells (matching the
+    paper's practice of varying the removal correlation away from 0).
+    """
+    denom = abs(true_value - incomplete_value)
+    if denom < 1e-12:
+        return float("nan")
+    return 1.0 - abs(completed_value - true_value) / denom
+
+
+def cardinality_correction(
+    true_count: float, incomplete_count: float, completed_count: float
+) -> float:
+    """§7.3: 1 - |completed - true| / |incomplete - true|."""
+    return bias_reduction(true_count, incomplete_count, completed_count)
+
+
+def categorical_fraction(values: np.ndarray, value, weights: Optional[np.ndarray] = None) -> float:
+    """Weighted fraction of rows equal to ``value`` (the categorical
+    counterpart of an average in Eq. 2)."""
+    hits = (np.asarray(values) == value).astype(float)
+    if weights is None:
+        return float(hits.mean()) if len(hits) else float("nan")
+    w = np.asarray(weights, dtype=float)
+    total = w.sum()
+    if total <= 0:
+        return float("nan")
+    return float((hits * w).sum() / total)
+
+
+def weighted_average(values: np.ndarray, weights: Optional[np.ndarray] = None) -> float:
+    """Weighted mean of a numeric column."""
+    arr = np.asarray(values, dtype=float)
+    if weights is None:
+        return float(arr.mean()) if len(arr) else float("nan")
+    w = np.asarray(weights, dtype=float)
+    total = w.sum()
+    if total <= 0:
+        return float("nan")
+    return float((arr * w).sum() / total)

@@ -1,0 +1,49 @@
+"""Numpy-based neural substrate: autograd, MADE, deep sets, optimizers.
+
+This package replaces the paper's PyTorch dependency (see DESIGN.md §1) with
+a self-contained reverse-mode autodiff engine plus the two architectures
+ReStore requires: :class:`ResidualMADE` autoregressive density estimators and
+:class:`EvidenceTreeEncoder` deep-sets encoders for fan-out evidence.
+"""
+
+from .tensor import Tensor, concat, ones, zeros
+from . import functional
+from .layers import (
+    MLP,
+    Embedding,
+    Linear,
+    MaskedLinear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from .made import ResidualMADE
+from .deepsets import EvidenceTreeEncoder, TreeNodeBatch, TreeNodeSpec
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .train import TrainConfig, TrainResult, train
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "zeros",
+    "ones",
+    "functional",
+    "Module",
+    "Linear",
+    "MaskedLinear",
+    "Embedding",
+    "ReLU",
+    "Sequential",
+    "MLP",
+    "ResidualMADE",
+    "EvidenceTreeEncoder",
+    "TreeNodeSpec",
+    "TreeNodeBatch",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "TrainConfig",
+    "TrainResult",
+    "train",
+]

@@ -1,0 +1,193 @@
+"""Neural network layers built on the autograd :class:`~repro.nn.tensor.Tensor`.
+
+The layer set intentionally mirrors what the ReStore paper needs and nothing
+more: dense layers (plain and MADE-masked), embeddings, and small containers.
+All parameters are ``float64`` tensors with ``requires_grad=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+class Module:
+    """Minimal module base class with recursive parameter discovery."""
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield all trainable tensors owned by this module (recursively)."""
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            yield from _parameters_of(value, seen)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for param in self.parameters():
+            param.grad = None
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict:
+        """Flat name → array snapshot of all parameters (copy)."""
+        return {
+            f"param_{i}": np.array(p.data, copy=True)
+            for i, p in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore parameters saved by :meth:`state_dict` (order-based)."""
+        params = list(self.parameters())
+        if len(params) != len(state):
+            raise ValueError(
+                f"state dict has {len(state)} entries, model has {len(params)} parameters"
+            )
+        for i, param in enumerate(params):
+            value = state[f"param_{i}"]
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for parameter {i}")
+            param.data[...] = value
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _parameters_of(value, seen: set[int]) -> Iterator[Tensor]:
+    if isinstance(value, Tensor):
+        if value.requires_grad and id(value) not in seen:
+            seen.add(id(value))
+            yield value
+    elif isinstance(value, Module):
+        for param in value.parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield param
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _parameters_of(item, seen)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _parameters_of(item, seen)
+
+
+def _kaiming_uniform(rng: np.random.Generator, fan_in: int, shape) -> np.ndarray:
+    """He-style uniform initialization appropriate for ReLU networks."""
+    bound = float(np.sqrt(6.0 / max(fan_in, 1)))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+class Linear(Module):
+    """Affine transform ``x @ W + b`` with He-uniform initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            _kaiming_uniform(rng, in_features, (in_features, out_features)),
+            requires_grad=True, name="linear.weight",
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True, name="linear.bias")
+            if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MaskedLinear(Module):
+    """A dense layer whose weight is elementwise-multiplied by a fixed mask.
+
+    This is the MADE [Germain et al. 2015] building block: the binary mask
+    encodes autoregressive connectivity so that output unit *j* only sees
+    input units whose variable index precedes (or equals, for hidden layers)
+    the degree assigned to *j*.
+    """
+
+    def __init__(self, in_features: int, out_features: int, mask: np.ndarray,
+                 rng: np.random.Generator, bias: bool = True):
+        if mask.shape != (in_features, out_features):
+            raise ValueError(
+                f"mask shape {mask.shape} != ({in_features}, {out_features})"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.mask = Tensor(mask.astype(float))  # constant, no grad
+        self.weight = Tensor(
+            _kaiming_uniform(rng, in_features, (in_features, out_features)),
+            requires_grad=True, name="masked_linear.weight",
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True, name="masked_linear.bias")
+            if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ (self.weight * self.mask)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Learned per-value embeddings, as used for attribute values in ReStore."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator):
+        self.vocab_size = vocab_size
+        self.dim = dim
+        scale = 1.0 / np.sqrt(dim)
+        self.weight = Tensor(
+            rng.normal(0.0, scale, size=(vocab_size, dim)),
+            requires_grad=True, name="embedding.weight",
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        self.modules: List[Module] = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+class MLP(Module):
+    """Feed-forward ReLU network with configurable hidden widths."""
+
+    def __init__(self, in_features: int, hidden: Sequence[int], out_features: int,
+                 rng: np.random.Generator):
+        widths = [in_features, *hidden]
+        layers: List[Module] = []
+        for fan_in, fan_out in zip(widths[:-1], widths[1:]):
+            layers.append(Linear(fan_in, fan_out, rng))
+            layers.append(ReLU())
+        layers.append(Linear(widths[-1], out_features, rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

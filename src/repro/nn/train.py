@@ -1,0 +1,141 @@
+"""Mini-batch training loop with validation-based early stopping.
+
+The trainer is deliberately functional: it only needs the number of training
+rows, a differentiable ``loss_fn(indices)`` and an evaluation
+``eval_fn(indices)``.  AR and SSAR completion models wrap their own training
+data (integer matrices, fan-out tree batches, per-row weights) and expose
+these two callables — see :mod:`repro.core.ar` and :mod:`repro.core.ssar`.
+
+The held-out validation loss doubles as the paper's *model-selection
+criterion* (§5, Fig. 5b): models whose attributes are unpredictable from the
+evidence show a high test loss and are pruned before completion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .layers import Module
+from .optim import Adam, clip_grad_norm
+from .tensor import Tensor
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 20
+    batch_size: int = 256
+    lr: float = 5e-3
+    weight_decay: float = 0.0
+    val_fraction: float = 0.1
+    patience: int = 5
+    grad_clip: float = 5.0
+    seed: int = 0
+    min_epochs: int = 3
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Loss trajectory and timing of a training run."""
+
+    train_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+    best_val_loss: float = float("inf")
+    epochs_run: int = 0
+    wall_time_s: float = 0.0
+    val_indices: Optional[np.ndarray] = None
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+
+def train(
+    model: Module,
+    num_examples: int,
+    loss_fn: Callable[[np.ndarray], Tensor],
+    eval_fn: Callable[[np.ndarray], float],
+    config: Optional[TrainConfig] = None,
+) -> TrainResult:
+    """Fit ``model`` by Adam on mini-batches of example indices.
+
+    Parameters
+    ----------
+    model:
+        The module whose parameters are optimized.
+    num_examples:
+        Total number of training rows; indices ``0 .. num_examples-1`` are
+        split into train/validation once, deterministically from the seed.
+    loss_fn:
+        Maps an index batch to a scalar loss :class:`Tensor` (graph-building).
+    eval_fn:
+        Maps an index batch to a float loss (no gradient bookkeeping).
+    config:
+        Training hyper-parameters; defaults are tuned for the scaled-down
+        reproduction datasets.
+
+    Returns
+    -------
+    TrainResult with the loss history; model parameters are restored to the
+    best-validation epoch (early stopping with patience).
+    """
+    cfg = config or TrainConfig()
+    if num_examples < 2:
+        raise ValueError("need at least 2 examples to train")
+    rng = np.random.default_rng(cfg.seed)
+    order = rng.permutation(num_examples)
+    num_val = max(1, int(num_examples * cfg.val_fraction)) if cfg.val_fraction > 0 else 0
+    val_idx, train_idx = order[:num_val], order[num_val:]
+    if len(train_idx) == 0:
+        train_idx, val_idx = order, order
+
+    optimizer = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+    result = TrainResult()
+    best_state: Optional[dict] = None
+    epochs_without_improvement = 0
+    started = time.perf_counter()
+
+    for epoch in range(cfg.epochs):
+        perm = rng.permutation(train_idx)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, len(perm), cfg.batch_size):
+            batch = perm[start:start + cfg.batch_size]
+            if len(batch) < 2:
+                continue
+            optimizer.zero_grad()
+            loss = loss_fn(batch)
+            loss.backward()
+            clip_grad_norm(optimizer.parameters, cfg.grad_clip)
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        train_loss = epoch_loss / max(batches, 1)
+        result.train_losses.append(train_loss)
+        result.epochs_run = epoch + 1
+
+        val_loss = eval_fn(val_idx) if num_val else train_loss
+        result.val_losses.append(val_loss)
+        if cfg.verbose:
+            print(f"epoch {epoch + 1:3d}  train {train_loss:.4f}  val {val_loss:.4f}")
+
+        if val_loss < result.best_val_loss - 1e-6:
+            result.best_val_loss = val_loss
+            best_state = model.state_dict()
+            epochs_without_improvement = 0
+        else:
+            epochs_without_improvement += 1
+            if epoch + 1 >= cfg.min_epochs and epochs_without_improvement >= cfg.patience:
+                break
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    result.wall_time_s = time.perf_counter() - started
+    result.val_indices = val_idx
+    return result

@@ -1,0 +1,38 @@
+"""SPJA query engine: AST, SQL front-end, hash-join executor."""
+
+from .ast import (
+    Aggregate,
+    AggregateKind,
+    Filter,
+    FilterOp,
+    GroupKey,
+    Query,
+    QueryResult,
+)
+from .executor import (
+    JoinResult,
+    aggregate,
+    execute,
+    execute_on_join,
+    filter_mask,
+    join_tables,
+)
+from .sql import SQLSyntaxError, parse_query
+
+__all__ = [
+    "Aggregate",
+    "AggregateKind",
+    "Filter",
+    "FilterOp",
+    "GroupKey",
+    "Query",
+    "QueryResult",
+    "JoinResult",
+    "join_tables",
+    "filter_mask",
+    "aggregate",
+    "execute",
+    "execute_on_join",
+    "parse_query",
+    "SQLSyntaxError",
+]

@@ -1,0 +1,274 @@
+"""SPJA execution: FK hash joins, predicate evaluation, grouped aggregation.
+
+The executor operates on :class:`JoinResult` — a flat, column-oriented view
+of a (possibly completed) join with qualified column names and optional
+per-row weights.  ReStore's incompleteness join produces the same structure,
+so the downstream filter/aggregate pipeline is shared between ground-truth
+execution, incomplete-data execution and completed-data execution, exactly
+as in the paper ("once data is completed for a join, we use normal query
+operators").
+
+Row weights generalize plain execution: synthesized rows may carry
+fractional multiplicities when completion paths introduce fan-out
+reweighting (§4.4); COUNT sums weights, SUM sums ``weight * value`` and AVG
+is the weighted mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..relational import Database, join_order
+from .ast import Aggregate, AggregateKind, Filter, FilterOp, GroupKey, Query, QueryResult
+
+
+@dataclass
+class JoinResult:
+    """A materialized join: qualified columns plus optional row weights."""
+
+    columns: Dict[str, np.ndarray]
+    weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged join result: lengths {sorted(lengths)}")
+        self._num_rows = lengths.pop() if lengths else 0
+        if self.weights is not None and len(self.weights) != self._num_rows:
+            raise ValueError("weights must align with join rows")
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def effective_weights(self) -> np.ndarray:
+        if self.weights is None:
+            return np.ones(self._num_rows)
+        return np.asarray(self.weights, dtype=float)
+
+    def resolve(self, column: str) -> np.ndarray:
+        """Find a column by qualified or unambiguous unqualified name."""
+        if column in self.columns:
+            return self.columns[column]
+        matches = [
+            name for name in self.columns if name.split(".", 1)[-1] == column
+        ]
+        if not matches:
+            raise KeyError(f"no column {column!r} in join ({sorted(self.columns)})")
+        if len(matches) > 1:
+            raise KeyError(f"ambiguous column {column!r}: {matches}")
+        return self.columns[matches[0]]
+
+    def select(self, mask: np.ndarray) -> "JoinResult":
+        mask = np.asarray(mask, dtype=bool)
+        cols = {name: arr[mask] for name, arr in self.columns.items()}
+        weights = self.weights[mask] if self.weights is not None else None
+        return JoinResult(cols, weights)
+
+
+# ----------------------------------------------------------------------
+# Join
+# ----------------------------------------------------------------------
+
+def join_tables(db: Database, tables: Sequence[str]) -> JoinResult:
+    """Inner equi-join of ``tables`` along their foreign keys.
+
+    Negative key values (the missing-key sentinel of synthesized tuples)
+    never match, so partially synthesized data joins conservatively.
+    """
+    tables = list(tables)
+    first = tables[0]
+    row_idx: Dict[str, np.ndarray] = {
+        first: np.arange(len(db.table(first)), dtype=np.int64)
+    }
+
+    for anchor, new in join_order(db, tables):
+        fk = db.fk_between(anchor, new)
+        if fk.child_table == anchor:
+            row_idx = _join_to_parent(db, row_idx, anchor, new, fk)
+        else:
+            row_idx = _join_to_children(db, row_idx, anchor, new, fk)
+
+    columns: Dict[str, np.ndarray] = {}
+    for table_name in tables:
+        table = db.table(table_name)
+        idx = row_idx[table_name]
+        for col in table.column_names:
+            columns[f"{table_name}.{col}"] = table[col][idx]
+    return JoinResult(columns)
+
+
+def _join_to_parent(db, row_idx, anchor, new, fk):
+    """n:1 hop — each current row keeps at most one partner."""
+    child_vals = db.table(anchor)[fk.child_column][row_idx[anchor]]
+    parent_keys = db.table(new)[fk.parent_column]
+    positions = _lookup_positions(parent_keys, child_vals)
+    keep = positions >= 0
+    out = {name: idx[keep] for name, idx in row_idx.items()}
+    out[new] = positions[keep]
+    return out
+
+def _join_to_children(db, row_idx, anchor, new, fk):
+    """1:n hop — each current row expands to all of its children."""
+    anchor_keys = db.table(anchor)[fk.parent_column][row_idx[anchor]]
+    child_refs = db.table(new)[fk.child_column]
+    order = np.argsort(child_refs, kind="stable")
+    sorted_refs = child_refs[order]
+    starts = np.searchsorted(sorted_refs, anchor_keys, side="left")
+    stops = np.searchsorted(sorted_refs, anchor_keys, side="right")
+    counts = stops - starts
+    total = int(counts.sum())
+
+    expand = np.repeat(np.arange(len(anchor_keys)), counts)
+    child_positions = np.empty(total, dtype=np.int64)
+    cursor = 0
+    nonzero = np.flatnonzero(counts)
+    for i in nonzero:
+        n = counts[i]
+        child_positions[cursor:cursor + n] = order[starts[i]:stops[i]]
+        cursor += n
+
+    out = {name: idx[expand] for name, idx in row_idx.items()}
+    out[new] = child_positions
+    return out
+
+
+def _lookup_positions(keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Row positions of ``queries`` in unique ``keys`` (-1 where absent)."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    pos = np.searchsorted(sorted_keys, queries)
+    pos = np.clip(pos, 0, max(len(sorted_keys) - 1, 0))
+    if len(sorted_keys) == 0:
+        return np.full(len(queries), -1, dtype=np.int64)
+    found = (sorted_keys[pos] == queries) & (queries >= 0)
+    result = np.where(found, order[pos], -1)
+    return result.astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Filters
+# ----------------------------------------------------------------------
+
+_OPS = {
+    FilterOp.EQ: lambda col, v: col == v,
+    FilterOp.NE: lambda col, v: col != v,
+    FilterOp.LT: lambda col, v: col < v,
+    FilterOp.LE: lambda col, v: col <= v,
+    FilterOp.GT: lambda col, v: col > v,
+    FilterOp.GE: lambda col, v: col >= v,
+}
+
+
+def filter_mask(joined: JoinResult, filters: Sequence[Filter]) -> np.ndarray:
+    """Conjunction of all predicates as a boolean row mask."""
+    mask = np.ones(joined.num_rows, dtype=bool)
+    for predicate in filters:
+        col = joined.resolve(predicate.column)
+        if predicate.op is FilterOp.IN:
+            sub = np.zeros(joined.num_rows, dtype=bool)
+            for value in predicate.value:  # type: ignore[union-attr]
+                sub |= col == value
+            mask &= sub
+        else:
+            mask &= np.asarray(_OPS[predicate.op](col, predicate.value), dtype=bool)
+    return mask
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+def aggregate(
+    joined: JoinResult,
+    agg: Aggregate,
+    group_by: Sequence[str] = (),
+) -> QueryResult:
+    """Weighted grouped aggregation over a (filtered) join."""
+    weights = joined.effective_weights()
+    if agg.column is not None:
+        values = np.asarray(joined.resolve(agg.column), dtype=float)
+    else:
+        values = np.ones(joined.num_rows)
+
+    if not group_by:
+        return QueryResult({(): _reduce(agg.kind, values, weights)})
+
+    group_cols = [joined.resolve(col) for col in group_by]
+    codes, uniques = _group_codes(group_cols)
+    num_groups = len(uniques)
+    result: Dict[GroupKey, float] = {}
+    w_sum = np.bincount(codes, weights=weights, minlength=num_groups)
+    wx_sum = np.bincount(codes, weights=weights * values, minlength=num_groups)
+    for g, key in enumerate(uniques):
+        if w_sum[g] == 0:
+            continue
+        if agg.kind is AggregateKind.COUNT:
+            result[key] = float(w_sum[g])
+        elif agg.kind is AggregateKind.SUM:
+            result[key] = float(wx_sum[g])
+        else:
+            result[key] = float(wx_sum[g] / w_sum[g])
+    return QueryResult(result)
+
+
+def _reduce(kind: AggregateKind, values: np.ndarray, weights: np.ndarray) -> float:
+    total_weight = float(weights.sum())
+    if kind is AggregateKind.COUNT:
+        return total_weight
+    weighted = float((values * weights).sum())
+    if kind is AggregateKind.SUM:
+        return weighted
+    if total_weight == 0:
+        return float("nan")
+    return weighted / total_weight
+
+
+def _group_codes(group_cols: List[np.ndarray]) -> Tuple[np.ndarray, List[GroupKey]]:
+    """Encode multi-column group keys as dense integer codes."""
+    per_col_codes = []
+    per_col_values = []
+    for col in group_cols:
+        uniq, inverse = np.unique(col, return_inverse=True)
+        per_col_codes.append(inverse)
+        per_col_values.append(uniq)
+    combined = per_col_codes[0].astype(np.int64)
+    for codes, uniq in zip(per_col_codes[1:], per_col_values[1:]):
+        combined = combined * len(uniq) + codes
+    final_uniq, final_codes = np.unique(combined, return_inverse=True)
+    keys: List[GroupKey] = []
+    for combo in final_uniq:
+        parts = []
+        remainder = int(combo)
+        for uniq in reversed(per_col_values[1:]):
+            remainder, part = divmod(remainder, len(uniq))
+            parts.append(uniq[part])
+        parts.append(per_col_values[0][remainder])
+        keys.append(tuple(_to_python(v) for v in reversed(parts)))
+    return final_codes, keys
+
+
+def _to_python(value):
+    """Convert numpy scalars to plain python for stable dict keys."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+# ----------------------------------------------------------------------
+# End-to-end helpers
+# ----------------------------------------------------------------------
+
+def execute(db: Database, query: Query) -> QueryResult:
+    """Join, filter and aggregate ``query`` directly against ``db``."""
+    joined = join_tables(db, query.tables)
+    return execute_on_join(joined, query)
+
+
+def execute_on_join(joined: JoinResult, query: Query) -> QueryResult:
+    """Filter and aggregate a pre-computed (possibly completed) join."""
+    mask = filter_mask(joined, query.filters)
+    return aggregate(joined.select(mask), query.aggregate, query.group_by)

@@ -1,0 +1,183 @@
+"""Column-oriented in-memory tables.
+
+A :class:`Table` stores equal-length numpy arrays keyed by column name plus
+per-column :class:`~repro.relational.column.ColumnMeta`.  Operations return
+new tables (copy-on-write at the array level: selections use fancy indexing,
+which copies; metadata is shared).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .column import ColumnKind, ColumnMeta, coerce_values
+
+
+class Table:
+    """An immutable-ish named relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name (unique within a database).
+    columns:
+        Mapping of column name to values; insertion order is preserved and
+        becomes the canonical column order.
+    kinds:
+        Mapping of column name to :class:`ColumnKind`.  Every column must be
+        declared.
+    primary_key:
+        Name of the primary-key column, or ``None`` for tables without one
+        (e.g. pure m:n link tables).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, Sequence],
+        kinds: Mapping[str, ColumnKind],
+        primary_key: Optional[str] = "id",
+    ):
+        self.name = name
+        self._columns: Dict[str, np.ndarray] = {}
+        self._meta: Dict[str, ColumnMeta] = {}
+        lengths = set()
+        for col_name, values in columns.items():
+            if col_name not in kinds:
+                raise ValueError(f"{name}: column {col_name!r} has no declared kind")
+            kind = kinds[col_name]
+            arr = coerce_values(kind, values)
+            if arr.ndim != 1:
+                raise ValueError(f"{name}.{col_name}: columns must be 1-D")
+            self._columns[col_name] = arr
+            self._meta[col_name] = ColumnMeta(col_name, kind)
+            lengths.add(len(arr))
+        extra = set(kinds) - set(columns)
+        if extra:
+            raise ValueError(f"{name}: kinds declared for missing columns {sorted(extra)}")
+        if len(lengths) > 1:
+            raise ValueError(f"{name}: ragged columns with lengths {sorted(lengths)}")
+        self._num_rows = lengths.pop() if lengths else 0
+        if primary_key is not None and primary_key not in self._columns:
+            raise ValueError(f"{name}: primary key {primary_key!r} is not a column")
+        self.primary_key = primary_key
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw values of one column (no copy)."""
+        if name not in self._columns:
+            raise KeyError(f"{self.name} has no column {name!r}")
+        return self._columns[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def meta(self, name: str) -> ColumnMeta:
+        if name not in self._meta:
+            raise KeyError(f"{self.name} has no column {name!r}")
+        return self._meta[name]
+
+    def kinds(self) -> Dict[str, ColumnKind]:
+        return {name: meta.kind for name, meta in self._meta.items()}
+
+    def modelable_columns(self) -> List[str]:
+        """Columns whose distribution a completion model should learn."""
+        return [name for name, meta in self._meta.items() if meta.is_modelable]
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.column_names})"
+
+    # ------------------------------------------------------------------
+    # Row-level operations
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Table":
+        """Rows at the given positions (duplicates and reordering allowed)."""
+        idx = np.asarray(indices)
+        return self._with_columns({name: arr[idx] for name, arr in self._columns.items()})
+
+    def select(self, mask: np.ndarray) -> "Table":
+        """Rows where the boolean ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._num_rows,):
+            raise ValueError("mask must have one entry per row")
+        return self.take(np.flatnonzero(mask))
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self._num_rows)))
+
+    # ------------------------------------------------------------------
+    # Column-level operations
+    # ------------------------------------------------------------------
+    def project(self, columns: Iterable[str]) -> "Table":
+        """Keep only the given columns (primary key dropped if not listed)."""
+        cols = list(columns)
+        data = {name: self._columns[name] for name in cols}
+        kinds = {name: self._meta[name].kind for name in cols}
+        pk = self.primary_key if self.primary_key in cols else None
+        return Table(self.name, data, kinds, primary_key=pk)
+
+    def with_column(self, name: str, values: Sequence, kind: ColumnKind) -> "Table":
+        """A new table with one column added or replaced."""
+        data = dict(self._columns)
+        kinds = self.kinds()
+        data[name] = values
+        kinds[name] = kind
+        return Table(self.name, data, kinds, primary_key=self.primary_key)
+
+    def concat_rows(self, other: "Table") -> "Table":
+        """Stack another table with identical columns underneath this one."""
+        if other.column_names != self.column_names:
+            raise ValueError(
+                f"cannot concat {self.name}: column mismatch "
+                f"{self.column_names} vs {other.column_names}"
+            )
+        data = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self.column_names
+        }
+        return Table(self.name, data, self.kinds(), primary_key=self.primary_key)
+
+    def _with_columns(self, columns: Dict[str, np.ndarray]) -> "Table":
+        table = Table.__new__(Table)
+        table.name = self.name
+        table._columns = columns
+        table._meta = self._meta
+        lengths = {len(arr) for arr in columns.values()}
+        table._num_rows = lengths.pop() if lengths else 0
+        table.primary_key = self.primary_key
+        return table
+
+    # ------------------------------------------------------------------
+    # Conversion helpers (mostly for tests and examples)
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[dict]:
+        """Row dictionaries — convenient for assertions on small tables."""
+        return [
+            {name: self._columns[name][i] for name in self.column_names}
+            for i in range(self._num_rows)
+        ]
+
+    def key_index(self) -> Dict[int, int]:
+        """Map primary-key value → row position (requires a primary key)."""
+        if self.primary_key is None:
+            raise ValueError(f"{self.name} has no primary key")
+        keys = self._columns[self.primary_key]
+        return {int(k): i for i, k in enumerate(keys)}

@@ -1,0 +1,25 @@
+"""Paper workloads: Fig. 4c completion setups and Table 1 queries."""
+
+from .setups import (
+    ALL_SETUPS,
+    HOUSING_SETUPS,
+    KEEP_RATES,
+    MOVIES_SETUPS,
+    REMOVAL_CORRELATIONS,
+    CompletionSetup,
+    base_database,
+)
+from .queries import HOUSING_QUERIES, MOVIES_QUERIES, queries_for
+
+__all__ = [
+    "CompletionSetup",
+    "HOUSING_SETUPS",
+    "MOVIES_SETUPS",
+    "ALL_SETUPS",
+    "KEEP_RATES",
+    "REMOVAL_CORRELATIONS",
+    "base_database",
+    "HOUSING_QUERIES",
+    "MOVIES_QUERIES",
+    "queries_for",
+]

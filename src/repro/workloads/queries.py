@@ -1,0 +1,66 @@
+"""The query workload of Table 1 (Q1–Q10 per dataset), adapted verbatim to
+the synthetic stand-in schemas.
+
+Two small adaptations versus the paper's SQL text:
+
+* movie queries spell ``movie_company`` consistently (the paper mixes
+  ``movie_companies``),
+* Q1/Q7 of the movies set, printed without a FROM clause in the paper,
+  target the obvious tables (``movie`` and ``movie_company ⋈ company``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..query import Query, parse_query
+
+# Query text per Table 1; each entry pairs the setup it is evaluated under
+# with the SQL string.
+HOUSING_QUERIES: Dict[str, Tuple[str, str]] = {
+    "Q1": ("H1", "SELECT SUM(price) FROM apartment WHERE room_type = 'Entire home/apt';"),
+    "Q2": ("H2", "SELECT COUNT(*) FROM apartment WHERE room_type = 'Entire home/apt' "
+                 "AND property_type = 'House' GROUP BY property_type;"),
+    "Q3": ("H3", "SELECT COUNT(*) FROM apartment WHERE property_type = 'House';"),
+    "Q4": ("H4", "SELECT COUNT(*) FROM landlord WHERE landlord_since >= 2011;"),
+    "Q5": ("H5", "SELECT AVG(landlord_response_rate) FROM landlord "
+                 "WHERE landlord_response_time >= 2;"),
+    "Q6": ("H1", "SELECT AVG(price) FROM landlord NATURAL JOIN apartment "
+                 "WHERE room_type = 'Entire home/apt' GROUP BY landlord_since;"),
+    "Q7": ("H2", "SELECT COUNT(*) FROM landlord NATURAL JOIN apartment "
+                 "WHERE accommodates >= 3 GROUP BY landlord_since;"),
+    "Q8": ("H3", "SELECT COUNT(*) FROM landlord NATURAL JOIN apartment "
+                 "WHERE landlord_since >= 2013 GROUP BY landlord_since;"),
+    "Q9": ("H4", "SELECT SUM(landlord_since) FROM landlord NATURAL JOIN apartment "
+                 "WHERE room_type = 'Entire home/apt' AND landlord_response_time >= 2;"),
+    "Q10": ("H5", "SELECT AVG(landlord_response_rate) FROM landlord NATURAL JOIN "
+                  "apartment WHERE room_type = 'Entire home/apt' "
+                  "AND landlord_response_time >= 2;"),
+}
+
+MOVIES_QUERIES: Dict[str, Tuple[str, str]] = {
+    "Q1": ("M1", "SELECT COUNT(*) FROM movie GROUP BY production_year;"),
+    "Q2": ("M2", "SELECT COUNT(*) FROM movie WHERE genre = 'Drama' "
+                 "GROUP BY production_year;"),
+    "Q3": ("M3", "SELECT COUNT(*) FROM movie WHERE genre = 'Drama' GROUP BY country;"),
+    "Q4": ("M4", "SELECT AVG(birth_year) FROM director WHERE gender = 'm';"),
+    "Q5": ("M5", "SELECT COUNT(*) FROM company WHERE country_code = '[us]';"),
+    "Q6": ("M1", "SELECT SUM(production_year) FROM movie NATURAL JOIN movie_director "
+                 "NATURAL JOIN director WHERE birth_country = 'USA' "
+                 "GROUP BY production_year;"),
+    "Q7": ("M2", "SELECT COUNT(*) FROM movie_company NATURAL JOIN company "
+                 "GROUP BY country_code;"),
+    "Q8": ("M3", "SELECT COUNT(*) FROM movie NATURAL JOIN movie_company "
+                 "NATURAL JOIN company WHERE country_code = '[us]' "
+                 "GROUP BY production_year;"),
+    "Q9": ("M4", "SELECT COUNT(*) FROM movie NATURAL JOIN movie_director "
+                 "NATURAL JOIN director WHERE gender = 'm';"),
+    "Q10": ("M5", "SELECT COUNT(*) FROM movie NATURAL JOIN movie_company "
+                  "NATURAL JOIN company WHERE country_code = '[us]' GROUP BY country;"),
+}
+
+
+def queries_for(dataset: str) -> Dict[str, Tuple[str, Query]]:
+    """Parsed Table 1 queries: name -> (setup name, Query)."""
+    raw = HOUSING_QUERIES if dataset == "housing" else MOVIES_QUERIES
+    return {name: (setup, parse_query(sql)) for name, (setup, sql) in raw.items()}

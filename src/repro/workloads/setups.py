@@ -1,0 +1,112 @@
+"""The completion setups of Fig. 4c: H1–H5 (housing) and M1–M5 (movies).
+
+Each setup names the biased attribute, the table made incomplete, and the
+per-table keep rates.  Keep rate and removal correlation are swept by the
+experiments; the tuple-factor keep rates follow the paper (30% housing,
+20% movies), and the movie setups apply the hardened protocol (dangling
+m:n link rows removed; M4/M5 additionally remove 20% of the movies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..datasets import (
+    HousingConfig,
+    MoviesConfig,
+    generate_housing,
+    generate_movies,
+)
+from ..incomplete import IncompleteDataset, RemovalSpec, make_incomplete
+from ..relational import Database
+
+
+@dataclass(frozen=True)
+class CompletionSetup:
+    """One row of Fig. 4c."""
+
+    name: str
+    dataset: str                    # "housing" | "movies"
+    incomplete_table: str
+    biased_attribute: str
+    tf_keep_rate: float
+    extra_removals: Tuple[RemovalSpec, ...] = ()
+
+    def make(
+        self,
+        db: Database,
+        keep_rate: float,
+        removal_correlation: float,
+        seed: int = 0,
+    ) -> IncompleteDataset:
+        """Instantiate the incomplete dataset for one sweep cell."""
+        specs = [
+            RemovalSpec(
+                table=self.incomplete_table,
+                biased_attribute=self.biased_attribute,
+                keep_rate=keep_rate,
+                removal_correlation=removal_correlation,
+            ),
+            *self.extra_removals,
+        ]
+        # Paper §7.3: only link rows whose *movie* was removed are dropped;
+        # links dangling against removed directors/companies survive (their
+        # foreign keys are the evidence that a tuple is missing).
+        dangling_parents = ("movie",) if self.dataset == "movies" else None
+        return make_incomplete(
+            db, specs, tf_keep_rate=self.tf_keep_rate,
+            drop_dangling_links=True, dangling_parents=dangling_parents,
+            seed=seed,
+        )
+
+
+# Fig. 4c, housing rows.  TF keep rate 30%.
+HOUSING_SETUPS: Dict[str, CompletionSetup] = {
+    "H1": CompletionSetup("H1", "housing", "apartment", "price", 0.3),
+    "H2": CompletionSetup("H2", "housing", "apartment", "room_type", 0.3),
+    "H3": CompletionSetup("H3", "housing", "apartment", "property_type", 0.3),
+    "H4": CompletionSetup("H4", "housing", "landlord", "landlord_since", 0.3),
+    "H5": CompletionSetup("H5", "housing", "landlord", "landlord_response_rate", 0.3),
+}
+
+# Fig. 4c, movies rows.  TF keep rate 20%; M4/M5 additionally remove 20% of
+# the movies (keep 80%) with a mild year bias, per §7.3.
+_M45_EXTRA = (RemovalSpec("movie", "production_year", 0.8, 0.2),)
+
+MOVIES_SETUPS: Dict[str, CompletionSetup] = {
+    "M1": CompletionSetup("M1", "movies", "movie", "production_year", 0.2),
+    "M2": CompletionSetup("M2", "movies", "movie", "genre", 0.2),
+    "M3": CompletionSetup("M3", "movies", "movie", "country", 0.2),
+    "M4": CompletionSetup("M4", "movies", "director", "birth_year", 0.2,
+                          extra_removals=_M45_EXTRA),
+    "M5": CompletionSetup("M5", "movies", "company", "country_code", 0.2,
+                          extra_removals=_M45_EXTRA),
+}
+
+ALL_SETUPS: Dict[str, CompletionSetup] = {**HOUSING_SETUPS, **MOVIES_SETUPS}
+
+KEEP_RATES = (0.2, 0.4, 0.6, 0.8)
+REMOVAL_CORRELATIONS = (0.2, 0.4, 0.6, 0.8)
+
+
+def base_database(dataset: str, seed: int = 0, scale: float = 1.0) -> Database:
+    """The complete ground-truth database for a setup family."""
+    if dataset == "housing":
+        cfg = HousingConfig(
+            num_neighborhoods=max(20, int(120 * scale)),
+            num_landlords=max(60, int(700 * scale)),
+            apartments_per_neighborhood=25.0,
+            seed=seed,
+        )
+        return generate_housing(cfg)
+    if dataset == "movies":
+        cfg = MoviesConfig(
+            num_movies=max(200, int(1500 * scale)),
+            num_directors=max(60, int(400 * scale)),
+            num_actors=max(100, int(900 * scale)),
+            num_companies=max(40, int(200 * scale)),
+            seed=seed,
+        )
+        return generate_movies(cfg)
+    raise ValueError(f"unknown dataset {dataset!r}")

@@ -1,0 +1,94 @@
+"""Shared fixtures: small hand-built databases mirroring the paper's examples."""
+
+import numpy as np
+import pytest
+
+from repro.relational import ColumnKind, Database, ForeignKey, SchemaAnnotation, Table
+
+K = ColumnKind.KEY
+C = ColumnKind.CATEGORICAL
+N = ColumnKind.CONTINUOUS
+
+
+@pytest.fixture
+def housing_mini() -> Database:
+    """The running example of Fig. 1: neighborhood / apartment / landlord.
+
+    Two neighborhoods (NYC with 2 apartments, CA with 3), three landlords.
+    """
+    neighborhood = Table(
+        "neighborhood",
+        {
+            "id": [1, 2],
+            "state": ["NYC", "CA"],
+            "pop_density": [27000.0, 254.0],
+        },
+        {"id": K, "state": C, "pop_density": N},
+    )
+    apartment = Table(
+        "apartment",
+        {
+            "id": [1, 2, 3, 4, 5],
+            "neighborhood_id": [1, 1, 2, 2, 2],
+            "landlord_id": [1, 2, 2, 3, 3],
+            "rent": [2000.0, 3000.0, 3200.0, 2000.0, 1000.0],
+            "room_type": ["entire", "private", "entire", "private", "private"],
+        },
+        {"id": K, "neighborhood_id": K, "landlord_id": K, "rent": N, "room_type": C},
+    )
+    landlord = Table(
+        "landlord",
+        {
+            "id": [1, 2, 3],
+            "age": [50.0, 60.0, 59.0],
+        },
+        {"id": K, "age": N},
+    )
+    return Database(
+        [neighborhood, apartment, landlord],
+        [
+            ForeignKey("apartment", "neighborhood_id", "neighborhood"),
+            ForeignKey("apartment", "landlord_id", "landlord"),
+        ],
+    )
+
+
+@pytest.fixture
+def housing_mini_annotation() -> SchemaAnnotation:
+    return SchemaAnnotation(
+        complete_tables={"neighborhood", "landlord"},
+        incomplete_tables={"apartment"},
+    )
+
+
+@pytest.fixture
+def star_db() -> Database:
+    """A deeper chain: state -> neighborhood -> apartment, plus school fan-out."""
+    state = Table(
+        "state",
+        {"id": [1, 2], "region": ["east", "west"]},
+        {"id": K, "region": C},
+    )
+    neighborhood = Table(
+        "neighborhood",
+        {"id": [10, 11, 12], "state_id": [1, 1, 2], "density": [9.0, 5.0, 2.0]},
+        {"id": K, "state_id": K, "density": N},
+    )
+    school = Table(
+        "school",
+        {"id": [100, 101, 102], "neighborhood_id": [10, 10, 12], "rating": [3.0, 4.0, 5.0]},
+        {"id": K, "neighborhood_id": K, "rating": N},
+    )
+    apartment = Table(
+        "apartment",
+        {"id": [1000, 1001], "neighborhood_id": [10, 12], "rent": [1500.0, 900.0]},
+        {"id": K, "neighborhood_id": K, "rent": N},
+    )
+    return Database(
+        [state, neighborhood, school, apartment],
+        [
+            ForeignKey("neighborhood", "state_id", "state"),
+            ForeignKey("school", "neighborhood_id", "neighborhood"),
+            ForeignKey("apartment", "neighborhood_id", "neighborhood"),
+        ],
+    )

@@ -1,0 +1,111 @@
+"""Tests for §5 advanced selection (derived scenarios) and selection utils."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BiasDirection,
+    CandidateScore,
+    ReStore,
+    ReStoreConfig,
+    ModelConfig,
+    SuspectedBias,
+    apply_suspected_bias,
+    basic_filter,
+    rank_by_derived_scenario,
+)
+from repro.datasets import SyntheticConfig, generate_synthetic
+from repro.incomplete import RemovalSpec, make_incomplete
+from repro.nn import TrainConfig
+
+
+class _FakeModel:
+    def __init__(self, kind, path):
+        self.kind = kind
+
+        class _Layout:
+            pass
+
+        self.layout = _Layout()
+        self.layout.path = path
+
+
+def fake_candidate(signal, kind="ar", tables=("a", "b")):
+    from repro.relational import CompletionPath
+    return CandidateScore(
+        model=_FakeModel(kind, CompletionPath(tables)),
+        target_loss=1.0,
+        marginal_loss=1.0 + signal,
+    )
+
+
+class TestBasicFilter:
+    def test_keeps_positive_signal(self):
+        good = fake_candidate(0.5)
+        bad = fake_candidate(-0.2, tables=("c", "b"))
+        kept = basic_filter([good, bad])
+        assert kept == [good]
+
+    def test_keeps_best_if_all_fail(self):
+        a = fake_candidate(-0.5)
+        b = fake_candidate(-0.1, tables=("c", "b"))
+        kept = basic_filter([a, b])
+        assert kept == [b]
+
+    def test_sorted_by_signal(self):
+        a = fake_candidate(0.1)
+        b = fake_candidate(0.9, tables=("c", "b"))
+        kept = basic_filter([a, b])
+        assert kept[0] is b
+
+
+class TestRanking:
+    def test_rank_by_derived(self):
+        a = fake_candidate(0.1)
+        b = fake_candidate(0.2, tables=("c", "b"))
+        ranked = rank_by_derived_scenario([a, b], lambda c: 1.0 if c is a else 0.0)
+        assert ranked[0] is a
+        assert ranked[0].derived_score == 1.0
+
+    def test_suspected_bias_prefers_correct_direction(self):
+        a = fake_candidate(0.1)
+        b = fake_candidate(0.2, tables=("c", "b"))
+        bias = SuspectedBias("x", BiasDirection.UNDERESTIMATED)
+        ranked = apply_suspected_bias(
+            [b, a], bias,
+            completed_aggregate=lambda c: 10.0 if c is a else 1.0,
+            incomplete_aggregate=5.0,
+        )
+        assert ranked[0] is a          # only a moves the average up
+        assert ranked[0].direction_ok
+        assert not ranked[1].direction_ok
+
+    def test_suspected_bias_keeps_order_if_none_correct(self):
+        a = fake_candidate(0.1)
+        b = fake_candidate(0.2, tables=("c", "b"))
+        bias = SuspectedBias("x", BiasDirection.UNDERESTIMATED)
+        ranked = apply_suspected_bias(
+            [b, a], bias,
+            completed_aggregate=lambda c: 0.0,
+            incomplete_aggregate=5.0,
+        )
+        assert ranked == [b, a]
+
+
+class TestAdvancedSelectionEndToEnd:
+    def test_derived_scenario_selection(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=400,
+                                                predictability=0.9, seed=0))
+        dataset = make_incomplete(db, [RemovalSpec("tb", "b", 0.6, 0.4)],
+                                  tf_keep_rate=0.5, seed=1)
+        config = ReStoreConfig(model=ModelConfig(
+            hidden=(32, 32),
+            train=TrainConfig(epochs=6, batch_size=128, lr=1e-2, patience=3),
+        ))
+        engine = ReStore.from_dataset(dataset, config).fit()
+        choice = engine.advanced_select("tb", dataset, seed=2)
+        assert choice.derived_score is not None
+        # The chosen candidate has the best derived score.
+        scores = [c.derived_score for c in engine.candidates("tb")
+                  if c.derived_score is not None]
+        assert choice.derived_score == max(scores)

@@ -1,0 +1,298 @@
+"""Integration tests: incompleteness join, merging, selection, engine, confidence."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ARCompletionModel,
+    BiasDirection,
+    ConfidenceEstimator,
+    IncompletenessJoin,
+    ModelConfig,
+    PathLayout,
+    ReStore,
+    ReStoreConfig,
+    SuspectedBias,
+    build_encoders,
+    compatible_order,
+    merge_paths,
+    training_savings,
+)
+from repro.datasets import (
+    HousingConfig,
+    SyntheticConfig,
+    generate_housing,
+    generate_synthetic,
+)
+from repro.incomplete import RemovalSpec, make_incomplete
+from repro.metrics import bias_reduction, cardinality_correction
+from repro.nn import TrainConfig
+from repro.query import Aggregate, AggregateKind, Query, execute, parse_query
+from repro.relational import CompletionPath
+
+FAST = TrainConfig(epochs=8, batch_size=128, lr=1e-2, patience=3)
+
+
+@pytest.fixture(scope="module")
+def synthetic_engineless():
+    db = generate_synthetic(SyntheticConfig(num_parents=400, predictability=0.9,
+                                            seed=0))
+    dataset = make_incomplete(db, [RemovalSpec("tb", "b", 0.5, 0.4)],
+                              tf_keep_rate=0.5, seed=1)
+    encoders = build_encoders(dataset.incomplete, num_bins=8)
+    layout = PathLayout(dataset.incomplete, dataset.annotation,
+                        CompletionPath(("ta", "tb")), encoders)
+    model = ARCompletionModel(layout, ModelConfig(hidden=(32, 32), train=FAST))
+    model.fit()
+    return db, dataset, model
+
+
+@pytest.fixture(scope="module")
+def housing_engine():
+    db = generate_housing(HousingConfig(seed=0, num_neighborhoods=60,
+                                        num_landlords=250,
+                                        apartments_per_neighborhood=12.0))
+    dataset = make_incomplete(db, [RemovalSpec("apartment", "price", 0.5, 0.4)],
+                              tf_keep_rate=0.3, seed=1)
+    config = ReStoreConfig(model=ModelConfig(hidden=(48, 48), train=FAST))
+    engine = ReStore.from_dataset(dataset, config).fit()
+    return db, dataset, engine
+
+
+class TestIncompletenessJoin:
+    def test_restores_cardinality(self, synthetic_engineless):
+        db, dataset, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        total = completed.result.effective_weights().sum()
+        true_n = len(db.table("tb"))
+        inc_n = len(dataset.incomplete.table("tb"))
+        assert cardinality_correction(true_n, inc_n, total) > 0.5
+
+    def test_reduces_bias(self, synthetic_engineless):
+        db, dataset, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        values = completed.result.resolve("tb.b")
+        weights = completed.result.effective_weights()
+        uniques, counts = np.unique(db.table("tb")["b"], return_counts=True)
+        value = uniques[counts.argmax()]
+        true_f = (db.table("tb")["b"] == value).mean()
+        inc_f = (dataset.incomplete.table("tb")["b"] == value).mean()
+        comp_f = float((weights * (values == value)).sum() / weights.sum())
+        assert bias_reduction(true_f, inc_f, comp_f) > 0.3
+
+    def test_existing_rows_preserved(self, synthetic_engineless):
+        db, dataset, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        synth = completed.target_synthesized()
+        inc_tb = dataset.incomplete.table("tb")
+        # Every available tb tuple appears exactly once among real rows.
+        real_ids = completed.result.resolve("tb.id")[~synth]
+        np.testing.assert_array_equal(np.sort(real_ids), np.sort(inc_tb["id"]))
+
+    def test_synth_ids_unique_negative(self, synthetic_engineless):
+        _, __, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        synth = completed.target_synthesized()
+        ids = completed.result.resolve("tb.id")[synth]
+        assert (ids <= -2).all()
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_stop_table_truncates(self, housing_engine):
+        db, dataset, engine = housing_engine
+        candidate = next(
+            c for c in engine.candidates("apartment")
+            if c.path.tables == ("neighborhood", "apartment")
+        )
+        join = IncompletenessJoin(candidate.model, seed=0)
+        with pytest.raises(ValueError):
+            join.run(stop_table="neighborhood")
+        with pytest.raises(ValueError):
+            join.run(stop_table="ghost")
+
+    def test_deterministic_given_seed(self, synthetic_engineless):
+        _, __, model = synthetic_engineless
+        a = IncompletenessJoin(model, seed=7).run()
+        b = IncompletenessJoin(model, seed=7).run()
+        np.testing.assert_array_equal(
+            a.result.resolve("tb.b"), b.result.resolve("tb.b")
+        )
+
+    def test_codes_carried_for_confidence(self, synthetic_engineless):
+        _, __, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        assert completed.codes is not None
+        assert len(completed.codes) == completed.num_rows
+
+
+class TestMerging:
+    def test_subset_paths_merge(self):
+        long = CompletionPath(("t3", "t2", "t1"))
+        short = CompletionPath(("t3", "t2"))
+        groups = merge_paths([long, short])
+        assert len(groups) == 1
+        assert len(groups[0]) == 2
+        assert groups[0].table_order == ("t3", "t2", "t1")
+
+    def test_conflicting_orders_do_not_merge(self):
+        # p(T2|T1) and p(T1|T2) cannot share one ordering (paper example).
+        a = CompletionPath(("t1", "t2"))
+        b = CompletionPath(("t2", "t1"))
+        groups = merge_paths([a, b])
+        assert len(groups) == 2
+
+    def test_disjoint_tables_do_not_merge(self):
+        a = CompletionPath(("a", "b"))
+        b = CompletionPath(("c", "d"))
+        assert len(merge_paths([a, b])) == 2
+
+    def test_compatible_order_none_for_cycle(self):
+        a = CompletionPath(("t1", "t2"))
+        b = CompletionPath(("t2", "t1"))
+        assert compatible_order([a, b]) is None
+
+    def test_training_savings(self):
+        paths = [
+            CompletionPath(("t3", "t2", "t1")),
+            CompletionPath(("t3", "t2")),
+            CompletionPath(("x", "y")),
+        ]
+        stats = training_savings(paths)
+        assert stats["models_without_merging"] == 3
+        assert stats["models_with_merging"] == 2
+        assert stats["saved"] == 1
+
+
+class TestEngine:
+    def test_candidates_ranked_by_signal(self, housing_engine):
+        _, __, engine = housing_engine
+        chosen = engine.select_model("apartment")
+        signals = [c.signal for c in engine.candidates("apartment")]
+        assert chosen.signal == max(signals)
+
+    def test_coverage_constraint(self, housing_engine):
+        _, __, engine = housing_engine
+        query = parse_query(
+            "SELECT AVG(price) FROM landlord NATURAL JOIN apartment;"
+        )
+        chosen = engine.select_model("apartment", query=query)
+        assert {"landlord", "apartment"} <= set(chosen.path.tables)
+
+    def test_answer_complete_query_passthrough(self, housing_engine):
+        db, dataset, engine = housing_engine
+        query = parse_query("SELECT COUNT(*) FROM neighborhood;")
+        answer = engine.answer(query)
+        assert not answer.used_completion
+        assert answer.result.scalar == len(dataset.incomplete.table("neighborhood"))
+
+    def test_answer_improves_count(self, housing_engine):
+        db, dataset, engine = housing_engine
+        query = Query(("apartment",), Aggregate(AggregateKind.COUNT))
+        truth = execute(db, query).scalar
+        inc = execute(dataset.incomplete, query).scalar
+        answer = engine.answer(query)
+        assert abs(answer.result.scalar - truth) < abs(inc - truth)
+
+    def test_answer_improves_avg_price(self, housing_engine):
+        db, dataset, engine = housing_engine
+        query = Query(("apartment",), Aggregate(AggregateKind.AVG, "price"))
+        truth = execute(db, query).scalar
+        inc = execute(dataset.incomplete, query).scalar
+        bias = SuspectedBias("price", BiasDirection.UNDERESTIMATED)
+        answer = engine.answer(query, suspected_bias=bias)
+        assert abs(answer.result.scalar - truth) < abs(inc - truth)
+
+    def test_join_cache_reused(self, housing_engine):
+        _, __, engine = housing_engine
+        engine.clear_cache()
+        q1 = Query(("apartment",), Aggregate(AggregateKind.COUNT))
+        q2 = Query(("apartment",), Aggregate(AggregateKind.AVG, "price"))
+        a1 = engine.answer(q1)
+        a2 = engine.answer(q2)
+        same_model = (a1.model.kind, a1.model.layout.path.tables) == (
+            a2.model.kind, a2.model.layout.path.tables)
+        if same_model:
+            assert engine.cache_hits >= 1
+            assert a2.from_cache
+
+    def test_merge_stats_populated(self, housing_engine):
+        _, __, engine = housing_engine
+        assert engine.merge_stats["models_without_merging"] >= 2
+
+    def test_unknown_target_raises(self, housing_engine):
+        _, __, engine = housing_engine
+        with pytest.raises(RuntimeError):
+            engine.candidates("neighborhood")
+
+    def test_annotation_must_cover(self):
+        db = generate_housing(HousingConfig(seed=2, num_neighborhoods=10,
+                                            num_landlords=20,
+                                            apartments_per_neighborhood=3.0))
+        from repro.relational import SchemaAnnotation
+        partial = SchemaAnnotation(complete_tables={"neighborhood"},
+                                   incomplete_tables={"apartment"})
+        with pytest.raises(ValueError):
+            ReStore(db, partial)
+
+
+class TestConfidence:
+    def test_band_contains_truth_and_envelope(self, synthetic_engineless):
+        db, dataset, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        uniques, counts = np.unique(db.table("tb")["b"], return_counts=True)
+        value = uniques[counts.argmax()]
+        band = ConfidenceEstimator(model, completed).count_fraction("b", value)
+        true_fraction = (db.table("tb")["b"] == value).mean()
+        assert band.theoretical_min - 1e-9 <= band.lower
+        assert band.upper <= band.theoretical_max + 1e-9
+        assert band.contains(true_fraction)
+
+    def test_band_ordering(self, synthetic_engineless):
+        db, dataset, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        band = ConfidenceEstimator(model, completed).count_fraction("b", "v0")
+        assert band.lower <= band.estimate <= band.upper
+
+    def test_higher_confidence_wider(self, synthetic_engineless):
+        db, dataset, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        narrow = ConfidenceEstimator(model, completed, 0.8).count_fraction("b", "v0")
+        wide = ConfidenceEstimator(model, completed, 0.99).count_fraction("b", "v0")
+        assert wide.width >= narrow.width
+
+    def test_continuous_needs_average(self, synthetic_engineless):
+        db, dataset, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        est = ConfidenceEstimator(model, completed)
+        with pytest.raises(TypeError):
+            est.average("b")
+
+    def test_average_band_on_housing(self, housing_engine):
+        db, dataset, engine = housing_engine
+        choice = engine.select_model("apartment")
+        completed = engine.completed_join(choice.model)
+        band = ConfidenceEstimator(choice.model, completed).average("price")
+        assert band.lower <= band.estimate <= band.upper
+        assert band.theoretical_min <= band.lower
+        assert band.upper <= band.theoretical_max
+
+    def test_total_band_scales_average(self, housing_engine):
+        db, dataset, engine = housing_engine
+        choice = engine.select_model("apartment")
+        completed = engine.completed_join(choice.model)
+        est = ConfidenceEstimator(choice.model, completed)
+        avg = est.average("price")
+        total = est.total("price")
+        weight_sum = completed.result.effective_weights().sum()
+        assert total.estimate == pytest.approx(avg.estimate * weight_sum)
+
+    def test_synthesis_ratio(self, synthetic_engineless):
+        _, dataset, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        ratio = ConfidenceEstimator(model, completed).synthesis_ratio()
+        assert 0.2 < ratio < 0.8  # half the tuples were removed
+
+    def test_invalid_confidence_level(self, synthetic_engineless):
+        _, __, model = synthetic_engineless
+        completed = IncompletenessJoin(model, seed=0).run()
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(model, completed, confidence=0.4)

@@ -1,0 +1,147 @@
+"""Tests for PathLayout and training-data assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core import PathLayout, assemble_training_data, build_encoders
+from repro.datasets import HousingConfig, SyntheticConfig, generate_housing, generate_synthetic
+from repro.incomplete import RemovalSpec, make_incomplete
+from repro.relational import CompletionPath, SchemaAnnotation
+from repro.relational.tuple_factors import TF_UNKNOWN
+
+
+@pytest.fixture(scope="module")
+def housing_setup():
+    db = generate_housing(HousingConfig(seed=0, num_neighborhoods=40,
+                                        num_landlords=150,
+                                        apartments_per_neighborhood=8.0))
+    dataset = make_incomplete(
+        db, [RemovalSpec("apartment", "price", 0.5, 0.5)],
+        tf_keep_rate=0.4, seed=1,
+    )
+    encoders = build_encoders(dataset.incomplete, num_bins=8)
+    return db, dataset, encoders
+
+
+class TestPathLayout:
+    def test_variable_order(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment")), encoders)
+        names = [v.name for v in layout.variables]
+        # Evidence columns first, TF before the target columns.
+        assert names[0].startswith("neighborhood.")
+        tf_pos = next(i for i, n in enumerate(names) if n.startswith("tf:"))
+        first_target = next(i for i, n in enumerate(names)
+                            if n.startswith("apartment."))
+        assert tf_pos < first_target
+
+    def test_slot_ranges_partition(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment")), encoders)
+        covered = []
+        for slot in range(2):
+            start, stop = layout.slot_range(slot)
+            covered.extend(range(start, stop))
+        assert covered == list(range(layout.num_variables))
+
+    def test_n_to_1_has_no_tf(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("apartment", "landlord")), encoders)
+        assert layout.tf_variable_index(1) is None
+        assert not any(v.is_tuple_factor for v in layout.variables)
+
+    def test_fan_out_tf_codec(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment")), encoders)
+        codec = layout.tf_codec_for(1)
+        # Adaptive cap covers the largest observed/annotated TF.
+        fk = dataset.incomplete.fk_between("apartment", "neighborhood")
+        annotated = layout.annotated_tfs(1)
+        known = annotated[annotated != TF_UNKNOWN]
+        assert codec.cap >= known.max()
+        with pytest.raises(KeyError):
+            layout.tf_codec_for(0)
+
+    def test_annotated_tfs_mix_known_unknown(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment")), encoders)
+        tfs = layout.annotated_tfs(1)
+        assert (tfs == TF_UNKNOWN).any()
+        assert (tfs != TF_UNKNOWN).any()
+
+    def test_target_variables_are_last_slot(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment")), encoders)
+        target_vars = layout.target_variables()
+        assert target_vars == list(range(layout.slot_range(1)[0],
+                                         layout.num_variables))
+
+    def test_explicit_tf_cap(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment")),
+                            encoders, tf_cap=7)
+        assert layout.tf_codec_for(1).cap == 7
+
+
+class TestTrainingData:
+    def test_matrix_shape_and_bounds(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment")), encoders)
+        data = assemble_training_data(layout)
+        assert data.matrix.shape[1] == layout.num_variables
+        assert data.num_rows == len(dataset.incomplete.table("apartment"))
+        for i, spec in enumerate(layout.variables):
+            assert data.matrix[:, i].min() >= 0
+            assert data.matrix[:, i].max() < spec.vocab_size
+
+    def test_row_positions_align(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment")), encoders)
+        data = assemble_training_data(layout)
+        apt = dataset.incomplete.table("apartment")
+        nb = dataset.incomplete.table("neighborhood")
+        # Each row's apartment must actually reference its neighborhood.
+        apt_rows = data.row_positions["apartment"]
+        nb_rows = data.row_positions["neighborhood"]
+        refs = apt["neighborhood_id"][apt_rows]
+        keys = nb["id"][nb_rows]
+        np.testing.assert_array_equal(refs, keys)
+
+    def test_known_tfs_encode_true_counts(self, housing_setup):
+        db, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment")), encoders)
+        data = assemble_training_data(layout)
+        tf_idx = layout.tf_variable_index(1)
+        codec = layout.tf_codec_for(1)
+        annotated = layout.annotated_tfs(1)
+        nb_rows = data.row_positions["neighborhood"]
+        expected = codec.encode(annotated[nb_rows])
+        np.testing.assert_array_equal(data.matrix[:, tf_idx], expected)
+
+    def test_three_table_path(self, housing_setup):
+        _, dataset, encoders = housing_setup
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("neighborhood", "apartment", "landlord")),
+                            encoders)
+        data = assemble_training_data(layout)
+        assert set(data.row_positions) == {"neighborhood", "apartment", "landlord"}
+        assert data.matrix.shape[1] == layout.num_variables
+
+    def test_synthetic_two_table(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=3))
+        dataset = make_incomplete(db, [RemovalSpec("tb", "b", 0.5, 0.3)], seed=4)
+        encoders = build_encoders(dataset.incomplete, num_bins=8)
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("ta", "tb")), encoders)
+        data = assemble_training_data(layout)
+        assert data.num_rows == len(dataset.incomplete.table("tb"))

@@ -1,0 +1,296 @@
+"""Tests for dataset generators and the biased-removal machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    HousingConfig,
+    MoviesConfig,
+    SyntheticConfig,
+    generate_housing,
+    generate_movies,
+    generate_synthetic,
+)
+from repro.incomplete import (
+    IncompleteDataset,
+    RemovalSpec,
+    derive_selection_scenario,
+    make_incomplete,
+    removal_mask,
+)
+from repro.relational import observed_tuple_factors
+from repro.relational.tuple_factors import TF_UNKNOWN
+
+
+class TestSyntheticGenerator:
+    def test_shapes_and_fks(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=200, seed=1))
+        assert len(db.table("ta")) == 200
+        assert db.validate_references() == []
+
+    def test_full_predictability_is_functional(self):
+        db = generate_synthetic(SyntheticConfig(predictability=1.0, seed=2))
+        from repro.query import join_tables
+        joined = join_tables(db, ["tb", "ta"])
+        agree = (joined.resolve("ta.a") == joined.resolve("tb.b")).mean()
+        assert agree == 1.0
+
+    def test_zero_predictability_is_noise(self):
+        cfg = SyntheticConfig(predictability=0.0, domain_size=8, seed=3)
+        db = generate_synthetic(cfg)
+        from repro.query import join_tables
+        joined = join_tables(db, ["tb", "ta"])
+        agree = (joined.resolve("ta.a") == joined.resolve("tb.b")).mean()
+        assert agree < 0.25  # chance level is 1/8
+
+    def test_predictability_monotone(self):
+        from repro.query import join_tables
+        rates = []
+        for p in (0.2, 0.6, 1.0):
+            db = generate_synthetic(SyntheticConfig(predictability=p, seed=4))
+            joined = join_tables(db, ["tb", "ta"])
+            rates.append((joined.resolve("ta.a") == joined.resolve("tb.b")).mean())
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_skew_concentrates_mass(self):
+        flat = generate_synthetic(SyntheticConfig(skew=0.0, seed=5))
+        skewed = generate_synthetic(SyntheticConfig(skew=2.5, seed=5))
+        top_flat = max(np.unique(flat.table("ta")["a"], return_counts=True)[1])
+        top_skew = max(np.unique(skewed.table("ta")["a"], return_counts=True)[1])
+        assert top_skew > 2 * top_flat
+
+    def test_fanout_coherence(self):
+        cfg = SyntheticConfig(predictability=0.0, fan_out_predictability=1.0, seed=6)
+        db = generate_synthetic(cfg)
+        tb = db.table("tb")
+        parents = tb["ta_id"]
+        values = tb["b"]
+        # All siblings share one value when fan-out predictability is 1.
+        for parent in np.unique(parents)[:50]:
+            group = values[parents == parent]
+            assert len(set(group.tolist())) <= 1 or len(group) == 0
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(predictability=1.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(skew=-1.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(domain_size=1)
+        with pytest.raises(ValueError):
+            SyntheticConfig(fan_out_predictability=-0.1)
+
+
+class TestHousingGenerator:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_housing(HousingConfig(seed=0))
+
+    def test_schema(self, db):
+        assert set(db.table_names()) == {"neighborhood", "apartment", "landlord"}
+        assert db.validate_references() == []
+
+    def test_price_correlates_with_density(self, db):
+        from repro.query import join_tables
+        joined = join_tables(db, ["apartment", "neighborhood"])
+        corr = np.corrcoef(
+            np.log(joined.resolve("pop_density").astype(float)),
+            np.log(joined.resolve("price").astype(float)),
+        )[0, 1]
+        assert corr > 0.3
+
+    def test_entire_homes_cost_more(self, db):
+        apt = db.table("apartment")
+        entire = apt["price"][apt["room_type"] == "Entire home/apt"].mean()
+        shared = apt["price"][apt["room_type"] == "Shared room"].mean()
+        assert entire > 1.5 * shared
+
+    def test_professional_landlords_respond_better(self, db):
+        ll = db.table("landlord")
+        fast = ll["landlord_response_rate"][ll["landlord_response_time"] <= 1].mean()
+        slow = ll["landlord_response_rate"][ll["landlord_response_time"] >= 3].mean()
+        assert fast > slow
+
+    def test_scale_knob(self):
+        small = generate_housing(HousingConfig(num_neighborhoods=20,
+                                               num_landlords=50,
+                                               apartments_per_neighborhood=5.0))
+        assert len(small.table("neighborhood")) == 20
+        assert len(small.table("apartment")) < 400
+
+
+class TestMoviesGenerator:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_movies(MoviesConfig(seed=0))
+
+    def test_schema(self, db):
+        expected = {"movie", "director", "actor", "company",
+                    "movie_director", "movie_actor", "movie_company"}
+        assert set(db.table_names()) == expected
+        assert db.validate_references() == []
+
+    def test_every_movie_has_a_company(self, db):
+        fk = db.fk_between("movie_company", "movie")
+        tfs = observed_tuple_factors(db, fk)
+        assert tfs.min() >= 1
+
+    def test_country_studio_correlation(self, db):
+        from repro.query import join_tables
+        joined = join_tables(db, ["movie", "movie_company", "company"])
+        country = joined.resolve("movie.country")
+        code = joined.resolve("company.country_code")
+        mapping = {"USA": "[us]", "UK": "[gb]", "France": "[fr]",
+                   "Germany": "[de]", "India": "[in]", "Japan": "[jp]"}
+        agree = np.mean([mapping[c] == k for c, k in zip(country, code)])
+        assert agree > 0.5
+
+    def test_director_era_correlation(self, db):
+        from repro.query import join_tables
+        joined = join_tables(db, ["movie", "movie_director", "director"])
+        corr = np.corrcoef(
+            joined.resolve("production_year").astype(float),
+            joined.resolve("birth_year").astype(float),
+        )[0, 1]
+        assert corr > 0.5
+
+
+class TestRemoval:
+    def test_keep_rate_exact(self):
+        db = generate_synthetic(SyntheticConfig(seed=7))
+        spec = RemovalSpec("tb", "b", keep_rate=0.4, removal_correlation=0.5)
+        mask = removal_mask(db.table("tb"), spec, np.random.default_rng(0))
+        assert abs(mask.mean() - 0.4) < 0.01
+
+    def test_zero_correlation_unbiased(self):
+        db = generate_synthetic(SyntheticConfig(seed=8, num_parents=4000))
+        tb = db.table("tb")
+        spec = RemovalSpec("tb", "b", keep_rate=0.5, removal_correlation=0.0)
+        mask = removal_mask(tb, spec, np.random.default_rng(1))
+        uniques, counts_all = np.unique(tb["b"], return_counts=True)
+        _, counts_kept = np.unique(tb["b"][mask], return_counts=True)
+        fractions = counts_kept / counts_all
+        assert fractions.max() - fractions.min() < 0.08
+
+    def test_categorical_bias_grows_with_correlation(self):
+        db = generate_synthetic(SyntheticConfig(seed=9, num_parents=3000))
+        tb = db.table("tb")
+        uniques, counts = np.unique(tb["b"], return_counts=True)
+        biased_value = uniques[counts.argmax()]
+        base_frac = (tb["b"] == biased_value).mean()
+        deltas = []
+        for corr in (0.2, 0.8):
+            spec = RemovalSpec("tb", "b", keep_rate=0.5, removal_correlation=corr,
+                               biased_value=biased_value)
+            mask = removal_mask(tb, spec, np.random.default_rng(2))
+            kept_frac = (tb["b"][mask] == biased_value).mean()
+            deltas.append(base_frac - kept_frac)
+        assert deltas[1] > deltas[0] > 0
+
+    def test_continuous_bias_grows_with_correlation(self):
+        db = generate_housing(HousingConfig(seed=1))
+        apt = db.table("apartment")
+        true_mean = apt["price"].mean()
+        biases = []
+        for corr in (0.2, 0.8):
+            spec = RemovalSpec("apartment", "price", keep_rate=0.5,
+                               removal_correlation=corr)
+            mask = removal_mask(apt, spec, np.random.default_rng(3))
+            biases.append(true_mean - apt["price"][mask].mean())
+        # High-value rows removed preferentially: kept mean drops.
+        assert biases[1] > biases[0] > 0
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            RemovalSpec("t", "a", keep_rate=0.0, removal_correlation=0.5)
+        with pytest.raises(ValueError):
+            RemovalSpec("t", "a", keep_rate=0.5, removal_correlation=1.2)
+
+    def test_keep_rate_one_removes_nothing(self):
+        db = generate_synthetic(SyntheticConfig(seed=10))
+        spec = RemovalSpec("tb", "b", keep_rate=1.0, removal_correlation=0.5)
+        mask = removal_mask(db.table("tb"), spec, np.random.default_rng(0))
+        assert mask.all()
+
+
+class TestMakeIncomplete:
+    def test_basic_structure(self):
+        db = generate_housing(HousingConfig(seed=2))
+        dataset = make_incomplete(
+            db,
+            [RemovalSpec("apartment", "price", 0.5, 0.5)],
+            tf_keep_rate=0.3,
+            seed=0,
+        )
+        assert isinstance(dataset, IncompleteDataset)
+        assert dataset.annotation.is_complete("neighborhood")
+        assert not dataset.annotation.is_complete("apartment")
+        assert abs(dataset.kept_fraction("apartment") - 0.5) < 0.01
+        assert dataset.kept_fraction("landlord") == 1.0
+
+    def test_tf_annotation_uses_true_counts(self):
+        db = generate_housing(HousingConfig(seed=3))
+        dataset = make_incomplete(
+            db, [RemovalSpec("apartment", "price", 0.4, 0.5)],
+            tf_keep_rate=0.5, seed=1,
+        )
+        fk = db.fk_between("apartment", "neighborhood")
+        annotated = dataset.annotation.tuple_factors_for(
+            fk, len(dataset.incomplete.table("neighborhood"))
+        )
+        true_tfs = observed_tuple_factors(db, fk)
+        known = annotated != TF_UNKNOWN
+        assert 0.3 < known.mean() < 0.7
+        np.testing.assert_array_equal(annotated[known], true_tfs[known])
+
+    def test_dangling_links_removed(self):
+        db = generate_movies(MoviesConfig(seed=4))
+        dataset = make_incomplete(
+            db, [RemovalSpec("movie", "production_year", 0.5, 0.5)],
+            tf_keep_rate=0.2, seed=2,
+        )
+        assert not dataset.annotation.is_complete("movie_company")
+        assert not dataset.annotation.is_complete("movie_actor")
+        assert dataset.incomplete.validate_references() == []
+        # Link tables shrank.
+        assert (len(dataset.incomplete.table("movie_company"))
+                < len(db.table("movie_company")))
+
+    def test_duplicate_specs_rejected(self):
+        db = generate_housing(HousingConfig(seed=5))
+        with pytest.raises(ValueError):
+            make_incomplete(db, [
+                RemovalSpec("apartment", "price", 0.5, 0.5),
+                RemovalSpec("apartment", "room_type", 0.5, 0.5),
+            ])
+
+    def test_complete_db_untouched(self):
+        db = generate_housing(HousingConfig(seed=6))
+        rows_before = len(db.table("apartment"))
+        make_incomplete(db, [RemovalSpec("apartment", "price", 0.3, 0.8)])
+        assert len(db.table("apartment")) == rows_before
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.2, 0.9), st.floats(0.0, 1.0))
+    def test_keep_rate_respected_property(self, keep, corr):
+        db = generate_synthetic(SyntheticConfig(seed=11, num_parents=300))
+        dataset = make_incomplete(
+            db, [RemovalSpec("tb", "b", keep, corr)], seed=3
+        )
+        assert abs(dataset.kept_fraction("tb") - keep) < 0.05
+
+
+class TestDerivedScenario:
+    def test_second_level_removal(self):
+        db = generate_housing(HousingConfig(seed=7))
+        first = make_incomplete(
+            db, [RemovalSpec("apartment", "price", 0.6, 0.5)], seed=4
+        )
+        second = derive_selection_scenario(first, seed=5)
+        # "Complete" of the derived scenario is the first-level incomplete db.
+        assert second.complete is first.incomplete
+        n_first = len(first.incomplete.table("apartment"))
+        n_second = len(second.incomplete.table("apartment"))
+        assert abs(n_second / n_first - 0.6) < 0.05

@@ -1,0 +1,134 @@
+"""Tests for optimizers and the generic training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, SGD, Tensor, TrainConfig, clip_grad_norm, train
+from repro.nn import functional as F
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x = Tensor([5.0], requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (x * x).backward()
+            opt.step()
+        assert abs(x.item()) < 1e-3
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            x = Tensor([5.0], requires_grad=True)
+            opt = SGD([x], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                (x * x).backward()
+                opt.step()
+            return abs(x.item())
+
+        assert run(0.9) < run(0.0)
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x = Tensor([3.0], requires_grad=True)
+        opt = Adam([x], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            (x * x).backward()
+            opt.step()
+        assert abs(x.item()) < 1e-2
+
+    def test_skips_gradless_params(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = Tensor([1.0], requires_grad=True)
+        opt = Adam([x, y], lr=0.1)
+        opt.zero_grad()
+        (x * x).backward()
+        opt.step()
+        assert y.item() == 1.0
+        assert x.item() != 1.0
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor([1.0], requires_grad=True)
+        opt = Adam([x], lr=0.01, weight_decay=1.0)
+        opt.zero_grad()
+        # Zero loss gradient; only decay acts.
+        (x * 0.0).backward()
+        opt.step()
+        assert x.item() < 1.0
+
+
+class TestGradClip:
+    def test_clips_large_norm(self):
+        x = Tensor([1.0], requires_grad=True)
+        x.grad = np.array([100.0])
+        norm = clip_grad_norm([x], max_norm=1.0)
+        assert norm == pytest.approx(100.0)
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_leaves_small_norm(self):
+        x = Tensor([1.0], requires_grad=True)
+        x.grad = np.array([0.5])
+        clip_grad_norm([x], max_norm=1.0)
+        np.testing.assert_allclose(x.grad, [0.5])
+
+
+class TestTrainLoop:
+    def _regression_problem(self, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(300, 3))
+        y = (x.sum(axis=1) > 0).astype(int)
+        model = MLP(3, [16], 2, rng=np.random.default_rng(seed + 1))
+
+        def loss_fn(idx):
+            return F.cross_entropy(model(Tensor(x[idx])), y[idx])
+
+        def eval_fn(idx):
+            logits = model(Tensor(x[idx])).numpy()
+            return float(F.nll_from_logits(logits, y[idx]).mean())
+
+        return model, x, y, loss_fn, eval_fn
+
+    def test_loss_decreases(self):
+        model, x, y, loss_fn, eval_fn = self._regression_problem()
+        result = train(model, len(x), loss_fn, eval_fn,
+                       TrainConfig(epochs=10, batch_size=64, lr=1e-2, seed=0))
+        assert result.train_losses[-1] < result.train_losses[0]
+        assert result.epochs_run >= 3
+
+    def test_early_stopping_restores_best(self):
+        model, x, y, loss_fn, eval_fn = self._regression_problem(seed=1)
+        result = train(model, len(x), loss_fn, eval_fn,
+                       TrainConfig(epochs=40, batch_size=64, lr=5e-2, seed=0,
+                                   patience=2))
+        # Final model must score (close to) the best recorded val loss.
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(x))
+        val_idx = order[:max(1, int(len(x) * 0.1))]
+        np.testing.assert_allclose(eval_fn(val_idx), result.best_val_loss, atol=1e-9)
+
+    def test_needs_two_examples(self):
+        model, *_ , loss_fn, eval_fn = self._regression_problem()
+        with pytest.raises(ValueError):
+            train(model, 1, loss_fn, eval_fn)
+
+    def test_deterministic_given_seed(self):
+        res = []
+        for _ in range(2):
+            model, x, y, loss_fn, eval_fn = self._regression_problem(seed=7)
+            r = train(model, len(x), loss_fn, eval_fn,
+                      TrainConfig(epochs=3, batch_size=64, seed=11))
+            res.append(r.train_losses)
+        np.testing.assert_allclose(res[0], res[1])
+
+    def test_records_wall_time(self):
+        model, x, y, loss_fn, eval_fn = self._regression_problem(seed=2)
+        result = train(model, len(x), loss_fn, eval_fn,
+                       TrainConfig(epochs=2, batch_size=128))
+        assert result.wall_time_s > 0
