@@ -24,7 +24,7 @@ from repro.metrics import bias_reduction, weighted_average
 from repro.nn import TrainConfig
 from repro.relational import CompletionPath, enumerate_completion_paths
 
-from .conftest import run_once
+from conftest import run_once
 
 
 def _housing_dataset(scale=0.4, seed=0):

@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.experiments import print_confidence, run_fig6, run_fig13, run_fig14
 
-from .conftest import run_once
+from conftest import run_once
 
 
 def test_fig6(benchmark, experiment_config):

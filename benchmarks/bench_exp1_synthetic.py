@@ -9,7 +9,7 @@ from repro.experiments import (
     fig5c_fan_out,
 )
 
-from .conftest import run_once
+from conftest import run_once
 
 
 def test_fig5a_predictability(benchmark, experiment_config):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.experiments import print_fig7, run_fig7, summarize_fig7
 
-from .conftest import run_once
+from conftest import run_once
 
 HOUSING = ["H1", "H3", "H4"]
 MOVIES = ["M1", "M3", "M5"]

@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.experiments import print_fig8, run_fig8, summarize_fig8
 
-from .conftest import run_once
+from conftest import run_once
 
 # Representative Table 1 subset per dataset: single-table COUNT/SUM/AVG plus
 # join queries with filters and group-bys (the full set runs under

@@ -7,13 +7,15 @@ from repro.experiments import (
     fig9_ar_vs_ssar,
     print_fig9,
     print_fig10,
+    print_inference_comparison,
     print_timings,
     run_fig7,
     run_fig10,
+    run_inference_comparison,
     run_timings,
 )
 
-from .conftest import run_once
+from conftest import run_once
 
 SETUPS = ["H1", "H4", "M1"]
 
@@ -56,6 +58,28 @@ def test_fig11_training_time(benchmark, experiment_config):
     if "ar" in by_kind and "ssar" in by_kind:
         assert np.mean(by_kind["ar"]) < np.mean(by_kind["ssar"]) * 1.5
     assert all(t > 0 for ts in by_kind.values() for t in ts)
+
+
+def test_inference_runtime_speedup(benchmark, experiment_config):
+    """Compiled (graph-free float32) completion vs the autograd forward.
+
+    Times the incompleteness join on both inference backends for every
+    candidate model and emits the per-model comparison into the benchmark
+    JSON (``extra_info``), so the speedup is tracked alongside wall time in
+    the perf trajectory.
+    """
+    rows = run_once(benchmark, run_inference_comparison, ["H4"],
+                    experiment_config)
+    print()
+    print_inference_comparison(rows)
+    benchmark.extra_info["inference_comparison"] = [r.as_dict() for r in rows]
+    speedups = [r.speedup for r in rows]
+    benchmark.extra_info["compiled_speedup_median"] = float(np.median(speedups))
+    benchmark.extra_info["compiled_speedup_min"] = float(np.min(speedups))
+    assert all(r.outputs_equivalent for r in rows)
+    # The compiled runtime is the point of the refactor: completion must be
+    # at least 3x faster than the autograd path on the same models.
+    assert np.median(speedups) >= 3.0
 
 
 def test_fig12_completion_time(benchmark, experiment_config):

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..incomplete import IncompleteDataset
+from ..runtime import CacheStats, JoinCache
 from ..query import (
     JoinResult,
     Query,
@@ -51,7 +52,14 @@ from .selection import (
 
 @dataclass
 class ReStoreConfig:
-    """Engine-level configuration."""
+    """Engine-level configuration.
+
+    ``chunk_size`` streams the incompleteness join over chunks of that many
+    root evidence rows (bounding peak memory; ``None`` = single pass),
+    ``join_cache_size`` bounds the LRU cache of completed joins, and
+    ``compiled_inference`` selects the graph-free float32 runtime for
+    completion-time sampling (training always uses autograd).
+    """
 
     model: ModelConfig = field(default_factory=ModelConfig)
     num_bins: int = 32
@@ -62,6 +70,9 @@ class ReStoreConfig:
     min_signal: float = 0.0
     approximate_replacement: bool = True
     seed: int = 0
+    chunk_size: Optional[int] = None
+    join_cache_size: int = 8
+    compiled_inference: bool = True
 
 
 @dataclass
@@ -108,8 +119,7 @@ class ReStore:
         self.encoders = build_encoders(db, self.config.num_bins)
         self._models: Dict[Tuple[str, Tuple[str, ...]], _CompletionModelBase] = {}
         self._candidates: Dict[str, List[CandidateScore]] = {}
-        self._join_cache: Dict[Tuple[str, Tuple[str, ...]], CompletedJoin] = {}
-        self.cache_hits = 0
+        self.join_cache = JoinCache(self.config.join_cache_size)
         self.merge_stats: Dict[str, int] = {}
 
     @classmethod
@@ -137,7 +147,12 @@ class ReStore:
         return paths[: self.config.max_paths_per_target]
 
     def fit(self, targets: Optional[Sequence[str]] = None) -> "ReStore":
-        """Train AR (and SSAR where fan-out evidence exists) candidates."""
+        """Train AR (and SSAR where fan-out evidence exists) candidates.
+
+        Re-fitting invalidates the join cache: cached joins were sampled
+        from the previous models and no longer reflect the engine's state.
+        """
+        self.join_cache.invalidate()
         targets = list(targets) if targets is not None else self.incomplete_targets()
         all_paths: List[CompletionPath] = []
         for target in targets:
@@ -183,6 +198,9 @@ class ReStore:
             hidden=base.hidden,
             tree_dim=base.tree_dim,
             seed=seed,
+            compiled_inference=(
+                base.compiled_inference and self.config.compiled_inference
+            ),
             train=base.train,
         )
 
@@ -310,23 +328,49 @@ class ReStore:
     # ------------------------------------------------------------------
     # Completion + caching (§4.5)
     # ------------------------------------------------------------------
+    def _join_key(self, model: _CompletionModelBase) -> Tuple:
+        """Cache key: every input that changes the completed join's content.
+
+        The inference backend is part of the key — float32 and float64
+        sampling CDFs round differently, so a backend flip (benchmarks do
+        this) must not serve the other backend's cached rows.
+        """
+        return (
+            model.kind,
+            model.layout.path.tables,
+            self.config.seed,
+            self.config.approximate_replacement,
+            model.inference_backend,
+        )
+
     def completed_join(self, model: _CompletionModelBase) -> CompletedJoin:
         """Run (or reuse) the incompleteness join for a model's full path."""
-        key = (model.kind, model.layout.path.tables)
-        if key in self._join_cache:
-            self.cache_hits += 1
-            return self._join_cache[key]
+        key = self._join_key(model)
+        cached = self.join_cache.get(key)
+        if cached is not None:
+            return cached
         join = IncompletenessJoin(
             model,
             approximate_replacement=self.config.approximate_replacement,
             seed=self.config.seed,
+            chunk_size=self.config.chunk_size,
         ).run()
-        self._join_cache[key] = join
+        self.join_cache.put(key, join)
         return join
 
+    @property
+    def cache_hits(self) -> int:
+        """Join-cache hits since construction (see also :attr:`cache_stats`)."""
+        return self.join_cache.stats.hits
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the completed-join cache."""
+        return self.join_cache.stats
+
     def clear_cache(self) -> None:
-        self._join_cache.clear()
-        self.cache_hits = 0
+        self.join_cache.invalidate()
+        self.join_cache.reset_stats()
 
     # ------------------------------------------------------------------
     # Projection (§4.4: completion path may exceed the query path)
@@ -399,7 +443,7 @@ class ReStore:
                                        suspected_bias=suspected_bias)
             model = choice.model
 
-        cached_before = (model.kind, model.layout.path.tables) in self._join_cache
+        cached_before = self.join_cache.contains(self._join_key(model))
         completed = self.completed_join(model)
 
         path_tables = set(completed.path.tables)

@@ -39,22 +39,34 @@ class ChildIndex:
         return np.diff(self.offsets)
 
 
+def match_keys(
+    parent_keys: np.ndarray,
+    refs: np.ndarray,
+    key_order: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Row position in ``parent_keys`` for each ref, ``-1`` where unmatched.
+
+    Negative refs (sentinels) never match.  ``key_order`` optionally supplies
+    a precomputed stable argsort of ``parent_keys`` so repeated lookups
+    against the same table (e.g. chunked joins) skip the sort.
+    """
+    parent_keys = np.asarray(parent_keys)
+    refs = np.asarray(refs)
+    if key_order is None:
+        key_order = np.argsort(parent_keys, kind="stable")
+    if len(parent_keys) == 0:
+        return np.full(len(refs), -1, dtype=np.int64)
+    sorted_keys = parent_keys[key_order]
+    pos = np.clip(np.searchsorted(sorted_keys, refs), 0, len(sorted_keys) - 1)
+    matched = (sorted_keys[pos] == refs) & (refs >= 0)
+    return np.where(matched, key_order[pos], -1).astype(np.int64)
+
+
 def build_child_index(db: Database, fk: ForeignKey) -> ChildIndex:
     """Index child rows by parent row position for one relationship."""
     parent = db.table(fk.parent_table)
     child = db.table(fk.child_table)
-    parent_keys = parent[fk.parent_column]
-    refs = child[fk.child_column]
-
-    key_order = np.argsort(parent_keys, kind="stable")
-    sorted_keys = parent_keys[key_order]
-    pos = np.searchsorted(sorted_keys, refs)
-    pos = np.clip(pos, 0, max(len(sorted_keys) - 1, 0))
-    if len(sorted_keys):
-        matched = (sorted_keys[pos] == refs) & (refs >= 0)
-    else:
-        matched = np.zeros(len(refs), dtype=bool)
-    parent_rows = np.where(matched, key_order[pos], -1)
+    parent_rows = match_keys(parent[fk.parent_column], child[fk.child_column])
 
     valid_children = np.flatnonzero(parent_rows >= 0)
     owner = parent_rows[valid_children]

@@ -15,23 +15,42 @@ target, producing the join as it would look on a complete database:
 * **Euclidean replacement** — synthesized tuples of *complete* tables are
   replaced by their nearest existing tuples (restoring real keys), per §4.2.
 
+Execution is handled by the inference runtime (:mod:`repro.runtime`):
+
+* Model forwards run on the graph-free compiled float32 path by default —
+  no autograd graphs are built while sampling.
+* ``run()`` streams over chunks of root evidence rows (``chunk_size``), so
+  peak transient memory is bounded on large databases.  Every walk row
+  carries a counter-based random stream derived from its lineage (root row
+  plus child ordinals), which makes each output row a pure function of the
+  seed and the data — chunked and unchunked runs produce the same rows
+  bitwise (row *order* differs: each chunk emits its rows together).
+  Shared parents synthesized for dangling foreign keys derive their stream
+  from the *key value*, so chunks that split a key's children still
+  materialize the same parent tuple.
+
 The result is a :class:`~repro.query.JoinResult` with fractional row
 weights, directly consumable by the shared filter/aggregate operators.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..query import JoinResult
-from ..relational import MISSING_KEY, ColumnKind, CompletionPath
+from ..relational import MISSING_KEY, CompletionPath
 from ..relational.tuple_factors import TF_UNKNOWN
-from .forest import _gather_children, build_child_index
+from ..runtime import rng as rt_rng
+from ..runtime.rng import chunk_slices
+from .forest import ChildIndex, _gather_children, build_child_index, match_keys
 from .models import _CompletionModelBase
 from .nn_replacement import EuclideanReplacer
+
+_SYNTH_ID_MASK = np.uint64((1 << 62) - 1)
 
 
 @dataclass
@@ -62,7 +81,12 @@ class CompletedJoin:
 
 @dataclass
 class _WalkState:
-    """Rows of the partially completed join after some number of hops."""
+    """Rows of the partially completed join after some number of hops.
+
+    ``streams``/``counters`` are the rows' counter-based random streams
+    (see :mod:`repro.runtime.rng`): the stream identifies the row's lineage,
+    the counter how many uniforms it has consumed.
+    """
 
     codes: np.ndarray                 # (R, V) model-space codes, prefix filled
     columns: Dict[str, np.ndarray]    # qualified raw columns of visited tables
@@ -70,6 +94,8 @@ class _WalkState:
     synthesized: np.ndarray           # (R,) latest-table tuple is synthetic
     current_rows: np.ndarray          # (R,) row in the db table, -1 if synthetic
     context: Optional[np.ndarray]     # (R, C) SSAR context or None
+    streams: np.ndarray               # (R,) uint64 per-row random stream ids
+    counters: np.ndarray              # (R,) uint64 per-row draw counters
 
     @property
     def num_rows(self) -> int:
@@ -83,26 +109,38 @@ class _WalkState:
             synthesized=self.synthesized[idx],
             current_rows=self.current_rows[idx],
             context=None if self.context is None else self.context[idx],
+            streams=self.streams[idx],
+            counters=self.counters[idx],
         )
 
 
 def _concat_states(a: _WalkState, b: _WalkState) -> _WalkState:
-    if a.num_rows == 0:
-        return b
-    if b.num_rows == 0:
-        return a
+    return _concat_many([a, b])
+
+
+def _concat_many(states: List[_WalkState]) -> _WalkState:
+    """Concatenate walk states with one copy per field, not one per state."""
+    non_empty = [s for s in states if s.num_rows > 0]
+    if not non_empty:
+        return states[0]
+    if len(non_empty) == 1:
+        return non_empty[0]
+    first = non_empty[0]
     return _WalkState(
-        codes=np.concatenate([a.codes, b.codes]),
+        codes=np.concatenate([s.codes for s in non_empty]),
         columns={
-            k: np.concatenate([a.columns[k], b.columns[k]]) for k in a.columns
+            k: np.concatenate([s.columns[k] for s in non_empty])
+            for k in first.columns
         },
-        weights=np.concatenate([a.weights, b.weights]),
-        synthesized=np.concatenate([a.synthesized, b.synthesized]),
-        current_rows=np.concatenate([a.current_rows, b.current_rows]),
+        weights=np.concatenate([s.weights for s in non_empty]),
+        synthesized=np.concatenate([s.synthesized for s in non_empty]),
+        current_rows=np.concatenate([s.current_rows for s in non_empty]),
         context=(
-            None if a.context is None
-            else np.concatenate([a.context, b.context])
+            None if first.context is None
+            else np.concatenate([s.context for s in non_empty])
         ),
+        streams=np.concatenate([s.streams for s in non_empty]),
+        counters=np.concatenate([s.counters for s in non_empty]),
     )
 
 
@@ -119,6 +157,14 @@ class IncompletenessJoin:
     replace_synthesized:
         Disable to keep synthesized tuples even for complete tables
         (used by ablation benchmarks; the paper always replaces).
+    seed:
+        Folds into every per-row random stream; two runs with the same seed
+        produce identical output.
+    chunk_size:
+        Stream the walk over chunks of this many root evidence rows
+        (``None`` = single pass).  The output is the same set of rows
+        (bitwise, weights included) for any chunk size; row order, peak
+        memory and batching granularity are what change.
     """
 
     def __init__(
@@ -127,6 +173,7 @@ class IncompletenessJoin:
         approximate_replacement: bool = True,
         replace_synthesized: bool = True,
         seed: int = 0,
+        chunk_size: Optional[int] = None,
     ):
         self.model = model
         self.layout = model.layout
@@ -135,19 +182,25 @@ class IncompletenessJoin:
         self.path = model.layout.path
         self.approximate_replacement = approximate_replacement
         self.replace_synthesized = replace_synthesized
-        self.rng = np.random.default_rng(seed)
+        self.seed = int(seed)
+        self.chunk_size = chunk_size
+        self._seed64 = rt_rng.fold_seed(self.seed)
         self._replacers: Dict[str, EuclideanReplacer] = {}
+        self._child_indexes: Dict[Tuple[str, str, str], ChildIndex] = {}
+        self._orphan_weights: Dict[Tuple[str, str, str], float] = {}
         self._num_synth: Dict[str, int] = {}
         self._synth_masks: Dict[str, np.ndarray] = {}
-        # Synthetic tuples get unique negative ids (below the -1 sentinel)
-        # so projections can deduplicate logical tuples.
-        self._next_synth_id = -2
+        self._parked: Dict[int, List[_WalkState]] = {}
+        self._issued_ids: Dict[str, List[np.ndarray]] = {}
+        self._root_codes: Optional[np.ndarray] = None
+        self._root_columns: Optional[Dict[str, np.ndarray]] = None
+        self._key_orders: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def run(self, stop_table: Optional[str] = None) -> CompletedJoin:
-        """Complete the join along the path.
+        """Complete the join along the path, streaming over root-row chunks.
 
         ``stop_table`` truncates the walk after that table is reached — a
         merged model trained on a longer path serves any prefix sub-path
@@ -160,59 +213,109 @@ class IncompletenessJoin:
             tables = tables[: tables.index(stop_table) + 1]
             if len(tables) < 2:
                 raise ValueError("stop_table must leave at least one hop")
-        state = self._initial_state()
+
+        self._num_synth = {}
+        self._synth_masks = {}
+        self._parked = {}
+        self._issued_ids = {}
+
+        num_roots = len(self.db.table(tables[0]))
+        chunks: List[_WalkState] = []
+        for rows in chunk_slices(num_roots, self.chunk_size):
+            chunks.append(self._walk(self._initial_state(rows), 1, len(tables)))
+        # Rows that hit a dangling foreign key were parked rather than
+        # completed: the shared parent of key k is sampled conditioned on a
+        # canonical representative child, which is only known once every
+        # chunk has contributed its children.  Resolving after the main walk
+        # keeps chunked and unchunked runs on the identical code path.
         for slot in range(1, len(tables)):
-            state = self._hop(state, slot)
+            parked = self._parked.pop(slot, None)
+            if not parked:
+                continue
+            resolved = self._resolve_dangling(_concat_many(parked), slot)
+            chunks.append(self._walk(resolved, slot + 1, len(tables)))
+        # One concatenation at the end — pairwise accumulation would copy
+        # the growing result once per chunk (quadratic in the row count).
+        completed = _concat_many(chunks)
+        self._check_synth_ids()
+
         # The final state's synthesized flags refer to the last completed
         # table — exactly what confidence estimation (§6) needs.
         final_target = tables[-1]
-        self._synth_masks[final_target] = state.synthesized
-        result = JoinResult(dict(state.columns), weights=state.weights)
+        self._synth_masks[final_target] = completed.synthesized
+        result = JoinResult(dict(completed.columns), weights=completed.weights)
         effective_path = CompletionPath(tuple(tables))
         return CompletedJoin(
             result=result,
             path=effective_path,
             num_synthesized=dict(self._num_synth),
             synthesized_mask=dict(self._synth_masks),
-            codes=state.codes,
-            context=state.context,
+            codes=completed.codes,
+            context=completed.context,
         )
 
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def _initial_state(self) -> _WalkState:
+    def _initial_state(self, rows_slice: slice) -> _WalkState:
         root = self.path.tables[0]
         table = self.db.table(root)
-        rows = np.arange(len(table), dtype=np.int64)
-        codes = np.zeros((len(table), self.layout.num_variables), dtype=np.int64)
+        rows = np.arange(rows_slice.start, rows_slice.stop, dtype=np.int64)
+        codes = np.zeros((len(rows), self.layout.num_variables), dtype=np.int64)
         start, stop = self.layout.slot_range(0)
         encoder = self.layout.encoders[root]
         if encoder.columns:
-            codes[:, start:stop] = encoder.encode_table(table)
-        columns = {f"{root}.{c}": np.array(table[c]) for c in table.column_names}
+            if self._root_codes is None:  # encoded once, sliced per chunk
+                self._root_codes = encoder.encode_table(table)
+            codes[:, start:stop] = self._root_codes[rows]
+        if self._root_columns is None:  # materialized once, sliced per chunk
+            self._root_columns = {
+                f"{root}.{c}": np.asarray(table[c]) for c in table.column_names
+            }
+        # Fancy indexing copies, so chunk states never alias the database.
+        columns = {k: v[rows] for k, v in self._root_columns.items()}
         context = self.model.context_for_roots(rows)
         return _WalkState(
             codes=codes,
             columns=columns,
-            weights=np.ones(len(table)),
-            synthesized=np.zeros(len(table), dtype=bool),
+            weights=np.ones(len(rows)),
+            synthesized=np.zeros(len(rows), dtype=bool),
             current_rows=rows,
             context=context,
+            streams=rt_rng.root_streams(rows),
+            counters=np.zeros(len(rows), dtype=np.uint64),
         )
 
     def _replacer(self, table_name: str) -> EuclideanReplacer:
         if table_name not in self._replacers:
+            # Seeded from (join seed, table name) — not from a shared walk
+            # generator — so replacement is identical across chunkings.
+            seed = zlib.crc32(f"{self.seed}:{table_name}".encode())
             self._replacers[table_name] = EuclideanReplacer(
                 self.db.table(table_name),
                 approximate=self.approximate_replacement,
-                seed=int(self.rng.integers(1 << 31)),
+                seed=seed,
             )
         return self._replacers[table_name]
+
+    def _child_index(self, fk) -> ChildIndex:
+        key = (fk.child_table, fk.child_column, fk.parent_table)
+        if key not in self._child_indexes:
+            self._child_indexes[key] = build_child_index(self.db, fk)
+        return self._child_indexes[key]
+
+    def _draw(self, state: _WalkState, k: int) -> np.ndarray:
+        """``(rows, k)`` uniforms from the rows' streams; advances counters."""
+        return rt_rng.draw(self._seed64, state.streams, state.counters, k)
 
     # ------------------------------------------------------------------
     # Hops
     # ------------------------------------------------------------------
+    def _walk(self, state: _WalkState, start_slot: int, num_slots: int) -> _WalkState:
+        for slot in range(start_slot, num_slots):
+            state = self._hop(state, slot)
+        return state
+
     def _hop(self, state: _WalkState, slot: int) -> _WalkState:
         prev = self.path.tables[slot - 1]
         new = self.path.tables[slot]
@@ -225,12 +328,15 @@ class IncompletenessJoin:
     def _fan_out_hop(self, state: _WalkState, slot: int, prev: str, new: str) -> _WalkState:
         fk = self.layout.fan_out_hops[slot]
         tf_idx = self.layout.tf_variable_index(slot)
-        child_index = build_child_index(self.db, fk)
+        child_index = self._child_index(fk)
         existing_counts = np.zeros(state.num_rows, dtype=np.int64)
         real = state.current_rows >= 0
         existing_counts[real] = child_index.counts()[state.current_rows[real]]
 
         # Total tuple factor: annotated truth where available, else sampled.
+        # Every row consumes one uniform (used only where unknown) so draw
+        # accounting never depends on which rows share a chunk.
+        u_tf = self._draw(state, 1)[:, 0]
         annotated = self.layout.annotated_tfs(slot)
         totals = np.full(state.num_rows, TF_UNKNOWN, dtype=np.int64)
         totals[real] = annotated[state.current_rows[real]]
@@ -239,7 +345,8 @@ class IncompletenessJoin:
             prefix = state.codes[unknown]
             ctx = None if state.context is None else state.context[unknown]
             sampled = self.model.predict_tuple_factors(
-                prefix, slot, self.rng, ctx, min_counts=existing_counts[unknown]
+                prefix, slot, context=ctx,
+                min_counts=existing_counts[unknown], draws=u_tf[unknown],
             )
             totals[unknown] = sampled
         totals = np.maximum(totals, existing_counts)
@@ -255,15 +362,27 @@ class IncompletenessJoin:
             owners = rows_real[local_owner]
             if len(child_rows):
                 existing = state.take(owners)
+                # Fresh streams: siblings joined from the same parent must
+                # not share their parent's draw sequence.
+                existing.streams = rt_rng.derive_streams(
+                    state.streams[owners], rt_rng.TAG_CHILD, child_rows
+                )
+                existing.counters = np.zeros(len(owners), dtype=np.uint64)
                 existing.codes[:, tf_idx] = tf_codes[owners]
                 self._fill_real_table(existing, slot, new, child_rows)
                 parts.append(existing)
 
         # ---- synthesized part ----
-        missing = totals - existing_counts
-        owners_syn = np.repeat(np.arange(state.num_rows), np.maximum(missing, 0))
+        missing = np.maximum(totals - existing_counts, 0)
+        owners_syn = np.repeat(np.arange(state.num_rows), missing)
         if len(owners_syn):
+            offsets = np.concatenate([[0], np.cumsum(missing)[:-1]])
+            ordinals = np.arange(len(owners_syn)) - offsets[owners_syn]
             synth = state.take(owners_syn)
+            synth.streams = rt_rng.derive_streams(
+                state.streams[owners_syn], rt_rng.TAG_SYNTH, ordinals
+            )
+            synth.counters = np.zeros(len(owners_syn), dtype=np.uint64)
             synth.codes[:, tf_idx] = tf_codes[owners_syn]
             self._synthesize_table(synth, slot, new)
             # The synthesized child's FK to its evidence parent is known.
@@ -286,12 +405,8 @@ class IncompletenessJoin:
     def _n_to_1_hop(self, state: _WalkState, slot: int, prev: str, new: str) -> _WalkState:
         fk = self.db.fk_between(prev, new)
         parent_table = self.db.table(new)
-        key_to_row = parent_table.key_index()
         fk_values = state.columns[f"{prev}.{fk.child_column}"]
-        partner = np.array(
-            [key_to_row.get(int(v), -1) if v >= 0 else -1 for v in fk_values],
-            dtype=np.int64,
-        )
+        partner = self._partner_rows(new, parent_table, fk_values)
 
         parts: List[_WalkState] = []
         has_partner = partner >= 0
@@ -304,36 +419,18 @@ class IncompletenessJoin:
         needs_synth = ~has_partner
         # Children whose FK is a real key reference a *removed* parent: the
         # missing tuple's key is known, so all children sharing it must get
-        # one shared synthesized parent (keyed by that FK value).  Children
-        # that are themselves synthetic (sentinel FK) get per-row parents
-        # with the §4.3 over-generation weight correction.
+        # one shared synthesized parent (keyed by that FK value).  They are
+        # parked here and resolved globally after every chunk has walked —
+        # see :meth:`_resolve_dangling`.  Children that are themselves
+        # synthetic (sentinel FK) get per-row parents with the §4.3
+        # over-generation weight correction.
         dangling = needs_synth & (np.asarray(fk_values) >= 0)
         orphan = needs_synth & ~dangling
 
         if dangling.any():
-            idx = np.flatnonzero(dangling)
-            keys = np.asarray(fk_values)[idx].astype(np.int64)
-            unique_keys, first_pos, inverse = np.unique(
-                keys, return_index=True, return_inverse=True
+            self._parked.setdefault(slot, []).append(
+                state.take(np.flatnonzero(dangling))
             )
-            reps = state.take(idx[first_pos])
-            self._synthesize_table(reps, slot, new)
-            shared = reps.take(inverse)
-            shared_state = state.take(idx)
-            # Keep each row's own evidence prefix; graft only the shared
-            # parent's slot codes and columns on top.
-            start, stop = self.layout.slot_range(slot)
-            shared_state.codes[:, start:stop] = shared.codes[:, start:stop]
-            for column in self.db.table(new).column_names:
-                shared_state.columns[f"{new}.{column}"] = shared.columns[
-                    f"{new}.{column}"
-                ].copy()
-            pk = self.db.table(new).primary_key
-            if pk is not None:
-                shared_state.columns[f"{new}.{pk}"] = keys
-            shared_state.synthesized = np.ones(len(idx), dtype=bool)
-            shared_state.current_rows = np.full(len(idx), -1, dtype=np.int64)
-            parts.append(shared_state)
 
         if orphan.any():
             idx = np.flatnonzero(orphan)
@@ -352,6 +449,81 @@ class IncompletenessJoin:
         for part in parts[1:]:
             out = _concat_states(out, part)
         return out
+
+    def _partner_rows(self, table_name: str, parent_table,
+                      fk_values: np.ndarray) -> np.ndarray:
+        """Vectorized key → row resolution (``-1`` where unresolvable)."""
+        if table_name not in self._key_orders:
+            if parent_table.primary_key is None:
+                raise ValueError(f"{parent_table.name} has no primary key")
+            keys = np.asarray(parent_table[parent_table.primary_key], dtype=np.int64)
+            self._key_orders[table_name] = (
+                keys, np.argsort(keys, kind="stable").astype(np.int64)
+            )
+        keys, order = self._key_orders[table_name]
+        return match_keys(keys, np.asarray(fk_values, dtype=np.int64),
+                          key_order=order)
+
+    def _resolve_dangling(self, state: _WalkState, slot: int) -> _WalkState:
+        """Synthesize shared parents for parked dangling-FK rows.
+
+        One parent is sampled per unique key, conditioned on a *canonical*
+        representative child — the one with the smallest stream id, which is
+        a pure lineage property — and on key-derived draws.  Both choices
+        are independent of chunk boundaries, so splitting a key's children
+        across chunks materializes the same parent tuple.  The parent's slot
+        codes and columns are grafted onto every child row, which keeps its
+        own evidence prefix.
+        """
+        prev = self.path.tables[slot - 1]
+        new = self.path.tables[slot]
+        fk = self.db.fk_between(prev, new)
+        keys = np.asarray(state.columns[f"{prev}.{fk.child_column}"], dtype=np.int64)
+        order = np.lexsort((state.streams, keys))
+        sorted_keys = keys[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        rep_rows = order[first]
+        unique_keys = sorted_keys[first]
+
+        reps = state.take(rep_rows)
+        reps.streams = rt_rng.key_streams(self._key_tag(slot), unique_keys)
+        reps.counters = np.zeros(len(unique_keys), dtype=np.uint64)
+        self._synthesize_table(reps, slot, new, count=False)
+        # Shared parents count once per missing key, not once per child row.
+        self._num_synth[new] = self._num_synth.get(new, 0) + len(unique_keys)
+
+        shared = reps.take(np.searchsorted(unique_keys, keys))
+        start, stop = self.layout.slot_range(slot)
+        state.codes[:, start:stop] = shared.codes[:, start:stop]
+        for column in self.db.table(new).column_names:
+            state.columns[f"{new}.{column}"] = shared.columns[f"{new}.{column}"]
+        pk = self.db.table(new).primary_key
+        if pk is not None:
+            state.columns[f"{new}.{pk}"] = keys
+        state.synthesized = np.ones(state.num_rows, dtype=bool)
+        state.current_rows = np.full(state.num_rows, -1, dtype=np.int64)
+        return state
+
+    def _key_tag(self, slot: int) -> np.uint64:
+        """Per-slot lineage tag for key-derived shared-parent streams."""
+        with np.errstate(over="ignore"):
+            return rt_rng.TAG_KEY + np.uint64(2 * slot + 1)
+
+    def _check_synth_ids(self) -> None:
+        """Fail loudly on synthetic-id hash collisions (~n²/2⁶³ likely).
+
+        Every `_synthesize_table` call issues ids for distinct logical
+        tuples, so any duplicate across a run is a stream-hash collision
+        that would silently merge two different tuples in projection.
+        """
+        for table_name, id_arrays in self._issued_ids.items():
+            ids = np.concatenate(id_arrays)
+            if len(np.unique(ids)) != len(ids):
+                raise RuntimeError(
+                    f"synthetic id collision for table {table_name!r} "
+                    f"(seed {self.seed}); re-run with a different seed"
+                )
 
     # ------------------------------------------------------------------
     # Row materialization helpers
@@ -373,38 +545,52 @@ class IncompletenessJoin:
         part.synthesized = np.zeros(part.num_rows, dtype=bool)
         part.current_rows = np.asarray(rows, dtype=np.int64)
 
-    def _synthesize_table(self, part: _WalkState, slot: int, table_name: str) -> None:
-        """Sample the slot's columns and materialize raw values/keys."""
-        sampled = self.model.sample_slot(part.codes, slot, self.rng, part.context)
+    def _synthesize_table(self, part: _WalkState, slot: int, table_name: str,
+                          count: bool = True) -> None:
+        """Sample the slot's columns and materialize raw values/keys.
+
+        Consumes ``2 * num_slot_columns`` uniforms per row from the part's
+        streams: one per sampled variable, one per decoded column
+        (dequantization jitter).
+        """
+        num_vars = self.model.slot_sample_width(slot)
+        draws = self._draw(part, 2 * num_vars) if num_vars else None
+        sampled = self.model.sample_slot(
+            part.codes, slot, context=part.context,
+            draws=None if draws is None else draws[:, :num_vars],
+        )
         part.codes = sampled
         start, stop = self.layout.slot_range(slot)
         tf_idx = self.layout.tf_variable_index(slot)
         col_start = start if tf_idx is None else tf_idx + 1
         decoded = self.layout.decode_slot_codes(
-            slot, sampled[:, col_start:stop], rng=self.rng
+            slot, sampled[:, col_start:stop],
+            uniforms=None if draws is None else draws[:, num_vars:],
         )
         table = self.db.table(table_name)
         for column in table.column_names:
             if column in decoded:
                 part.columns[f"{table_name}.{column}"] = decoded[column]
             elif column == table.primary_key:
-                ids = np.arange(
-                    self._next_synth_id,
-                    self._next_synth_id - part.num_rows,
-                    -1,
-                    dtype=np.int64,
-                )
-                self._next_synth_id -= part.num_rows
+                # Negative ids below the -1 sentinel, derived from the row's
+                # stream so chunked and unchunked runs assign the same id to
+                # the same logical tuple.  Streams are 64-bit hashes, so ids
+                # are unique only up to hash collisions — run() verifies
+                # uniqueness at the end and fails loudly rather than letting
+                # two distinct tuples silently merge during projection.
+                ids = (-2 - (part.streams & _SYNTH_ID_MASK).astype(np.int64))
                 part.columns[f"{table_name}.{column}"] = ids
+                self._issued_ids.setdefault(table_name, []).append(ids)
             else:
                 part.columns[f"{table_name}.{column}"] = np.full(
                     part.num_rows, MISSING_KEY, dtype=np.int64
                 )
         part.synthesized = np.ones(part.num_rows, dtype=bool)
         part.current_rows = np.full(part.num_rows, -1, dtype=np.int64)
-        self._num_synth[table_name] = (
-            self._num_synth.get(table_name, 0) + part.num_rows
-        )
+        if count:
+            self._num_synth[table_name] = (
+                self._num_synth.get(table_name, 0) + part.num_rows
+            )
 
     def _maybe_replace(self, part: _WalkState, slot: int, table_name: str) -> _WalkState:
         """Euclidean replacement for synthesized tuples of complete tables."""
@@ -439,12 +625,13 @@ class IncompletenessJoin:
             synthesized=state.synthesized[:0],
             current_rows=state.current_rows[:0],
             context=None if state.context is None else state.context[:0],
+            streams=state.streams[:0],
+            counters=state.counters[:0],
         )
 
     def _mean_children_per_parent(self, fk) -> float:
         """Average observed fan-out (children per matched parent) >= 1."""
-        index = build_child_index(self.db, fk)
-        counts = index.counts()
+        counts = self._child_index(fk).counts()
         positive = counts[counts > 0]
         if len(positive) == 0:
             return 1.0
@@ -463,17 +650,24 @@ class IncompletenessJoin:
         children of missing parents are known to be gone), every synthesized
         child stands for a missing parent: weight ``1 / mean``.
         """
+        cache_key = (fk.child_table, fk.child_column, fk.parent_table)
+        if cache_key in self._orphan_weights:
+            return self._orphan_weights[cache_key]
         child = self.db.table(fk.child_table)
         refs = child[fk.child_column]
         parent_keys = set(self.db.table(fk.parent_table)[fk.parent_column].tolist())
         valid = refs[refs >= 0]
         if len(valid) == 0:
-            return 1.0
-        dangling = np.fromiter(
-            (v not in parent_keys for v in valid.tolist()), dtype=bool,
-            count=len(valid),
-        ).mean()
-        mean_children = self._mean_children_per_parent(fk)
-        if dangling > 0:
-            return float(dangling) / mean_children
-        return 1.0 / mean_children
+            weight = 1.0
+        else:
+            dangling = np.fromiter(
+                (v not in parent_keys for v in valid.tolist()), dtype=bool,
+                count=len(valid),
+            ).mean()
+            mean_children = self._mean_children_per_parent(fk)
+            if dangling > 0:
+                weight = float(dangling) / mean_children
+            else:
+                weight = 1.0 / mean_children
+        self._orphan_weights[cache_key] = weight
+        return weight

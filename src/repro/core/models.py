@@ -39,12 +39,18 @@ from .path_data import PathLayout, TrainingData, assemble_training_data
 
 @dataclass
 class ModelConfig:
-    """Architecture and training hyper-parameters of a completion model."""
+    """Architecture and training hyper-parameters of a completion model.
+
+    ``compiled_inference`` selects the default inference backend: the
+    graph-free float32 runtime (:mod:`repro.runtime`) or the float64
+    autograd forward.  Training always uses autograd.
+    """
 
     embed_dim: int = 16
     hidden: Sequence[int] = (64, 64)
     tree_dim: int = 16
     seed: int = 0
+    compiled_inference: bool = True
     train: TrainConfig = field(default_factory=lambda: TrainConfig(
         epochs=20, batch_size=256, lr=5e-3, patience=4,
     ))
@@ -61,6 +67,40 @@ class _CompletionModelBase(Module):
         self.train_result: Optional[TrainResult] = None
         self.training_data: Optional[TrainingData] = None
         self._val_indices: Optional[np.ndarray] = None
+        # Inference backend: "compiled" (graph-free float32 runtime) or
+        # "autograd" (float64 Tensor forward).  Mutable so benchmarks can
+        # compare the two on one fitted model.
+        self.inference_backend = (
+            "compiled" if self.config.compiled_inference else "autograd"
+        )
+        self._compiled_made = None
+
+    # -- compiled runtime ------------------------------------------------
+    @property
+    def use_compiled(self) -> bool:
+        return self.inference_backend == "compiled"
+
+    def compiled_made(self):
+        """The lazily built graph-free MADE snapshot for this model."""
+        if self._compiled_made is None:
+            self._compiled_made = self.made.compile_inference()
+        return self._compiled_made
+
+    def invalidate_compiled(self) -> None:
+        """Drop compiled snapshots (parameters changed, e.g. re-``fit``)."""
+        self._compiled_made = None
+
+    def _cond_probs(
+        self, prefix: np.ndarray, variable: int, context: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Backend dispatch for ``P(x_variable | earlier, context)``."""
+        if self.use_compiled:
+            return self.compiled_made().conditional_probs(
+                prefix, variable, context=context
+            )
+        return self.made.conditional_probs(
+            prefix, variable, context=self._context_tensor(context)
+        )
 
     # -- context hooks (overridden by SSAR) ----------------------------
     def _training_context(self, indices: np.ndarray) -> Optional[Tensor]:
@@ -100,6 +140,7 @@ class _CompletionModelBase(Module):
         result = train(self, data.num_rows, loss_fn, eval_fn, cfg)
         self.train_result = result
         self._val_indices = result.val_indices
+        self.invalidate_compiled()
         return result
 
     def _require_fitted(self) -> None:
@@ -200,9 +241,10 @@ class _CompletionModelBase(Module):
         self,
         prefix: np.ndarray,
         slot: int,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator] = None,
         context: Optional[np.ndarray] = None,
         min_counts: Optional[np.ndarray] = None,
+        draws: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Sample tuple factors for the fan-out hop entering ``slot``.
 
@@ -211,16 +253,17 @@ class _CompletionModelBase(Module):
         the number of children already observed — we *know* TF >= existing,
         and sampling untruncated then clamping would bias counts upward.
         The sampled code is also written into ``prefix`` (callers pass the
-        same array on to :meth:`sample_slot`).
+        same array on to :meth:`sample_slot`).  Randomness comes from
+        ``draws`` (one uniform per row, the runtime's counter-based streams)
+        when given, else from ``rng``.  Accepts row-chunked batches: rows
+        are independent, so any partition of a batch yields the same result.
         """
         self._require_fitted()
         tf_idx = self.layout.tf_variable_index(slot)
         if tf_idx is None:
             raise ValueError(f"slot {slot} is not a fan-out hop")
         codec = self.layout.tf_codec_for(slot)
-        probs = self.made.conditional_probs(
-            prefix, tf_idx, context=self._context_tensor(context)
-        )
+        probs = self._cond_probs(prefix, tf_idx, context)
         probs = probs * codec.sampling_mask()[None, :]
         if min_counts is not None:
             counts_axis = np.arange(probs.shape[1])
@@ -233,7 +276,7 @@ class _CompletionModelBase(Module):
                 clip = np.minimum(np.asarray(min_counts)[dead], codec.cap)
                 probs[np.flatnonzero(dead), clip] = 1.0
         probs = probs / probs.sum(axis=1, keepdims=True)
-        codes = _sample_rows(probs, rng)
+        codes = _sample_rows(probs, rng, draws)
         prefix[:, tf_idx] = codes
         return codec.decode(codes)
 
@@ -249,35 +292,51 @@ class _CompletionModelBase(Module):
         if tf_idx is None:
             raise ValueError(f"slot {slot} is not a fan-out hop")
         codec = self.layout.tf_codec_for(slot)
-        probs = self.made.conditional_probs(
-            prefix, tf_idx, context=self._context_tensor(context)
-        )
+        probs = self._cond_probs(prefix, tf_idx, context)
         probs = probs * codec.sampling_mask()[None, :]
         probs = probs / probs.sum(axis=1, keepdims=True)
         counts = np.arange(probs.shape[1], dtype=float)
-        return probs @ counts
+        # Row-local reduction (not a matvec) so the result is independent of
+        # how the batch was chunked.
+        return (probs * counts[None, :]).sum(axis=1)
 
     def sample_slot(
         self,
         prefix: np.ndarray,
         slot: int,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator] = None,
         context: Optional[np.ndarray] = None,
+        draws: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Synthesize the column variables of path slot ``slot``.
 
         ``prefix`` must already contain all earlier variables (and the
         slot's TF variable if the hop fans out).  Returns the full code
-        matrix with the slot filled in.
+        matrix with the slot filled in.  ``draws`` supplies the
+        ``(rows, num_slot_columns)`` sampling uniforms for the
+        chunk-invariant runtime path; otherwise ``rng`` is used.
         """
         self._require_fitted()
         start, stop = self.layout.slot_range(slot)
         tf_idx = self.layout.tf_variable_index(slot)
         first_column = start if tf_idx is None else tf_idx + 1
+        if self.use_compiled:
+            return self.compiled_made().sample(
+                prefix, first_column, rng,
+                context=context, stop_variable=stop, draws=draws,
+            )
         return self.made.sample(
             prefix, first_column, rng,
             context=self._context_tensor(context), stop_variable=stop,
+            draws=draws,
         )
+
+    def slot_sample_width(self, slot: int) -> int:
+        """Number of variables :meth:`sample_slot` draws for ``slot``."""
+        start, stop = self.layout.slot_range(slot)
+        tf_idx = self.layout.tf_variable_index(slot)
+        first_column = start if tf_idx is None else tf_idx + 1
+        return stop - first_column
 
     def conditional_probs(
         self,
@@ -287,9 +346,7 @@ class _CompletionModelBase(Module):
     ) -> np.ndarray:
         """``P(x_variable | earlier variables, context)`` for confidence."""
         self._require_fitted()
-        return self.made.conditional_probs(
-            prefix, variable, context=self._context_tensor(context)
-        )
+        return self._cond_probs(prefix, variable, context)
 
     def describe(self) -> str:
         return f"{self.kind.upper()}({self.layout.path})"
@@ -328,6 +385,7 @@ class SSARCompletionModel(_CompletionModelBase):
                 "SSAR model needs at least one fan-out walk; use AR instead"
             )
         self.forest = forest
+        self._compiled_tree = None
         rng = np.random.default_rng(self.config.seed)
         self.tree_encoder = EvidenceTreeEncoder(
             forest.specs(),
@@ -354,7 +412,19 @@ class SSARCompletionModel(_CompletionModelBase):
         batches = self.forest.batch_for_roots(roots, exclude_target_rows=exclude)
         return self.tree_encoder(batches, len(indices))
 
+    def compiled_tree(self):
+        """Lazily built graph-free snapshot of the tree encoder."""
+        if self._compiled_tree is None:
+            self._compiled_tree = self.tree_encoder.compile_inference()
+        return self._compiled_tree
+
+    def invalidate_compiled(self) -> None:
+        super().invalidate_compiled()
+        self._compiled_tree = None
+
     def context_for_roots(self, root_rows: np.ndarray) -> Optional[np.ndarray]:
         """Inference-time contexts: full trees, no leave-one-out."""
         batches = self.forest.batch_for_roots(np.asarray(root_rows, dtype=np.int64))
+        if self.use_compiled:
+            return self.compiled_tree().forward(batches, len(root_rows))
         return self.tree_encoder(batches, len(root_rows)).numpy()

@@ -174,11 +174,19 @@ class PathLayout:
         return self.encoders[table].encode_columns(columns)
 
     def decode_slot_codes(
-        self, slot: int, codes: np.ndarray, rng: Optional[np.random.Generator] = None
+        self,
+        slot: int,
+        codes: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        uniforms: Optional[np.ndarray] = None,
     ) -> Dict[str, np.ndarray]:
-        """Decode a slot's column block (TF excluded) back to raw values."""
+        """Decode a slot's column block (TF excluded) back to raw values.
+
+        ``uniforms`` forwards per-row dequantization draws to the codecs
+        (see :meth:`repro.encoding.TableEncoder.decode_codes`).
+        """
         table = self.path.tables[slot]
-        return self.encoders[table].decode_codes(codes, rng=rng)
+        return self.encoders[table].decode_codes(codes, rng=rng, uniforms=uniforms)
 
     def annotated_tfs(self, slot: int) -> np.ndarray:
         """Per-parent annotated tuple factors for the fan-out hop at ``slot``.

@@ -45,17 +45,36 @@ class CategoricalCodec:
 
     def encode(self, values: Sequence) -> np.ndarray:
         self._require_fitted()
-        return np.array(
-            [self._code_of.get(v, self.UNK) for v in np.asarray(values).tolist()],
-            dtype=np.int64,
-        )
+        arr = np.asarray(values)
+        if len(self._values) == 0:
+            return np.full(len(arr), self.UNK, dtype=np.int64)
+        try:
+            # Vectorized path: the fitted values are sorted (np.unique), so
+            # dictionary encoding is a binary search plus an exact match.
+            pos = np.searchsorted(self._values, arr)
+            clipped = np.minimum(pos, len(self._values) - 1)
+            found = self._values[clipped] == arr
+            return np.where(found, clipped + 1, self.UNK).astype(np.int64)
+        except TypeError:
+            # Mixed/unorderable dtypes fall back to the dictionary.
+            return np.array(
+                [self._code_of.get(v, self.UNK) for v in arr.tolist()],
+                dtype=np.int64,
+            )
 
-    def decode(self, codes: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    def decode(
+        self,
+        codes: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        uniforms: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Map codes back to values; unknown codes draw a random known value.
 
         Sampling should never produce ``<unk>`` in practice (the training
         data contains no unknowns), but a uniform fallback keeps decoding
-        total.
+        total.  ``uniforms`` optionally supplies one ``[0, 1)`` draw per row
+        (the runtime's counter-based streams) so the fallback does not
+        depend on batch chunking.
         """
         self._require_fitted()
         codes = np.asarray(codes)
@@ -63,8 +82,12 @@ class CategoricalCodec:
         known = codes > 0
         out[known] = self._values[codes[known] - 1]  # type: ignore[index]
         if (~known).any():
-            rng = rng or np.random.default_rng(0)
-            out[~known] = rng.choice(self._values, size=int((~known).sum()))
+            if uniforms is not None:
+                picks = (np.asarray(uniforms)[~known] * len(self._values)).astype(int)
+                out[~known] = self._values[np.minimum(picks, len(self._values) - 1)]
+            else:
+                rng = rng or np.random.default_rng(0)
+                out[~known] = rng.choice(self._values, size=int((~known).sum()))
         return out
 
     def _require_fitted(self) -> None:
@@ -133,20 +156,24 @@ class ContinuousCodec:
         codes: np.ndarray,
         rng: Optional[np.random.Generator] = None,
         dequantize: bool = True,
+        uniforms: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Bin codes back to floats — uniform within-bin draws by default.
 
         Columns that were integral at fit time decode to rounded values so
-        synthesized data stays on the original domain.
+        synthesized data stays on the original domain.  ``uniforms``
+        optionally supplies the per-row within-bin positions directly (the
+        runtime's counter-based streams), taking precedence over ``rng``.
         """
         self._require_fitted()
         codes = np.asarray(codes)
-        if not dequantize or rng is None:
+        if not dequantize or (rng is None and uniforms is None):
             out = self._bin_means[codes]  # type: ignore[index]
         else:
             lo = self._bin_lo[codes]  # type: ignore[index]
             hi = self._bin_hi[codes]  # type: ignore[index]
-            out = lo + rng.random(len(codes)) * (hi - lo)
+            u = np.asarray(uniforms) if uniforms is not None else rng.random(len(codes))
+            out = lo + u * (hi - lo)
         if self._integral:
             return np.round(out)
         return out

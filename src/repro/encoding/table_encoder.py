@@ -57,19 +57,26 @@ class TableEncoder:
         self,
         codes: np.ndarray,
         rng: Optional[np.random.Generator] = None,
+        uniforms: Optional[np.ndarray] = None,
     ) -> Dict[str, np.ndarray]:
-        """Decode a ``(rows, cols)`` code matrix back to raw column values."""
+        """Decode a ``(rows, cols)`` code matrix back to raw column values.
+
+        ``uniforms`` optionally supplies a ``(rows, cols)`` matrix of
+        ``[0, 1)`` draws — column ``i`` drives the dequantization (or
+        unknown-code fallback) of the ``i``-th encoded column, keeping
+        decoding independent of how rows were batched.
+        """
         if codes.ndim != 2 or codes.shape[1] != len(self.columns):
             raise ValueError(
                 f"expected (rows, {len(self.columns)}) codes for {self.table_name}"
             )
+        if uniforms is not None and uniforms.shape != codes.shape:
+            raise ValueError("uniforms must align with the code matrix")
         out: Dict[str, np.ndarray] = {}
         for i, column in enumerate(self.columns):
             codec = self._codecs[column]
-            if isinstance(codec, ContinuousCodec):
-                out[column] = codec.decode(codes[:, i], rng=rng)
-            else:
-                out[column] = codec.decode(codes[:, i], rng=rng)
+            u = None if uniforms is None else uniforms[:, i]
+            out[column] = codec.decode(codes[:, i], rng=rng, uniforms=u)
         return out
 
     @staticmethod

@@ -19,12 +19,15 @@ from .exp2_real import Fig7Row, print_fig7, run_fig7, summarize_fig7
 from .exp3_queries import Fig8Row, print_fig8, run_fig8, summarize_fig8
 from .exp4_perf import (
     Fig10Row,
+    InferenceComparisonRow,
     TimingRow,
     fig9_ar_vs_ssar,
     print_fig9,
     print_fig10,
+    print_inference_comparison,
     print_timings,
     run_fig10,
+    run_inference_comparison,
     run_timings,
 )
 from .confidence_figures import (
@@ -63,6 +66,9 @@ __all__ = [
     "TimingRow",
     "run_timings",
     "print_timings",
+    "InferenceComparisonRow",
+    "run_inference_comparison",
+    "print_inference_comparison",
     "ConfidenceCell",
     "run_fig6",
     "run_fig13",

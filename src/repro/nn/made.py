@@ -221,6 +221,7 @@ class ResidualMADE(Module):
         context: Optional[Tensor] = None,
         temperature: float = 1.0,
         stop_variable: Optional[int] = None,
+        draws: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Iterative forward sampling of variables ``start_variable .. stop-1``.
 
@@ -229,20 +230,29 @@ class ResidualMADE(Module):
         ``[start_variable, stop_variable)`` are overwritten with samples from
         the learned conditionals (paper §3.1).  ``stop_variable`` defaults to
         all remaining variables; ReStore's hop-by-hop incompleteness join
-        samples one table slot at a time.
+        samples one table slot at a time.  ``draws`` optionally supplies the
+        ``(batch, stop - start)`` uniforms used for the categorical draws
+        (the runtime's counter-based streams) instead of ``rng``.
         """
         stop = self.num_variables if stop_variable is None else stop_variable
         if not 0 <= start_variable <= stop <= self.num_variables:
             raise ValueError("sampling range out of bounds")
         x = np.array(evidence, dtype=np.int64, copy=True)
-        for variable in range(start_variable, stop):
+        for step, variable in enumerate(range(start_variable, stop)):
             probs = self.conditional_probs(x, variable, context)
             if temperature != 1.0:
                 # Sharpen/flatten in log space to avoid underflow at low T.
                 log_probs = np.log(np.maximum(probs, 1e-300)) / temperature
                 probs = F.softmax(log_probs, axis=-1)
-            x[:, variable] = _sample_rows(probs, rng)
+            u = None if draws is None else draws[:, step]
+            x[:, variable] = _sample_rows(probs, rng, u)
         return x
+
+    def compile_inference(self) -> "CompiledMADE":  # noqa: F821 - runtime type
+        """Graph-free float32 snapshot (see :class:`repro.runtime.CompiledMADE`)."""
+        from ..runtime.compiled import CompiledMADE
+
+        return CompiledMADE(self)
 
     def trainable_summary(self) -> str:
         """Human-readable one-line description, handy for logging."""
@@ -252,9 +262,22 @@ class ResidualMADE(Module):
         )
 
 
-def _sample_rows(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """Vectorized categorical sampling: one draw per row of ``probs``."""
-    cdf = np.cumsum(probs, axis=-1)
-    cdf[:, -1] = 1.0  # guard against round-off
-    draws = rng.random((len(probs), 1))
-    return (draws > cdf).sum(axis=-1).astype(np.int64)
+def _sample_rows(
+    probs: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+    draws: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Vectorized categorical sampling: one draw per row of ``probs``.
+
+    ``draws`` supplies precomputed per-row uniforms (counter-based streams);
+    otherwise one uniform per row is taken from ``rng``.  The CDF inversion
+    itself is shared with the compiled runtime so both backends stay in
+    lockstep (imported lazily: the runtime package imports this module).
+    """
+    if draws is None:
+        if rng is None:
+            raise ValueError("_sample_rows needs either rng or draws")
+        draws = rng.random(len(probs))
+    from ..runtime.rng import sample_categorical
+
+    return sample_categorical(probs, draws)

@@ -1,0 +1,37 @@
+"""Inference runtime: the execution substrate of the completion hot path.
+
+Training uses the float64 autograd engine (:mod:`repro.nn`); everything the
+incompleteness join does at completion time routes through this package
+instead:
+
+* :mod:`~repro.runtime.compiled` — graph-free float32 forwards for MADE and
+  deep-sets modules, executed over fixed-size row tiles so results are
+  independent of batch chunking,
+* :mod:`~repro.runtime.rng` — counter-based per-row random streams, making
+  sampling a pure function of a row's lineage rather than batch order,
+* :mod:`~repro.runtime.cache` — a bounded LRU cache for completed joins with
+  hit/miss/eviction accounting.
+"""
+
+from . import rng
+from .cache import CacheStats, JoinCache
+from .compiled import (
+    TILE,
+    CompiledDense,
+    CompiledMADE,
+    CompiledTreeEncoder,
+    compile_module,
+)
+from .rng import chunk_slices
+
+__all__ = [
+    "rng",
+    "CacheStats",
+    "JoinCache",
+    "TILE",
+    "CompiledDense",
+    "CompiledMADE",
+    "CompiledTreeEncoder",
+    "compile_module",
+    "chunk_slices",
+]

@@ -1,0 +1,99 @@
+"""A bounded LRU cache for completed incompleteness joins (paper §4.5).
+
+The engine reuses a completed join across every query that selects the same
+model, but completed joins can dwarf the database itself (one row per
+evidence combination).  The seed engine kept them in an unbounded dict;
+:class:`JoinCache` bounds the footprint with least-recently-used eviction,
+supports explicit invalidation on re-``fit`` (the models behind a cached
+join changed), and surfaces hit/miss/eviction counters so operators can size
+the cache against their workload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters describing cache behaviour since construction."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class JoinCache:
+    """LRU cache keyed by the full identity of a completed join.
+
+    Keys are ``(kind, path_tables, seed, approximate_replacement,
+    inference_backend)`` — every input that changes the bitwise content of a
+    completed join (the float32 and float64 backends round sampling CDFs
+    differently, so the backend is part of the identity).  ``get`` refreshes
+    recency and counts hits/misses; ``contains`` is a pure probe (no stats,
+    no reordering) for provenance reporting.
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("JoinCache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Keys from least- to most-recently used (for introspection)."""
+        return tuple(self._entries.keys())
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (models were re-fitted; cached joins are stale)."""
+        if self._entries:
+            self.stats.invalidations += 1
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

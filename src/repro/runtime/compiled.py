@@ -1,0 +1,365 @@
+"""Graph-free compiled inference for the neural substrate.
+
+Training runs on the float64 autograd engine in :mod:`repro.nn.tensor`; the
+hot completion path (autoregressive sampling inside the incompleteness join)
+needs none of that machinery.  Compiling a fitted module snapshots its
+parameters into plain float32 numpy arrays — masked weights pre-multiplied,
+per-variable output slices precomputed — and evaluates forwards without
+recording backward closures or wrapping anything in :class:`Tensor`.
+
+Two execution properties matter beyond speed:
+
+* **No autograd graphs.**  Nothing in this module touches ``Tensor``; a
+  compiled forward allocates only output arrays.
+* **Batch-shape invariance.**  Every dense transform runs over fixed-size
+  row tiles (:data:`TILE` rows, zero-padded), so a row's activations are
+  bitwise identical no matter how the batch around it is chunked.  BLAS
+  kernels pick different accumulation orders for different matrix shapes;
+  fixed tiles pin the shape, which is what lets the chunked incompleteness
+  join reproduce the unchunked run exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.deepsets import EvidenceTreeEncoder, TreeNodeBatch, _NodeEncoder
+from ..nn.layers import (
+    MLP,
+    Embedding,
+    Linear,
+    MaskedLinear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..nn.made import ResidualMADE
+from . import rng as _rng
+
+TILE = 128
+
+_DTYPE = np.float32
+
+
+def _tile_apply(x: np.ndarray, fn: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+    """Apply ``fn`` over fixed-size row tiles of ``x`` (zero-padded).
+
+    ``fn`` must be row-local (each output row a function of the matching
+    input row only) — true for dense layers and elementwise nonlinearities.
+    """
+    n = len(x)
+    if n == 0:
+        probe = fn(np.zeros((TILE, x.shape[1]), dtype=_DTYPE))
+        return np.zeros((0, probe.shape[1]), dtype=probe.dtype)
+    pieces: List[np.ndarray] = []
+    for start in range(0, n, TILE):
+        block = x[start:start + TILE]
+        if len(block) < TILE:
+            padded = np.zeros((TILE, x.shape[1]), dtype=_DTYPE)
+            padded[: len(block)] = block
+            pieces.append(fn(padded)[: len(block)])
+        else:
+            pieces.append(fn(block))
+    return np.concatenate(pieces, axis=0)
+
+
+class CompiledDense:
+    """A pure-numpy affine + optional ReLU snapshot of a (masked) linear."""
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray],
+                 relu: bool = False):
+        self.weight = np.ascontiguousarray(weight, dtype=_DTYPE)
+        self.bias = None if bias is None else bias.astype(_DTYPE)
+        self.relu = relu
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight
+        if self.bias is not None:
+            out += self.bias
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+
+def _compile_linear(layer: Linear) -> CompiledDense:
+    bias = None if layer.bias is None else layer.bias.data
+    return CompiledDense(layer.weight.data, bias)
+
+
+def _compile_masked(layer: MaskedLinear) -> CompiledDense:
+    bias = None if layer.bias is None else layer.bias.data
+    return CompiledDense(layer.weight.data * layer.mask.data, bias)
+
+
+class CompiledMADE:
+    """Inference-only snapshot of a fitted :class:`ResidualMADE`.
+
+    Exposes the same inference surface (``forward`` / ``conditional_probs``
+    / ``per_example_nll`` / ``sample``) on plain arrays.  Per-variable
+    output-weight slices are cached so conditional queries touch only the
+    columns of the requested variable instead of the full ``sum(K_i)``-wide
+    output layer — the single biggest win for hop-by-hop sampling.
+    """
+
+    def __init__(self, made: ResidualMADE):
+        self.vocab_sizes = list(made.vocab_sizes)
+        self.num_variables = made.num_variables
+        self.context_dim = made.context_dim
+        self.logit_offsets = made._logit_offsets.astype(np.int64)
+        self.embeddings = [e.weight.data.astype(_DTYPE) for e in made.embeddings]
+        self.input_layer = _compile_masked(made.input_layer)
+        self.residual_layers = [_compile_masked(l) for l in made.residual_layers]
+        self.output_layer = _compile_masked(made.output_layer)
+        self._output_slices: Dict[int, CompiledDense] = {}
+
+    # -- forward -------------------------------------------------------
+    def _features(self, x: np.ndarray, context: Optional[np.ndarray]) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.num_variables:
+            raise ValueError(
+                f"expected input of shape (batch, {self.num_variables}), got {x.shape}"
+            )
+        parts: List[np.ndarray] = []
+        if self.context_dim:
+            if context is None:
+                raise ValueError("model was built with context_dim > 0; pass context")
+            parts.append(np.asarray(context, dtype=_DTYPE))
+        for i, emb in enumerate(self.embeddings):
+            parts.append(emb[x[:, i]])
+        return np.concatenate(parts, axis=-1)
+
+    def _hidden_fn(self) -> Callable[[np.ndarray], np.ndarray]:
+        def fn(tile: np.ndarray) -> np.ndarray:
+            h = self.input_layer(tile)
+            np.maximum(h, 0.0, out=h)
+            for layer in self.residual_layers:
+                r = layer(h)
+                np.maximum(r, 0.0, out=r)
+                h = h + r
+            return h
+        return fn
+
+    def hidden(self, x: np.ndarray, context: Optional[np.ndarray] = None) -> np.ndarray:
+        """Final residual-block activations ``(batch, H)``."""
+        return _tile_apply(self._features(x, context), self._hidden_fn())
+
+    def forward(self, x: np.ndarray, context: Optional[np.ndarray] = None) -> np.ndarray:
+        """All per-variable logits ``(batch, sum(K_i))`` — no graph, float32."""
+        hidden_fn = self._hidden_fn()
+
+        def fn(tile: np.ndarray) -> np.ndarray:
+            return self.output_layer(hidden_fn(tile))
+
+        return _tile_apply(self._features(x, context), fn)
+
+    def _output_slice(self, variable: int) -> CompiledDense:
+        if variable not in self._output_slices:
+            start = int(self.logit_offsets[variable])
+            stop = int(self.logit_offsets[variable + 1])
+            bias = self.output_layer.bias
+            self._output_slices[variable] = CompiledDense(
+                self.output_layer.weight[:, start:stop],
+                None if bias is None else bias[start:stop],
+            )
+        return self._output_slices[variable]
+
+    # -- inference API --------------------------------------------------
+    def logits_for(
+        self, x: np.ndarray, variable: int, context: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Logits of one variable only — skips the rest of the output layer."""
+        hidden_fn = self._hidden_fn()
+        head = self._output_slice(variable)
+
+        def fn(tile: np.ndarray) -> np.ndarray:
+            return head(hidden_fn(tile))
+
+        return _tile_apply(self._features(x, context), fn)
+
+    def conditional_probs(
+        self, x: np.ndarray, variable: int, context: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """``P(x_variable | x_<variable>, context)`` as ``(batch, K)``."""
+        return _softmax(self.logits_for(x, variable, context))
+
+    def per_example_nll(
+        self,
+        x: np.ndarray,
+        context: Optional[np.ndarray] = None,
+        variables: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Per-row NLL matching ``ResidualMADE.per_example_nll``."""
+        outputs = self.forward(x, context)
+        selected = range(self.num_variables) if variables is None else variables
+        total = np.zeros(len(x))
+        rows = np.arange(len(x))
+        for i in selected:
+            start = int(self.logit_offsets[i])
+            stop = int(self.logit_offsets[i + 1])
+            logits = outputs[:, start:stop].astype(np.float64)
+            shifted = logits - logits.max(axis=-1, keepdims=True)
+            log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+            total += -log_probs[rows, np.asarray(x)[:, i]]
+        return total
+
+    def sample(
+        self,
+        evidence: np.ndarray,
+        start_variable: int,
+        rng: Optional[np.random.Generator] = None,
+        context: Optional[np.ndarray] = None,
+        temperature: float = 1.0,
+        stop_variable: Optional[int] = None,
+        draws: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Iterative conditional sampling, one variable per forward.
+
+        Randomness comes either from ``rng`` (one categorical draw per row
+        per variable) or from precomputed ``draws`` of shape
+        ``(batch, stop - start)`` — the chunk-invariant path used by the
+        incompleteness join.
+        """
+        stop = self.num_variables if stop_variable is None else stop_variable
+        if not 0 <= start_variable <= stop <= self.num_variables:
+            raise ValueError("sampling range out of bounds")
+        x = np.array(evidence, dtype=np.int64, copy=True)
+        n = len(x)
+        if n == 0 or start_variable == stop:
+            return x
+        if draws is None and rng is None:
+            raise ValueError("sample needs either rng or draws")
+        # The feature matrix is built and tile-padded once; each sampling
+        # step refreshes only the embedding slice of the variable it drew.
+        features = self._features(x, context)
+        num_tiles = -(-n // TILE)
+        padded = np.zeros((num_tiles * TILE, features.shape[1]), dtype=_DTYPE)
+        padded[:n] = features
+        hidden_fn = self._hidden_fn()
+        embed_start = np.empty(self.num_variables, dtype=np.int64)
+        offset = self.context_dim
+        for i, emb in enumerate(self.embeddings):
+            embed_start[i] = offset
+            offset += emb.shape[1]
+        for step, variable in enumerate(range(start_variable, stop)):
+            head = self._output_slice(variable)
+            logits = np.concatenate([
+                head(hidden_fn(padded[t * TILE:(t + 1) * TILE]))
+                for t in range(num_tiles)
+            ])[:n]
+            probs = _softmax(logits)
+            if temperature != 1.0:
+                log_probs = np.log(np.maximum(probs, 1e-300)) / temperature
+                probs = _softmax(log_probs)
+            if draws is not None:
+                u = draws[:, step]
+            else:
+                u = rng.random(len(probs))
+            x[:, variable] = _rng.sample_categorical(probs, u)
+            lo = int(embed_start[variable])
+            emb = self.embeddings[variable]
+            padded[:n, lo:lo + emb.shape[1]] = emb[x[:, variable]]
+        return x
+
+
+class _CompiledNode:
+    """Float32 snapshot of one deep-sets tree node (phi / rho / children)."""
+
+    def __init__(self, encoder: _NodeEncoder):
+        self.name = encoder.spec.name
+        self.vocab_sizes = list(encoder.spec.vocab_sizes)
+        self.embeddings = [e.weight.data.astype(_DTYPE) for e in encoder.embeddings]
+        self.children = [_CompiledNode(c) for c in encoder.child_encoders]
+        self.phi = _compile_linear(encoder.phi)
+        self.rho = _compile_linear(encoder.rho)
+        self.out_dim = encoder.rho.out_features
+
+    def encode(self, batch: Optional[TreeNodeBatch], num_parents: int) -> np.ndarray:
+        if batch is None:
+            batch = TreeNodeBatch(
+                values=np.zeros((0, len(self.vocab_sizes)), dtype=np.int64),
+                parent_ids=np.zeros(0, dtype=np.int64),
+            )
+        parts: List[np.ndarray] = [
+            emb[batch.values[:, i]] for i, emb in enumerate(self.embeddings)
+        ]
+        for child in self.children:
+            parts.append(child.encode(batch.children.get(child.name), batch.num_rows))
+        if parts:
+            features = np.concatenate(parts, axis=-1)
+        else:
+            features = np.zeros((batch.num_rows, 1), dtype=_DTYPE)
+
+        def phi_fn(tile: np.ndarray) -> np.ndarray:
+            out = self.phi(tile)
+            np.maximum(out, 0.0, out=out)
+            return out
+
+        encoded = _tile_apply(features, phi_fn)
+        pooled = np.zeros((num_parents, encoded.shape[1]), dtype=_DTYPE)
+        np.add.at(pooled, batch.parent_ids, encoded)
+
+        def rho_fn(tile: np.ndarray) -> np.ndarray:
+            out = self.rho(tile)
+            np.maximum(out, 0.0, out=out)
+            return out
+
+        return _tile_apply(pooled, rho_fn)
+
+
+class CompiledTreeEncoder:
+    """Inference-only snapshot of an :class:`EvidenceTreeEncoder`."""
+
+    def __init__(self, encoder: EvidenceTreeEncoder):
+        self.encoders = [_CompiledNode(e) for e in encoder.encoders]
+        self.context_dim = encoder.context_dim
+
+    def forward(
+        self, batches: Dict[str, TreeNodeBatch], batch_size: int
+    ) -> np.ndarray:
+        """Contexts ``(batch_size, context_dim)`` as a plain float32 array."""
+        parts = [
+            node.encode(batches.get(node.name), batch_size) for node in self.encoders
+        ]
+        return np.concatenate(parts, axis=-1)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def compile_module(module: Module):
+    """Compile a fitted module into its pure-numpy inference counterpart.
+
+    Dispatches on type: MADE and tree encoders get their dedicated compiled
+    classes; layer containers compile to a plain ``array -> array`` callable.
+    """
+    if isinstance(module, ResidualMADE):
+        return CompiledMADE(module)
+    if isinstance(module, EvidenceTreeEncoder):
+        return CompiledTreeEncoder(module)
+    if isinstance(module, MaskedLinear):
+        return _compile_masked(module)
+    if isinstance(module, Linear):
+        return _compile_linear(module)
+    if isinstance(module, Embedding):
+        weight = module.weight.data.astype(_DTYPE)
+        return lambda indices: weight[np.asarray(indices)]
+    if isinstance(module, ReLU):
+        return lambda x: np.maximum(np.asarray(x, dtype=_DTYPE), 0.0)
+    if isinstance(module, MLP):
+        return compile_module(module.net)
+    if isinstance(module, Sequential):
+        stages = [compile_module(m) for m in module.modules]
+
+        def fn(x: np.ndarray) -> np.ndarray:
+            out = np.asarray(x, dtype=_DTYPE)
+            for stage in stages:
+                out = stage(out)
+            return out
+
+        return fn
+    raise TypeError(f"cannot compile {type(module).__name__} for inference")

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.nn import Tensor
 from repro.nn import functional as F
 
-from .test_nn_tensor import numeric_grad
+from helpers import numeric_grad
 
 
 class TestEmbedding:

@@ -8,21 +8,7 @@ from hypothesis import strategies as st
 from repro.nn import Tensor, concat
 from repro.nn import functional as F
 
-
-def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-    """Central finite differences of scalar-valued fn w.r.t. array x."""
-    grad = np.zeros_like(x, dtype=float)
-    flat = x.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        orig = flat[i]
-        flat[i] = orig + eps
-        up = fn(x)
-        flat[i] = orig - eps
-        down = fn(x)
-        flat[i] = orig
-        grad_flat[i] = (up - down) / (2 * eps)
-    return grad
+from helpers import numeric_grad
 
 
 def check_gradient(build_loss, x0: np.ndarray, atol: float = 1e-5):

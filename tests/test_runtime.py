@@ -1,0 +1,460 @@
+"""Tests for the inference runtime: compiled forwards, join cache, chunking.
+
+Covers the contract of :mod:`repro.runtime`:
+
+* compiled (graph-free, float32) inference matches the autograd path within
+  float32 tolerance,
+* the incompleteness join builds no autograd graphs,
+* chunked join execution reproduces the unchunked run exactly,
+* :class:`JoinCache` LRU eviction, invalidation on re-fit, and statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ARCompletionModel,
+    IncompletenessJoin,
+    ModelConfig,
+    PathLayout,
+    ReStore,
+    ReStoreConfig,
+    SSARCompletionModel,
+    build_encoders,
+)
+from repro.core.forest import EvidenceForest
+from repro.datasets import (
+    HousingConfig,
+    SyntheticConfig,
+    generate_housing,
+    generate_synthetic,
+)
+from repro.incomplete import RemovalSpec, make_incomplete
+from repro.nn import MLP, ResidualMADE, Tensor, TrainConfig
+from repro.nn import tensor as tensor_mod
+from repro.relational import CompletionPath, fan_out_relations
+from repro.runtime import CompiledMADE, JoinCache, compile_module
+from repro.runtime import rng as rt_rng
+
+FAST = TrainConfig(epochs=3, batch_size=128, lr=1e-2, patience=2)
+
+
+@pytest.fixture(scope="module")
+def fitted_setup():
+    db = generate_synthetic(SyntheticConfig(num_parents=250, predictability=0.9,
+                                            seed=0))
+    dataset = make_incomplete(db, [RemovalSpec("tb", "b", 0.5, 0.4)],
+                              tf_keep_rate=0.5, seed=1)
+    encoders = build_encoders(dataset.incomplete, num_bins=8)
+    layout = PathLayout(dataset.incomplete, dataset.annotation,
+                        CompletionPath(("ta", "tb")), encoders)
+    model = ARCompletionModel(layout, ModelConfig(hidden=(32, 32), train=FAST))
+    model.fit()
+    return db, dataset, encoders, layout, model
+
+
+@pytest.fixture(scope="module")
+def fitted_ssar(fitted_setup):
+    db, dataset, encoders, layout, _ = fitted_setup
+    walks = fan_out_relations(dataset.incomplete, dataset.annotation,
+                              CompletionPath(("ta", "tb")))
+    forest = EvidenceForest(dataset.incomplete, "ta", walks, encoders,
+                            self_evidence_table="tb")
+    model = SSARCompletionModel(layout, forest, ModelConfig(hidden=(32, 32),
+                                                            train=FAST))
+    model.fit()
+    return model
+
+
+# ----------------------------------------------------------------------
+# Compiled-inference parity
+# ----------------------------------------------------------------------
+
+class TestCompiledParity:
+    def test_conditional_probs_match_autograd(self, fitted_setup):
+        *_, layout, model = fitted_setup
+        compiled = model.compiled_made()
+        rng = np.random.default_rng(0)
+        x = np.stack([
+            rng.integers(0, v.vocab_size, size=64) for v in layout.variables
+        ], axis=1)
+        for variable in range(layout.num_variables):
+            fast = compiled.conditional_probs(x, variable)
+            exact = model.made.conditional_probs(x, variable)
+            np.testing.assert_allclose(fast, exact, atol=1e-4, rtol=1e-3)
+
+    def test_per_example_nll_matches_autograd(self, fitted_setup):
+        *_, layout, model = fitted_setup
+        compiled = model.compiled_made()
+        rng = np.random.default_rng(1)
+        x = np.stack([
+            rng.integers(0, v.vocab_size, size=48) for v in layout.variables
+        ], axis=1)
+        fast = compiled.per_example_nll(x)
+        exact = model.made.per_example_nll(x)
+        np.testing.assert_allclose(fast, exact, atol=1e-3, rtol=1e-3)
+
+    def test_ssar_context_and_probs_match(self, fitted_ssar):
+        model = fitted_ssar
+        roots = np.arange(20, dtype=np.int64)
+        batches = model.forest.batch_for_roots(roots)
+        fast_ctx = model.compiled_tree().forward(batches, len(roots))
+        exact_ctx = model.tree_encoder(batches, len(roots)).numpy()
+        np.testing.assert_allclose(fast_ctx, exact_ctx, atol=1e-4, rtol=1e-3)
+
+        layout = model.layout
+        rng = np.random.default_rng(2)
+        x = np.stack([
+            rng.integers(0, v.vocab_size, size=20) for v in layout.variables
+        ], axis=1)
+        fast = model.compiled_made().conditional_probs(x, 1, context=fast_ctx)
+        exact = model.made.conditional_probs(x, 1, context=Tensor(exact_ctx))
+        np.testing.assert_allclose(fast, exact, atol=1e-4, rtol=1e-3)
+
+    def test_sample_matches_autograd_draws(self, fitted_setup):
+        """With shared uniforms, both backends walk the same CDFs."""
+        *_, layout, model = fitted_setup
+        compiled = model.compiled_made()
+        rng = np.random.default_rng(3)
+        n = 128
+        prefix = np.zeros((n, layout.num_variables), dtype=np.int64)
+        prefix[:, 0] = rng.integers(
+            0, layout.variables[0].vocab_size, size=n
+        )
+        draws = rng.random((n, layout.num_variables - 1))
+        fast = compiled.sample(prefix, 1, draws=draws)
+        exact = model.made.sample(prefix, 1, rng=None, draws=draws)
+        # float32 vs float64 CDFs may flip a draw that lands within ~1e-6 of
+        # a bin boundary; identical for virtually every row.
+        agree = (fast == exact).all(axis=1).mean()
+        assert agree > 0.99
+
+    def test_compile_generic_modules(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP(6, [16, 16], 3, rng)
+        fn = compile_module(mlp)
+        x = rng.normal(size=(10, 6))
+        fast = fn(x.astype(np.float32))
+        exact = mlp(Tensor(x)).numpy()
+        np.testing.assert_allclose(fast, exact, atol=1e-4, rtol=1e-3)
+
+    def test_compile_inference_hook_on_made(self):
+        rng = np.random.default_rng(0)
+        made = ResidualMADE([4, 5, 3], embed_dim=4, hidden=(16, 16), rng=rng)
+        compiled = made.compile_inference()
+        assert isinstance(compiled, CompiledMADE)
+        x = np.zeros((7, 3), dtype=np.int64)
+        np.testing.assert_allclose(
+            compiled.forward(x), made.forward(x).numpy(), atol=1e-4, rtol=1e-3
+        )
+
+    def test_sample_empty_range_needs_no_randomness(self):
+        """Zero-column slots (link tables) sample nothing — no rng required."""
+        rng = np.random.default_rng(0)
+        made = ResidualMADE([4, 5], embed_dim=4, hidden=(8, 8), rng=rng)
+        compiled = made.compile_inference()
+        prefix = np.zeros((3, 2), dtype=np.int64)
+        out = compiled.sample(prefix, 1, stop_variable=1)
+        np.testing.assert_array_equal(out, prefix)
+
+    def test_compiled_tiling_is_batch_invariant(self, fitted_setup):
+        """A row's compiled activations do not depend on its batch."""
+        *_, layout, model = fitted_setup
+        compiled = model.compiled_made()
+        rng = np.random.default_rng(4)
+        x = np.stack([
+            rng.integers(0, v.vocab_size, size=300) for v in layout.variables
+        ], axis=1)
+        full = compiled.forward(x)
+        pieces = [compiled.forward(x[i:i + 37]) for i in range(0, 300, 37)]
+        np.testing.assert_array_equal(np.concatenate(pieces), full)
+
+
+# ----------------------------------------------------------------------
+# No autograd graphs on the hot path
+# ----------------------------------------------------------------------
+
+class TestNoAutogradDuringJoin:
+    def test_join_builds_no_graph_nodes(self, fitted_setup, monkeypatch):
+        *_, model = fitted_setup
+        assert model.use_compiled
+        tracked = []
+        original = tensor_mod.Tensor._make
+
+        def spy(data, parents, backward_fn):
+            if any(p.requires_grad for p in parents):
+                tracked.append(parents)
+            return original(data, parents, backward_fn)
+
+        monkeypatch.setattr(tensor_mod.Tensor, "_make", staticmethod(spy))
+        IncompletenessJoin(model, seed=0).run()
+        assert tracked == []
+
+    def test_autograd_backend_does_build_graphs(self, fitted_setup, monkeypatch):
+        """Sanity: the spy catches graphs when the old path is forced."""
+        *_, model = fitted_setup
+        tracked = []
+        original = tensor_mod.Tensor._make
+
+        def spy(data, parents, backward_fn):
+            if any(p.requires_grad for p in parents):
+                tracked.append(1)
+            return original(data, parents, backward_fn)
+
+        monkeypatch.setattr(tensor_mod.Tensor, "_make", staticmethod(spy))
+        model.inference_backend = "autograd"
+        try:
+            IncompletenessJoin(model, seed=0).run()
+        finally:
+            model.inference_backend = "compiled"
+        assert len(tracked) > 0
+
+
+# ----------------------------------------------------------------------
+# Chunked execution
+# ----------------------------------------------------------------------
+
+def _canonical(completed):
+    cols = completed.result.columns
+    keys = sorted(k for k in cols if k.endswith(".id"))
+    order = np.lexsort(tuple(np.asarray(cols[k]) for k in keys))
+    return (
+        {k: np.asarray(v)[order] for k, v in cols.items()},
+        completed.result.effective_weights()[order],
+        completed.target_synthesized()[order],
+    )
+
+
+class TestChunkedJoin:
+    @pytest.mark.parametrize("chunk_size", [3, 17, 1000000])
+    def test_chunked_join_identical_to_unchunked(self, fitted_setup, chunk_size):
+        *_, model = fitted_setup
+        full = IncompletenessJoin(model, seed=7).run()
+        chunked = IncompletenessJoin(model, seed=7, chunk_size=chunk_size).run()
+        assert chunked.num_rows == full.num_rows
+        assert chunked.num_synthesized == full.num_synthesized
+        cols_a, w_a, syn_a = _canonical(full)
+        cols_b, w_b, syn_b = _canonical(chunked)
+        for name in cols_a:
+            np.testing.assert_array_equal(cols_a[name], cols_b[name])
+        np.testing.assert_array_equal(w_a, w_b)
+        np.testing.assert_array_equal(syn_a, syn_b)
+
+    def test_chunked_ssar_join_identical(self, fitted_ssar):
+        full = IncompletenessJoin(fitted_ssar, seed=3).run()
+        chunked = IncompletenessJoin(fitted_ssar, seed=3, chunk_size=13).run()
+        cols_a, w_a, _ = _canonical(full)
+        cols_b, w_b, _ = _canonical(chunked)
+        for name in cols_a:
+            np.testing.assert_array_equal(cols_a[name], cols_b[name])
+        np.testing.assert_array_equal(w_a, w_b)
+
+    @pytest.fixture(scope="class")
+    def fitted_dangling(self):
+        """A path whose n:1 hop has dangling FKs (removed landlords)."""
+        db = generate_housing(HousingConfig(seed=0, num_neighborhoods=30,
+                                            num_landlords=120,
+                                            apartments_per_neighborhood=6.0))
+        dataset = make_incomplete(
+            db, [RemovalSpec("landlord", "landlord_response_rate", 0.5, 0.4)],
+            drop_dangling_links=False,  # keep apartments pointing at removed
+            seed=1,                     # landlords: dangling FK evidence
+        )
+        encoders = build_encoders(dataset.incomplete, num_bins=8)
+        layout = PathLayout(dataset.incomplete, dataset.annotation,
+                            CompletionPath(("apartment", "landlord")), encoders)
+        model = ARCompletionModel(layout, ModelConfig(hidden=(32, 32), train=FAST))
+        model.fit()
+        return model
+
+    def test_chunked_dangling_parents_identical(self, fitted_dangling):
+        """Chunks that split a dangling key's children must still synthesize
+        the same shared parent (regression: the parent used to be sampled
+        from the chunk-local first child's prefix)."""
+        full = IncompletenessJoin(fitted_dangling, seed=7).run()
+        chunked = IncompletenessJoin(fitted_dangling, seed=7, chunk_size=3).run()
+        assert full.num_synthesized.get("landlord", 0) > 0  # branch exercised
+        assert chunked.num_synthesized == full.num_synthesized
+        cols_a, w_a, syn_a = _canonical(full)
+        cols_b, w_b, syn_b = _canonical(chunked)
+        for name in cols_a:
+            np.testing.assert_array_equal(cols_a[name], cols_b[name])
+        np.testing.assert_array_equal(w_a, w_b)
+        np.testing.assert_array_equal(syn_a, syn_b)
+
+    def test_seed_still_changes_output(self, fitted_setup):
+        *_, model = fitted_setup
+        a = IncompletenessJoin(model, seed=1).run()
+        b = IncompletenessJoin(model, seed=2).run()
+        assert a.num_rows != b.num_rows or not np.array_equal(
+            np.sort(np.asarray(a.result.resolve("tb.b"))),
+            np.sort(np.asarray(b.result.resolve("tb.b"))),
+        )
+
+    def test_chunk_slices(self):
+        assert list(rt_rng.chunk_slices(10, None)) == [slice(0, 10)]
+        assert list(rt_rng.chunk_slices(10, 0)) == [slice(0, 10)]
+        assert list(rt_rng.chunk_slices(10, 4)) == [
+            slice(0, 4), slice(4, 8), slice(8, 10)
+        ]
+        assert list(rt_rng.chunk_slices(10, 100)) == [slice(0, 10)]
+
+
+# ----------------------------------------------------------------------
+# Counter-based random streams
+# ----------------------------------------------------------------------
+
+class TestRuntimeRng:
+    def test_draw_advances_counters(self):
+        seed = rt_rng.fold_seed(0)
+        streams = rt_rng.root_streams(np.arange(5))
+        counters = np.zeros(5, dtype=np.uint64)
+        first = rt_rng.draw(seed, streams, counters, 2)
+        assert counters.tolist() == [2] * 5
+        second = rt_rng.draw(seed, streams, counters, 2)
+        assert not np.array_equal(first, second)
+
+    def test_uniforms_pure_function(self):
+        seed = rt_rng.fold_seed(42)
+        streams = rt_rng.root_streams(np.arange(8))
+        counters = np.arange(8, dtype=np.uint64)
+        a = rt_rng.uniforms(seed, streams, counters, 3)
+        b = rt_rng.uniforms(seed, streams, counters, 3)
+        np.testing.assert_array_equal(a, b)
+        assert ((a >= 0) & (a < 1)).all()
+
+    def test_derived_streams_distinct(self):
+        parents = rt_rng.root_streams(np.arange(100))
+        children = rt_rng.derive_streams(
+            np.repeat(parents, 3), rt_rng.TAG_SYNTH, np.tile(np.arange(3), 100)
+        )
+        assert len(np.unique(children)) == 300
+        siblings = rt_rng.derive_streams(parents, rt_rng.TAG_CHILD, np.arange(100))
+        assert len(np.intersect1d(children, siblings)) == 0
+
+    def test_key_streams_independent_of_position(self):
+        keys = np.array([10, 20, 30])
+        a = rt_rng.key_streams(rt_rng.TAG_KEY, keys)
+        b = rt_rng.key_streams(rt_rng.TAG_KEY, keys[::-1])[::-1]
+        np.testing.assert_array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# JoinCache
+# ----------------------------------------------------------------------
+
+class TestJoinCache:
+    def test_lru_eviction_order(self):
+        cache = JoinCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh "a" → "b" is now LRU
+        cache.put("c", 3)
+        assert cache.contains("a") and cache.contains("c")
+        assert not cache.contains("b")
+        assert cache.stats.evictions == 1
+
+    def test_stats_counters(self):
+        cache = JoinCache(capacity=4)
+        assert cache.get("missing") is None
+        cache.put("x", 42)
+        assert cache.get("x") == 42
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.requests == 2
+        assert set(cache.stats.as_dict()) == {
+            "hits", "misses", "evictions", "invalidations", "hit_rate"
+        }
+
+    def test_contains_is_pure_probe(self):
+        cache = JoinCache(capacity=2)
+        cache.put("a", 1)
+        before = (cache.stats.hits, cache.stats.misses)
+        assert cache.contains("a")
+        assert not cache.contains("b")
+        assert (cache.stats.hits, cache.stats.misses) == before
+
+    def test_invalidate_clears_entries(self):
+        cache = JoinCache(capacity=2)
+        cache.put("a", 1)
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        cache.invalidate()  # empty → not counted again
+        assert cache.stats.invalidations == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            JoinCache(capacity=0)
+
+    def test_put_updates_existing_key(self):
+        cache = JoinCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 9)
+        assert cache.get("a") == 9
+        assert len(cache) == 1
+
+
+class TestEngineCache:
+    @pytest.fixture(scope="class")
+    def engine_dataset(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=200,
+                                                predictability=0.9, seed=0))
+        dataset = make_incomplete(db, [RemovalSpec("tb", "b", 0.5, 0.4)],
+                                  tf_keep_rate=0.5, seed=1)
+        config = ReStoreConfig(
+            model=ModelConfig(hidden=(32, 32), train=FAST),
+            join_cache_size=2,
+        )
+        engine = ReStore.from_dataset(dataset, config).fit()
+        return engine, dataset
+
+    def test_completed_join_cached_with_stats(self, engine_dataset):
+        engine, _ = engine_dataset
+        engine.clear_cache()
+        model = engine.candidates("tb")[0].model
+        first = engine.completed_join(model)
+        again = engine.completed_join(model)
+        assert again is first
+        assert engine.cache_stats.hits == 1
+        assert engine.cache_stats.misses == 1
+        assert engine.cache_hits == 1
+
+    def test_refit_invalidates_join_cache(self, engine_dataset):
+        engine, _ = engine_dataset
+        model = engine.candidates("tb")[0].model
+        engine.completed_join(model)
+        assert len(engine.join_cache) > 0
+        engine.fit(targets=["tb"])
+        assert len(engine.join_cache) == 0
+        assert engine.cache_stats.invalidations >= 1
+
+    def test_cache_key_includes_seed(self, engine_dataset):
+        engine, _ = engine_dataset
+        engine.clear_cache()
+        model = engine.candidates("tb")[0].model
+        engine.completed_join(model)
+        key = engine._join_key(model)
+        assert key[2] == engine.config.seed
+        assert key[3] == engine.config.approximate_replacement
+
+    def test_chunked_engine_matches_unchunked(self, engine_dataset):
+        engine, dataset = engine_dataset
+        engine.clear_cache()
+        model = engine.candidates("tb")[0].model
+        unchunked = engine.completed_join(model)
+        chunked_config = ReStoreConfig(
+            model=ModelConfig(hidden=(32, 32), train=FAST),
+            chunk_size=7,
+        )
+        chunked_engine = ReStore.from_dataset(dataset, chunked_config)
+        chunked = IncompletenessJoin(
+            model, seed=chunked_engine.config.seed,
+            chunk_size=chunked_engine.config.chunk_size,
+        ).run()
+        cols_a, w_a, _ = _canonical(unchunked)
+        cols_b, w_b, _ = _canonical(chunked)
+        for name in cols_a:
+            np.testing.assert_array_equal(cols_a[name], cols_b[name])
+        np.testing.assert_array_equal(w_a, w_b)
