@@ -8,7 +8,6 @@ ReStore completes the movie table *through* the incomplete link tables
 company tables as evidence.
 """
 
-import numpy as np
 
 from repro import ReStore, ReStoreConfig, parse_query
 from repro.core import ModelConfig

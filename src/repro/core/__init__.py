@@ -9,7 +9,12 @@ from .path_data import (
     build_training_matrix,
 )
 from .forest import ChildIndex, EvidenceForest, build_child_index
-from .models import ARCompletionModel, ModelConfig, SSARCompletionModel
+from .models import (
+    ARCompletionModel,
+    CompletionSnapshot,
+    ModelConfig,
+    SSARCompletionModel,
+)
 from .merging import MergedGroup, compatible_order, merge_paths, training_savings
 from .incompleteness_join import CompletedJoin, IncompletenessJoin
 from .nn_replacement import EuclideanReplacer, TupleSpace
@@ -37,6 +42,7 @@ __all__ = [
     "build_child_index",
     "ARCompletionModel",
     "SSARCompletionModel",
+    "CompletionSnapshot",
     "ModelConfig",
     "MergedGroup",
     "merge_paths",

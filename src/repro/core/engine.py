@@ -13,13 +13,14 @@ This is the public facade tying together everything the paper describes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..incomplete import IncompleteDataset
 from ..runtime import CacheStats, JoinCache
+from ..runtime.parallel import PARALLEL_BACKENDS, get_executor
 from ..query import (
     JoinResult,
     Query,
@@ -34,14 +35,13 @@ from ..relational import (
     enumerate_completion_paths,
     fan_out_relations,
 )
-from .confidence import ConfidenceBand, ConfidenceEstimator
+from .confidence import ConfidenceEstimator
 from .forest import EvidenceForest
 from .incompleteness_join import CompletedJoin, IncompletenessJoin
-from .merging import MergedGroup, merge_paths, training_savings
+from .merging import training_savings
 from .models import ARCompletionModel, ModelConfig, SSARCompletionModel, _CompletionModelBase
 from .path_data import PathLayout, build_encoders
 from .selection import (
-    BiasDirection,
     CandidateScore,
     SuspectedBias,
     apply_suspected_bias,
@@ -59,6 +59,13 @@ class ReStoreConfig:
     ``join_cache_size`` bounds the LRU cache of completed joins, and
     ``compiled_inference`` selects the graph-free float32 runtime for
     completion-time sampling (training always uses autograd).
+
+    ``n_workers`` / ``parallel_backend`` fan work out over an executor
+    (:mod:`repro.runtime.parallel`): the incompleteness join shards its
+    root-row chunks and ``fit`` trains per-path models concurrently.
+    Backends are ``"serial"`` (default), ``"thread"`` and ``"process"``;
+    results are identical across all of them at a fixed seed (completed
+    joins bitwise up to row order).
     """
 
     model: ModelConfig = field(default_factory=ModelConfig)
@@ -73,6 +80,17 @@ class ReStoreConfig:
     chunk_size: Optional[int] = None
     join_cache_size: int = 8
     compiled_inference: bool = True
+    n_workers: int = 1
+    parallel_backend: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {self.parallel_backend!r}"
+            )
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
 
 
 @dataclass
@@ -149,25 +167,84 @@ class ReStore:
     def fit(self, targets: Optional[Sequence[str]] = None) -> "ReStore":
         """Train AR (and SSAR where fan-out evidence exists) candidates.
 
+        Per-path training runs on the configured executor
+        (``parallel_backend`` / ``n_workers``): every (path, seed offset)
+        task derives its own seeds, so the fitted models are identical to a
+        serial run regardless of scheduling.  Process workers train on a
+        worker-local engine copy and ship the fitted models back.
+
         Re-fitting invalidates the join cache: cached joins were sampled
         from the previous models and no longer reflect the engine's state.
         """
         self.join_cache.invalidate()
         targets = list(targets) if targets is not None else self.incomplete_targets()
         all_paths: List[CompletionPath] = []
+        tasks: List[Tuple[str, Tuple[str, ...], int]] = []
         for target in targets:
             paths = self.paths_for(target)
             if not paths:
                 raise ValueError(f"no admissible completion path for {target!r}")
             all_paths.extend(paths)
-            models: List[_CompletionModelBase] = []
             for i, path in enumerate(paths):
-                models.extend(self._train_path(path, seed_offset=i))
-            self._candidates[target] = score_candidates(models)
+                tasks.append((target, path.tables, i))
+
+        results = self._run_training(tasks)
+        if self.config.parallel_backend == "process":
+            self._adopt_worker_models(results)
+
+        by_target: Dict[str, List[_CompletionModelBase]] = {t: [] for t in targets}
+        for (target, _tables, _offset), models in zip(tasks, results):
+            for model in models:
+                self._models[(model.kind, model.layout.path.tables)] = model
+            by_target[target].extend(models)
+        for target in targets:
+            self._candidates[target] = score_candidates(by_target[target])
         self.merge_stats = training_savings(all_paths)
         return self
 
+    def _run_training(self, tasks: List[Tuple[str, Tuple[str, ...], int]]):
+        """Dispatch per-path training tasks to the configured executor."""
+        executor = get_executor(self.config.parallel_backend, self.config.n_workers)
+        if executor.shares_caller_state:
+            return executor.map(_fit_path_task, tasks, payload=self)
+        # Process workers rebuild a single-worker engine from the pickled
+        # database and train there; fitted models (plain numpy state) ship
+        # back.  Forcing the worker config serial keeps pools from nesting.
+        worker_config = replace(
+            self.config, n_workers=1, parallel_backend="serial"
+        )
+        payload = (self.db, self.annotation, worker_config)
+        return executor.map(
+            _fit_path_task, tasks, payload=payload, init=_build_worker_engine
+        )
+
+    def _adopt_worker_models(self, results) -> None:
+        """Re-anchor worker-trained models on the parent's database.
+
+        Process workers train against a pickled copy of the database, and
+        the fitted models come back carrying that copy in their layouts and
+        forests.  The copies are content-identical to ``self.db`` (training
+        is deterministic), so re-binding them to the parent's objects keeps
+        one database in memory instead of one per trained path.
+        """
+        layouts: Dict[Tuple[str, ...], PathLayout] = {}
+        for models in results:
+            for model in models:
+                tables = model.layout.path.tables
+                if tables not in layouts:
+                    layouts[tables] = PathLayout(
+                        self.db, self.annotation,
+                        CompletionPath(tables), self.encoders,
+                    )
+                model.layout = layouts[tables]
+                forest = getattr(model, "forest", None)
+                if forest is not None:
+                    forest.db = self.db
+                    forest.encoders = self.encoders
+
     def _train_path(self, path: CompletionPath, seed_offset: int = 0):
+        """Train this path's AR/SSAR candidates (pure: registration is the
+        caller's job, so executor workers can run this concurrently)."""
         models = []
         layout = PathLayout(self.db, self.annotation, path, self.encoders)
         base_seed = self.config.seed + 31 * seed_offset
@@ -175,7 +252,6 @@ class ReStore:
             cfg = self._model_config(base_seed)
             ar = ARCompletionModel(layout, cfg)
             ar.fit()
-            self._models[("ar", path.tables)] = ar
             models.append(ar)
         if self.config.use_ssar:
             walks = fan_out_relations(self.db, self.annotation, path)
@@ -187,7 +263,6 @@ class ReStore:
                 cfg = self._model_config(base_seed + 17)
                 ssar = SSARCompletionModel(layout, forest, cfg)
                 ssar.fit()
-                self._models[("ssar", path.tables)] = ssar
                 models.append(ssar)
         return models
 
@@ -354,6 +429,8 @@ class ReStore:
             approximate_replacement=self.config.approximate_replacement,
             seed=self.config.seed,
             chunk_size=self.config.chunk_size,
+            n_workers=self.config.n_workers,
+            parallel_backend=self.config.parallel_backend,
         ).run()
         self.join_cache.put(key, join)
         return join
@@ -483,3 +560,20 @@ class ReStore:
                 f"fit() has not trained models for any of {sorted(pool)}"
             )
         return known[0]
+
+
+# ----------------------------------------------------------------------
+# Executor worker hooks for parallel ``fit`` (module-level: process
+# workers import them by reference)
+# ----------------------------------------------------------------------
+
+def _build_worker_engine(payload) -> ReStore:
+    """Process-pool initializer: a worker-local engine from pickled state."""
+    db, annotation, config = payload
+    return ReStore(db, annotation, config)
+
+
+def _fit_path_task(engine: ReStore, task):
+    """Executor task: train one completion path's candidate models."""
+    _target, path_tables, seed_offset = task
+    return engine._train_path(CompletionPath(path_tables), seed_offset=seed_offset)

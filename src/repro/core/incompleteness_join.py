@@ -28,6 +28,15 @@ Execution is handled by the inference runtime (:mod:`repro.runtime`):
   Shared parents synthesized for dangling foreign keys derive their stream
   from the *key value*, so chunks that split a key's children still
   materialize the same parent tuple.
+* Because chunks are pure, ``run()`` can fan them out over an executor
+  (``n_workers`` / ``parallel_backend`` — see :mod:`repro.runtime.parallel`).
+  Thread workers share this join object (walks accumulate into chunk-local
+  accumulators, shared caches are pre-warmed); process workers receive a
+  picklable :class:`~repro.core.models.CompletionSnapshot` — the compiled
+  float32 model, never the autograd module — and rebuild a worker-local
+  join from it.  Dangling-FK parents are parked per chunk and merged
+  deterministically after the fan-out barrier, so output rows are bitwise
+  identical (up to order) across backends and worker counts.
 
 The result is a :class:`~repro.query.JoinResult` with fractional row
 weights, directly consumable by the shared filter/aggregate operators.
@@ -37,7 +46,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +54,7 @@ from ..query import JoinResult
 from ..relational import MISSING_KEY, CompletionPath
 from ..relational.tuple_factors import TF_UNKNOWN
 from ..runtime import rng as rt_rng
+from ..runtime.parallel import SerialExecutor, default_chunk_size, get_executor
 from ..runtime.rng import chunk_slices
 from .forest import ChildIndex, _gather_children, build_child_index, match_keys
 from .models import _CompletionModelBase
@@ -144,6 +154,84 @@ def _concat_many(states: List[_WalkState]) -> _WalkState:
     )
 
 
+@dataclass
+class _ShardAccumulator:
+    """Synthesis side-state produced while walking one shard of rows.
+
+    Walks write here instead of mutating the join object, which is what
+    makes a chunk walk a pure function — safe to run on any worker — and
+    gives the post-barrier merge one explicit, deterministic code path.
+    """
+
+    parked: Dict[int, List[_WalkState]] = field(default_factory=dict)
+    num_synth: Dict[str, int] = field(default_factory=dict)
+    issued_ids: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+
+    def park(self, slot: int, state: _WalkState) -> None:
+        self.parked.setdefault(slot, []).append(state)
+
+    def count_synth(self, table_name: str, count: int) -> None:
+        self.num_synth[table_name] = self.num_synth.get(table_name, 0) + count
+
+    def record_ids(self, table_name: str, ids: np.ndarray) -> None:
+        self.issued_ids.setdefault(table_name, []).append(ids)
+
+    def merge(self, other: "_ShardAccumulator") -> None:
+        """Fold another shard's side-state into this one (order-preserving)."""
+        for slot, states in other.parked.items():
+            self.parked.setdefault(slot, []).extend(states)
+        for table_name, count in other.num_synth.items():
+            self.count_synth(table_name, count)
+        for table_name, ids in other.issued_ids.items():
+            self.issued_ids.setdefault(table_name, []).extend(ids)
+
+
+@dataclass
+class _ChunkOutput:
+    """One chunk's completed walk state plus its synthesis side-state."""
+
+    state: _WalkState
+    acc: _ShardAccumulator
+
+
+@dataclass
+class _JoinWorkerSpec:
+    """Everything a process worker needs to rebuild this join — picklable.
+
+    ``model`` is a :class:`~repro.core.models.CompletionSnapshot`: compiled
+    float32 forwards plus the path layout, a few kilobytes instead of the
+    autograd module and its training state.
+    """
+
+    model: object
+    approximate_replacement: bool
+    replace_synthesized: bool
+    seed: int
+    tables: Tuple[str, ...]
+
+
+def _build_worker_join(spec: _JoinWorkerSpec):
+    """Process-pool initializer hook: a worker-local join from the spec.
+
+    Built once per worker, so per-table caches (child indexes, replacers,
+    encoded root codes) amortize across all chunks the worker executes.
+    """
+    join = IncompletenessJoin(
+        spec.model,
+        approximate_replacement=spec.approximate_replacement,
+        replace_synthesized=spec.replace_synthesized,
+        seed=spec.seed,
+    )
+    return join, list(spec.tables)
+
+
+def _walk_chunk_task(state, task: Tuple[int, int]) -> _ChunkOutput:
+    """Executor task: walk one chunk of root rows (any backend)."""
+    join, tables = state
+    start, stop = task
+    return join._walk_chunk(slice(start, stop), tables)
+
+
 class IncompletenessJoin:
     """Executes Algorithm 1 for one completion model.
 
@@ -165,6 +253,16 @@ class IncompletenessJoin:
         (``None`` = single pass).  The output is the same set of rows
         (bitwise, weights included) for any chunk size; row order, peak
         memory and batching granularity are what change.
+    n_workers / parallel_backend:
+        Fan root-row chunks out over an executor (``"serial"``, ``"thread"``
+        or ``"process"``; see :mod:`repro.runtime.parallel`).  Output rows
+        are identical (up to order) for every backend and worker count at a
+        fixed seed.  With ``n_workers > 1`` and no explicit ``chunk_size``, a
+        chunk size giving each worker a few tasks is chosen automatically.
+        The process backend ships the model's *compiled* snapshot; a model
+        on the autograd inference backend therefore completes in-process
+        (still bitwise-identical to its serial run) rather than silently
+        sampling on a different runtime.
     """
 
     def __init__(
@@ -174,6 +272,8 @@ class IncompletenessJoin:
         replace_synthesized: bool = True,
         seed: int = 0,
         chunk_size: Optional[int] = None,
+        n_workers: int = 1,
+        parallel_backend: str = "serial",
     ):
         self.model = model
         self.layout = model.layout
@@ -184,14 +284,15 @@ class IncompletenessJoin:
         self.replace_synthesized = replace_synthesized
         self.seed = int(seed)
         self.chunk_size = chunk_size
+        self.n_workers = int(n_workers)
+        self.parallel_backend = parallel_backend
+        self._executor = get_executor(parallel_backend, self.n_workers)
         self._seed64 = rt_rng.fold_seed(self.seed)
         self._replacers: Dict[str, EuclideanReplacer] = {}
         self._child_indexes: Dict[Tuple[str, str, str], ChildIndex] = {}
         self._orphan_weights: Dict[Tuple[str, str, str], float] = {}
         self._num_synth: Dict[str, int] = {}
         self._synth_masks: Dict[str, np.ndarray] = {}
-        self._parked: Dict[int, List[_WalkState]] = {}
-        self._issued_ids: Dict[str, List[np.ndarray]] = {}
         self._root_codes: Optional[np.ndarray] = None
         self._root_columns: Optional[Dict[str, np.ndarray]] = None
         self._key_orders: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
@@ -202,9 +303,11 @@ class IncompletenessJoin:
     def run(self, stop_table: Optional[str] = None) -> CompletedJoin:
         """Complete the join along the path, streaming over root-row chunks.
 
-        ``stop_table`` truncates the walk after that table is reached — a
-        merged model trained on a longer path serves any prefix sub-path
-        this way (§3.4).
+        Chunks are dispatched to the configured executor; their outputs are
+        merged in chunk order, so any backend/worker count yields the same
+        rows (up to order).  ``stop_table`` truncates the walk after that
+        table is reached — a merged model trained on a longer path serves
+        any prefix sub-path this way (§3.4).
         """
         tables = list(self.path.tables)
         if stop_table is not None:
@@ -216,28 +319,37 @@ class IncompletenessJoin:
 
         self._num_synth = {}
         self._synth_masks = {}
-        self._parked = {}
-        self._issued_ids = {}
 
         num_roots = len(self.db.table(tables[0]))
+        chunk_size = self.chunk_size
+        if chunk_size is None and self.n_workers > 1:
+            chunk_size = default_chunk_size(num_roots, self.n_workers)
+        tasks = [
+            (s.start, s.stop) for s in chunk_slices(num_roots, chunk_size)
+        ]
+        outputs = self._run_chunks(tasks, tables)
+
+        acc = _ShardAccumulator()
         chunks: List[_WalkState] = []
-        for rows in chunk_slices(num_roots, self.chunk_size):
-            chunks.append(self._walk(self._initial_state(rows), 1, len(tables)))
+        for output in outputs:  # executor order == task order: deterministic
+            chunks.append(output.state)
+            acc.merge(output.acc)
         # Rows that hit a dangling foreign key were parked rather than
         # completed: the shared parent of key k is sampled conditioned on a
         # canonical representative child, which is only known once every
-        # chunk has contributed its children.  Resolving after the main walk
-        # keeps chunked and unchunked runs on the identical code path.
+        # chunk (on every worker) has contributed its children.  Resolving
+        # after the barrier keeps all backends on the identical code path.
         for slot in range(1, len(tables)):
-            parked = self._parked.pop(slot, None)
+            parked = acc.parked.pop(slot, None)
             if not parked:
                 continue
-            resolved = self._resolve_dangling(_concat_many(parked), slot)
-            chunks.append(self._walk(resolved, slot + 1, len(tables)))
+            resolved = self._resolve_dangling(_concat_many(parked), slot, acc)
+            chunks.append(self._walk(resolved, slot + 1, len(tables), acc))
         # One concatenation at the end — pairwise accumulation would copy
         # the growing result once per chunk (quadratic in the row count).
         completed = _concat_many(chunks)
-        self._check_synth_ids()
+        self._check_synth_ids(acc.issued_ids)
+        self._num_synth = dict(acc.num_synth)
 
         # The final state's synthesized flags refer to the last completed
         # table — exactly what confidence estimation (§6) needs.
@@ -253,6 +365,78 @@ class IncompletenessJoin:
             codes=completed.codes,
             context=completed.context,
         )
+
+    def _run_chunks(
+        self, tasks: List[Tuple[int, int]], tables: List[str]
+    ) -> List[_ChunkOutput]:
+        """Dispatch chunk walks to the executor and collect them in order."""
+        use_compiled = getattr(self.model, "use_compiled", True)
+        if self._executor.shares_caller_state or not use_compiled:
+            # Serial/thread workers operate on this join directly.  Warm the
+            # shared per-table caches first: afterwards concurrent walks only
+            # read them (walk side-state goes to chunk-local accumulators).
+            # Models on the autograd backend also land here even under the
+            # process backend: their float64 sampling has no picklable
+            # snapshot, and silently switching them to the compiled float32
+            # runtime on workers would break the bitwise-vs-serial contract.
+            self._prepare_shared_caches(tables)
+            executor = (
+                self._executor if self._executor.shares_caller_state
+                else SerialExecutor()
+            )
+            return executor.map(_walk_chunk_task, tasks, payload=(self, tables))
+        spec = _JoinWorkerSpec(
+            model=self.model.inference_snapshot(),
+            approximate_replacement=self.approximate_replacement,
+            replace_synthesized=self.replace_synthesized,
+            seed=self.seed,
+            tables=tuple(tables),
+        )
+        return self._executor.map(
+            _walk_chunk_task, tasks, payload=spec, init=_build_worker_join
+        )
+
+    def _walk_chunk(self, rows_slice: slice, tables: Sequence[str]) -> _ChunkOutput:
+        """Walk one chunk of root rows into a self-contained output."""
+        acc = _ShardAccumulator()
+        state = self._walk(self._initial_state(rows_slice), 1, len(tables), acc)
+        return _ChunkOutput(state=state, acc=acc)
+
+    def _prepare_shared_caches(self, tables: List[str]) -> None:
+        """Materialize every lazily built read-only cache up front.
+
+        Concurrent thread walks then never write shared state: root
+        encodings, child indexes, key orders, orphan weights, replacers and
+        the compiled model all exist before the first worker starts.
+        """
+        root = tables[0]
+        table = self.db.table(root)
+        encoder = self.layout.encoders[root]
+        if encoder.columns and self._root_codes is None:
+            self._root_codes = encoder.encode_table(table)
+        if self._root_columns is None:
+            self._root_columns = {
+                f"{root}.{c}": np.asarray(table[c]) for c in table.column_names
+            }
+        for slot in range(1, len(tables)):
+            prev, new = tables[slot - 1], tables[slot]
+            if self.db.is_fan_out_step(prev, new):
+                self._child_index(self.layout.fan_out_hops[slot])
+            else:
+                fk = self.db.fk_between(prev, new)
+                self._partner_rows(
+                    new, self.db.table(new), np.zeros(0, dtype=np.int64)
+                )
+                self._child_index(fk)
+                self._orphan_weight(fk)
+            if self.replace_synthesized and self.annotation.is_complete(new):
+                self._replacer(new)
+        compile_hook = getattr(self.model, "compiled_made", None)
+        if compile_hook is not None and getattr(self.model, "use_compiled", False):
+            compile_hook()
+            tree_hook = getattr(self.model, "compiled_tree", None)
+            if tree_hook is not None:
+                tree_hook()
 
     # ------------------------------------------------------------------
     # Setup
@@ -311,21 +495,23 @@ class IncompletenessJoin:
     # ------------------------------------------------------------------
     # Hops
     # ------------------------------------------------------------------
-    def _walk(self, state: _WalkState, start_slot: int, num_slots: int) -> _WalkState:
+    def _walk(self, state: _WalkState, start_slot: int, num_slots: int,
+              acc: _ShardAccumulator) -> _WalkState:
         for slot in range(start_slot, num_slots):
-            state = self._hop(state, slot)
+            state = self._hop(state, slot, acc)
         return state
 
-    def _hop(self, state: _WalkState, slot: int) -> _WalkState:
+    def _hop(self, state: _WalkState, slot: int, acc: _ShardAccumulator) -> _WalkState:
         prev = self.path.tables[slot - 1]
         new = self.path.tables[slot]
         if self.db.is_fan_out_step(prev, new):
-            out = self._fan_out_hop(state, slot, prev, new)
+            out = self._fan_out_hop(state, slot, prev, new, acc)
         else:
-            out = self._n_to_1_hop(state, slot, prev, new)
+            out = self._n_to_1_hop(state, slot, prev, new, acc)
         return out
 
-    def _fan_out_hop(self, state: _WalkState, slot: int, prev: str, new: str) -> _WalkState:
+    def _fan_out_hop(self, state: _WalkState, slot: int, prev: str, new: str,
+                     acc: _ShardAccumulator) -> _WalkState:
         fk = self.layout.fan_out_hops[slot]
         tf_idx = self.layout.tf_variable_index(slot)
         child_index = self._child_index(fk)
@@ -384,7 +570,7 @@ class IncompletenessJoin:
             )
             synth.counters = np.zeros(len(owners_syn), dtype=np.uint64)
             synth.codes[:, tf_idx] = tf_codes[owners_syn]
-            self._synthesize_table(synth, slot, new)
+            self._synthesize_table(synth, slot, new, acc)
             # The synthesized child's FK to its evidence parent is known.
             parent_keys = self._parent_keys_for(state, prev, fk.parent_column)
             synth.columns[f"{new}.{fk.child_column}"] = np.where(
@@ -402,7 +588,8 @@ class IncompletenessJoin:
             out = _concat_states(out, part)
         return out
 
-    def _n_to_1_hop(self, state: _WalkState, slot: int, prev: str, new: str) -> _WalkState:
+    def _n_to_1_hop(self, state: _WalkState, slot: int, prev: str, new: str,
+                    acc: _ShardAccumulator) -> _WalkState:
         fk = self.db.fk_between(prev, new)
         parent_table = self.db.table(new)
         fk_values = state.columns[f"{prev}.{fk.child_column}"]
@@ -428,14 +615,12 @@ class IncompletenessJoin:
         orphan = needs_synth & ~dangling
 
         if dangling.any():
-            self._parked.setdefault(slot, []).append(
-                state.take(np.flatnonzero(dangling))
-            )
+            acc.park(slot, state.take(np.flatnonzero(dangling)))
 
         if orphan.any():
             idx = np.flatnonzero(orphan)
             synth = state.take(idx)
-            self._synthesize_table(synth, slot, new)
+            self._synthesize_table(synth, slot, new, acc)
             from_synth = state.synthesized[idx]
             if from_synth.any():
                 correction = self._orphan_weight(fk)
@@ -464,16 +649,18 @@ class IncompletenessJoin:
         return match_keys(keys, np.asarray(fk_values, dtype=np.int64),
                           key_order=order)
 
-    def _resolve_dangling(self, state: _WalkState, slot: int) -> _WalkState:
+    def _resolve_dangling(self, state: _WalkState, slot: int,
+                          acc: _ShardAccumulator) -> _WalkState:
         """Synthesize shared parents for parked dangling-FK rows.
 
         One parent is sampled per unique key, conditioned on a *canonical*
         representative child — the one with the smallest stream id, which is
         a pure lineage property — and on key-derived draws.  Both choices
-        are independent of chunk boundaries, so splitting a key's children
-        across chunks materializes the same parent tuple.  The parent's slot
-        codes and columns are grafted onto every child row, which keeps its
-        own evidence prefix.
+        are independent of chunk boundaries (and of which worker walked
+        which chunk), so splitting a key's children across chunks
+        materializes the same parent tuple.  The parent's slot codes and
+        columns are grafted onto every child row, which keeps its own
+        evidence prefix.
         """
         prev = self.path.tables[slot - 1]
         new = self.path.tables[slot]
@@ -489,9 +676,9 @@ class IncompletenessJoin:
         reps = state.take(rep_rows)
         reps.streams = rt_rng.key_streams(self._key_tag(slot), unique_keys)
         reps.counters = np.zeros(len(unique_keys), dtype=np.uint64)
-        self._synthesize_table(reps, slot, new, count=False)
+        self._synthesize_table(reps, slot, new, acc, count=False)
         # Shared parents count once per missing key, not once per child row.
-        self._num_synth[new] = self._num_synth.get(new, 0) + len(unique_keys)
+        acc.count_synth(new, len(unique_keys))
 
         shared = reps.take(np.searchsorted(unique_keys, keys))
         start, stop = self.layout.slot_range(slot)
@@ -510,14 +697,16 @@ class IncompletenessJoin:
         with np.errstate(over="ignore"):
             return rt_rng.TAG_KEY + np.uint64(2 * slot + 1)
 
-    def _check_synth_ids(self) -> None:
+    def _check_synth_ids(
+        self, issued_ids: Dict[str, List[np.ndarray]]
+    ) -> None:
         """Fail loudly on synthetic-id hash collisions (~n²/2⁶³ likely).
 
         Every `_synthesize_table` call issues ids for distinct logical
         tuples, so any duplicate across a run is a stream-hash collision
         that would silently merge two different tuples in projection.
         """
-        for table_name, id_arrays in self._issued_ids.items():
+        for table_name, id_arrays in issued_ids.items():
             ids = np.concatenate(id_arrays)
             if len(np.unique(ids)) != len(ids):
                 raise RuntimeError(
@@ -546,7 +735,7 @@ class IncompletenessJoin:
         part.current_rows = np.asarray(rows, dtype=np.int64)
 
     def _synthesize_table(self, part: _WalkState, slot: int, table_name: str,
-                          count: bool = True) -> None:
+                          acc: _ShardAccumulator, count: bool = True) -> None:
         """Sample the slot's columns and materialize raw values/keys.
 
         Consumes ``2 * num_slot_columns`` uniforms per row from the part's
@@ -580,7 +769,7 @@ class IncompletenessJoin:
                 # two distinct tuples silently merge during projection.
                 ids = (-2 - (part.streams & _SYNTH_ID_MASK).astype(np.int64))
                 part.columns[f"{table_name}.{column}"] = ids
-                self._issued_ids.setdefault(table_name, []).append(ids)
+                acc.record_ids(table_name, ids)
             else:
                 part.columns[f"{table_name}.{column}"] = np.full(
                     part.num_rows, MISSING_KEY, dtype=np.int64
@@ -588,9 +777,7 @@ class IncompletenessJoin:
         part.synthesized = np.ones(part.num_rows, dtype=bool)
         part.current_rows = np.full(part.num_rows, -1, dtype=np.int64)
         if count:
-            self._num_synth[table_name] = (
-                self._num_synth.get(table_name, 0) + part.num_rows
-            )
+            acc.count_synth(table_name, part.num_rows)
 
     def _maybe_replace(self, part: _WalkState, slot: int, table_name: str) -> _WalkState:
         """Euclidean replacement for synthesized tuples of complete tables."""

@@ -56,7 +56,197 @@ class ModelConfig:
     ))
 
 
-class _CompletionModelBase(Module):
+class _HopSamplingAPI:
+    """The hop-level sampling surface consumed by the incompleteness join.
+
+    Everything is expressed through four hooks — ``layout``,
+    :meth:`_require_fitted`, :meth:`_cond_probs` and :meth:`_sample_range` —
+    so the same code drives both the live (trainable) completion models and
+    the picklable :class:`CompletionSnapshot` shipped to process workers.
+    """
+
+    kind = "base"
+    layout: PathLayout
+
+    def _require_fitted(self) -> None:
+        raise NotImplementedError
+
+    def _cond_probs(
+        self, prefix: np.ndarray, variable: int, context: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """``P(x_variable | earlier, context)`` on the active backend."""
+        raise NotImplementedError
+
+    def _sample_range(
+        self,
+        prefix: np.ndarray,
+        first_column: int,
+        stop: int,
+        rng: Optional[np.random.Generator],
+        context: Optional[np.ndarray],
+        draws: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Autoregressively sample variables ``first_column .. stop - 1``."""
+        raise NotImplementedError
+
+    def context_for_roots(self, root_rows: np.ndarray) -> Optional[np.ndarray]:
+        """Raw context vectors for evidence root rows (None for AR)."""
+        return None
+
+    # -- hop-level sampling API ------------------------------------------
+    def predict_tuple_factors(
+        self,
+        prefix: np.ndarray,
+        slot: int,
+        rng: Optional[np.random.Generator] = None,
+        context: Optional[np.ndarray] = None,
+        min_counts: Optional[np.ndarray] = None,
+        draws: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Sample tuple factors for the fan-out hop entering ``slot``.
+
+        The reserved ``unknown`` code is masked out, so the result is always
+        an actual count.  ``min_counts`` truncates each row's conditional at
+        the number of children already observed — we *know* TF >= existing,
+        and sampling untruncated then clamping would bias counts upward.
+        The sampled code is also written into ``prefix`` (callers pass the
+        same array on to :meth:`sample_slot`).  Randomness comes from
+        ``draws`` (one uniform per row, the runtime's counter-based streams)
+        when given, else from ``rng``.  Accepts row-chunked batches: rows
+        are independent, so any partition of a batch yields the same result.
+        """
+        self._require_fitted()
+        tf_idx = self.layout.tf_variable_index(slot)
+        if tf_idx is None:
+            raise ValueError(f"slot {slot} is not a fan-out hop")
+        codec = self.layout.tf_codec_for(slot)
+        probs = self._cond_probs(prefix, tf_idx, context)
+        probs = probs * codec.sampling_mask()[None, :]
+        if min_counts is not None:
+            counts_axis = np.arange(probs.shape[1])
+            probs = probs * (counts_axis[None, :] >= np.asarray(min_counts)[:, None])
+            # Rows whose observed count exceeds every remaining code fall
+            # back to exactly the observed count.
+            dead = probs.sum(axis=1) <= 0
+            if dead.any():
+                probs[dead] = 0.0
+                clip = np.minimum(np.asarray(min_counts)[dead], codec.cap)
+                probs[np.flatnonzero(dead), clip] = 1.0
+        probs = probs / probs.sum(axis=1, keepdims=True)
+        codes = _sample_rows(probs, rng, draws)
+        prefix[:, tf_idx] = codes
+        return codec.decode(codes)
+
+    def expected_tuple_factors(
+        self,
+        prefix: np.ndarray,
+        slot: int,
+        context: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Expected (mean) tuple factor per row — used for reweighting."""
+        self._require_fitted()
+        tf_idx = self.layout.tf_variable_index(slot)
+        if tf_idx is None:
+            raise ValueError(f"slot {slot} is not a fan-out hop")
+        codec = self.layout.tf_codec_for(slot)
+        probs = self._cond_probs(prefix, tf_idx, context)
+        probs = probs * codec.sampling_mask()[None, :]
+        probs = probs / probs.sum(axis=1, keepdims=True)
+        counts = np.arange(probs.shape[1], dtype=float)
+        # Row-local reduction (not a matvec) so the result is independent of
+        # how the batch was chunked.
+        return (probs * counts[None, :]).sum(axis=1)
+
+    def sample_slot(
+        self,
+        prefix: np.ndarray,
+        slot: int,
+        rng: Optional[np.random.Generator] = None,
+        context: Optional[np.ndarray] = None,
+        draws: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Synthesize the column variables of path slot ``slot``.
+
+        ``prefix`` must already contain all earlier variables (and the
+        slot's TF variable if the hop fans out).  Returns the full code
+        matrix with the slot filled in.  ``draws`` supplies the
+        ``(rows, num_slot_columns)`` sampling uniforms for the
+        chunk-invariant runtime path; otherwise ``rng`` is used.
+        """
+        self._require_fitted()
+        start, stop = self.layout.slot_range(slot)
+        tf_idx = self.layout.tf_variable_index(slot)
+        first_column = start if tf_idx is None else tf_idx + 1
+        return self._sample_range(prefix, first_column, stop, rng, context, draws)
+
+    def slot_sample_width(self, slot: int) -> int:
+        """Number of variables :meth:`sample_slot` draws for ``slot``."""
+        start, stop = self.layout.slot_range(slot)
+        tf_idx = self.layout.tf_variable_index(slot)
+        first_column = start if tf_idx is None else tf_idx + 1
+        return stop - first_column
+
+    def conditional_probs(
+        self,
+        prefix: np.ndarray,
+        variable: int,
+        context: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``P(x_variable | earlier variables, context)`` for confidence."""
+        self._require_fitted()
+        return self._cond_probs(prefix, variable, context)
+
+    def describe(self) -> str:
+        return f"{self.kind.upper()}({self.layout.path})"
+
+
+class CompletionSnapshot(_HopSamplingAPI):
+    """Picklable, inference-only view of a fitted completion model.
+
+    Carries the compiled float32 forwards plus the path layout — everything
+    the incompleteness join touches and nothing of the autograd module — so
+    process workers ship a few kilobytes of snapshotted weights instead of
+    the training state.  The compiled runtime is bitwise identical to the
+    parent's compiled path (same fixed-tile kernels), which is what keeps
+    sharded runs reproducible across backends.
+    """
+
+    inference_backend = "compiled"
+
+    def __init__(
+        self,
+        kind: str,
+        layout: PathLayout,
+        made,
+        tree=None,
+        forest: Optional[EvidenceForest] = None,
+    ):
+        self.kind = kind
+        self.layout = layout
+        self._made = made
+        self._tree = tree
+        self._forest = forest
+
+    def _require_fitted(self) -> None:
+        pass  # snapshots only exist for fitted models
+
+    def _cond_probs(self, prefix, variable, context):
+        return self._made.conditional_probs(prefix, variable, context=context)
+
+    def _sample_range(self, prefix, first_column, stop, rng, context, draws):
+        return self._made.sample(
+            prefix, first_column, rng,
+            context=context, stop_variable=stop, draws=draws,
+        )
+
+    def context_for_roots(self, root_rows: np.ndarray) -> Optional[np.ndarray]:
+        if self._forest is None:
+            return None
+        batches = self._forest.batch_for_roots(np.asarray(root_rows, dtype=np.int64))
+        return self._tree.forward(batches, len(root_rows))
+
+
+class _CompletionModelBase(_HopSamplingAPI, Module):
     """Shared plumbing of AR and SSAR completion models."""
 
     kind = "base"
@@ -90,6 +280,11 @@ class _CompletionModelBase(Module):
         """Drop compiled snapshots (parameters changed, e.g. re-``fit``)."""
         self._compiled_made = None
 
+    def inference_snapshot(self) -> CompletionSnapshot:
+        """A picklable compiled view of this model for process workers."""
+        self._require_fitted()
+        return CompletionSnapshot(self.kind, self.layout, self.compiled_made())
+
     def _cond_probs(
         self, prefix: np.ndarray, variable: int, context: Optional[np.ndarray]
     ) -> np.ndarray:
@@ -102,12 +297,20 @@ class _CompletionModelBase(Module):
             prefix, variable, context=self._context_tensor(context)
         )
 
+    def _sample_range(self, prefix, first_column, stop, rng, context, draws):
+        if self.use_compiled:
+            return self.compiled_made().sample(
+                prefix, first_column, rng,
+                context=context, stop_variable=stop, draws=draws,
+            )
+        return self.made.sample(
+            prefix, first_column, rng,
+            context=self._context_tensor(context), stop_variable=stop,
+            draws=draws,
+        )
+
     # -- context hooks (overridden by SSAR) ----------------------------
     def _training_context(self, indices: np.ndarray) -> Optional[Tensor]:
-        return None
-
-    def context_for_roots(self, root_rows: np.ndarray) -> Optional[np.ndarray]:
-        """Raw context vectors for evidence root rows (None for AR)."""
         return None
 
     def _context_tensor(self, context: Optional[np.ndarray]) -> Optional[Tensor]:
@@ -236,122 +439,6 @@ class _CompletionModelBase(Module):
             total += -np.log(probs[matrix[idx, var]])
         return float(total.mean())
 
-    # -- hop-level sampling API ------------------------------------------
-    def predict_tuple_factors(
-        self,
-        prefix: np.ndarray,
-        slot: int,
-        rng: Optional[np.random.Generator] = None,
-        context: Optional[np.ndarray] = None,
-        min_counts: Optional[np.ndarray] = None,
-        draws: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        """Sample tuple factors for the fan-out hop entering ``slot``.
-
-        The reserved ``unknown`` code is masked out, so the result is always
-        an actual count.  ``min_counts`` truncates each row's conditional at
-        the number of children already observed — we *know* TF >= existing,
-        and sampling untruncated then clamping would bias counts upward.
-        The sampled code is also written into ``prefix`` (callers pass the
-        same array on to :meth:`sample_slot`).  Randomness comes from
-        ``draws`` (one uniform per row, the runtime's counter-based streams)
-        when given, else from ``rng``.  Accepts row-chunked batches: rows
-        are independent, so any partition of a batch yields the same result.
-        """
-        self._require_fitted()
-        tf_idx = self.layout.tf_variable_index(slot)
-        if tf_idx is None:
-            raise ValueError(f"slot {slot} is not a fan-out hop")
-        codec = self.layout.tf_codec_for(slot)
-        probs = self._cond_probs(prefix, tf_idx, context)
-        probs = probs * codec.sampling_mask()[None, :]
-        if min_counts is not None:
-            counts_axis = np.arange(probs.shape[1])
-            probs = probs * (counts_axis[None, :] >= np.asarray(min_counts)[:, None])
-            # Rows whose observed count exceeds every remaining code fall
-            # back to exactly the observed count.
-            dead = probs.sum(axis=1) <= 0
-            if dead.any():
-                probs[dead] = 0.0
-                clip = np.minimum(np.asarray(min_counts)[dead], codec.cap)
-                probs[np.flatnonzero(dead), clip] = 1.0
-        probs = probs / probs.sum(axis=1, keepdims=True)
-        codes = _sample_rows(probs, rng, draws)
-        prefix[:, tf_idx] = codes
-        return codec.decode(codes)
-
-    def expected_tuple_factors(
-        self,
-        prefix: np.ndarray,
-        slot: int,
-        context: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        """Expected (mean) tuple factor per row — used for reweighting."""
-        self._require_fitted()
-        tf_idx = self.layout.tf_variable_index(slot)
-        if tf_idx is None:
-            raise ValueError(f"slot {slot} is not a fan-out hop")
-        codec = self.layout.tf_codec_for(slot)
-        probs = self._cond_probs(prefix, tf_idx, context)
-        probs = probs * codec.sampling_mask()[None, :]
-        probs = probs / probs.sum(axis=1, keepdims=True)
-        counts = np.arange(probs.shape[1], dtype=float)
-        # Row-local reduction (not a matvec) so the result is independent of
-        # how the batch was chunked.
-        return (probs * counts[None, :]).sum(axis=1)
-
-    def sample_slot(
-        self,
-        prefix: np.ndarray,
-        slot: int,
-        rng: Optional[np.random.Generator] = None,
-        context: Optional[np.ndarray] = None,
-        draws: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        """Synthesize the column variables of path slot ``slot``.
-
-        ``prefix`` must already contain all earlier variables (and the
-        slot's TF variable if the hop fans out).  Returns the full code
-        matrix with the slot filled in.  ``draws`` supplies the
-        ``(rows, num_slot_columns)`` sampling uniforms for the
-        chunk-invariant runtime path; otherwise ``rng`` is used.
-        """
-        self._require_fitted()
-        start, stop = self.layout.slot_range(slot)
-        tf_idx = self.layout.tf_variable_index(slot)
-        first_column = start if tf_idx is None else tf_idx + 1
-        if self.use_compiled:
-            return self.compiled_made().sample(
-                prefix, first_column, rng,
-                context=context, stop_variable=stop, draws=draws,
-            )
-        return self.made.sample(
-            prefix, first_column, rng,
-            context=self._context_tensor(context), stop_variable=stop,
-            draws=draws,
-        )
-
-    def slot_sample_width(self, slot: int) -> int:
-        """Number of variables :meth:`sample_slot` draws for ``slot``."""
-        start, stop = self.layout.slot_range(slot)
-        tf_idx = self.layout.tf_variable_index(slot)
-        first_column = start if tf_idx is None else tf_idx + 1
-        return stop - first_column
-
-    def conditional_probs(
-        self,
-        prefix: np.ndarray,
-        variable: int,
-        context: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        """``P(x_variable | earlier variables, context)`` for confidence."""
-        self._require_fitted()
-        return self._cond_probs(prefix, variable, context)
-
-    def describe(self) -> str:
-        return f"{self.kind.upper()}({self.layout.path})"
-
-
 class ARCompletionModel(_CompletionModelBase):
     """Simple autoregressive completion model (paper §3.2)."""
 
@@ -421,6 +508,14 @@ class SSARCompletionModel(_CompletionModelBase):
     def invalidate_compiled(self) -> None:
         super().invalidate_compiled()
         self._compiled_tree = None
+
+    def inference_snapshot(self) -> CompletionSnapshot:
+        """Snapshot including the compiled tree encoder and the forest."""
+        self._require_fitted()
+        return CompletionSnapshot(
+            self.kind, self.layout, self.compiled_made(),
+            tree=self.compiled_tree(), forest=self.forest,
+        )
 
     def context_for_roots(self, root_rows: np.ndarray) -> Optional[np.ndarray]:
         """Inference-time contexts: full trees, no leave-one-out."""

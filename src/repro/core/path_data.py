@@ -19,13 +19,13 @@ reserved ``unknown`` code elsewhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..encoding import TableEncoder, TupleFactorCodec
-from ..query import JoinResult, join_tables
+from ..query import join_tables
 from ..relational import (
     CompletionPath,
     Database,

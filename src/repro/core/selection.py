@@ -18,13 +18,11 @@ Three escalating strategies:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
-import numpy as np
 
 from ..relational import CompletionPath
-from .incompleteness_join import CompletedJoin, IncompletenessJoin
 from .models import _CompletionModelBase
 
 

@@ -20,7 +20,6 @@ correlations the setups M1–M5 rely on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ ReStore ever sees — and applied to evidence tuples at completion time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

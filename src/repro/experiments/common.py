@@ -9,13 +9,13 @@ paper's full parameter grid.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..core import ModelConfig, ReStore, ReStoreConfig
-from ..incomplete import IncompleteDataset, RemovalSpec
+from ..incomplete import IncompleteDataset
 from ..metrics import (
     bias_reduction,
     cardinality_correction,

@@ -26,9 +26,9 @@ from ..datasets import SyntheticConfig, generate_synthetic
 from ..incomplete import RemovalSpec, make_incomplete
 from ..metrics import categorical_fraction
 from ..nn import TrainConfig
-from ..relational import ColumnKind, CompletionPath
-from ..workloads import ALL_SETUPS, base_database
-from .common import ExperimentConfig, biased_value_of, full_grid, run_setup_cell
+from ..relational import CompletionPath
+from ..workloads import ALL_SETUPS
+from .common import ExperimentConfig, full_grid, run_setup_cell
 
 
 @dataclass

@@ -10,7 +10,7 @@ model-selection signal.  Fig. 5c compares SSAR against AR as the fan-out
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

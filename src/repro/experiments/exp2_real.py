@@ -10,11 +10,11 @@ them for the AR-vs-SSAR and model-selection analyses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..workloads import ALL_SETUPS, CompletionSetup, base_database
+from ..workloads import ALL_SETUPS, base_database
 from .common import (
     ExperimentConfig,
     SetupEvaluation,

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..metrics import relative_error, relative_error_improvement
+from ..metrics import relative_error
 from ..query import Query, execute
 from ..workloads import ALL_SETUPS, base_database, queries_for
 from .common import ExperimentConfig, run_setup_cell

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import gc
 import time
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,12 +27,11 @@ from ..relational import ColumnKind
 from ..workloads import ALL_SETUPS, base_database
 from .common import (
     ExperimentConfig,
-    SetupEvaluation,
     biased_value_of,
     evaluate_candidates,
     run_setup_cell,
 )
-from .exp2_real import Fig7Row, run_fig7
+from .exp2_real import Fig7Row
 
 
 # ----------------------------------------------------------------------
@@ -181,13 +180,16 @@ class TimingRow:
 
 
 def _timed_completion(model, seed: int, repeats: int = 3,
-                      replace_synthesized: bool = True):
+                      replace_synthesized: bool = True,
+                      n_workers: int = 1, parallel_backend: str = "serial"):
     """Best-of-``repeats`` incompleteness-join wall time (plus the join).
 
     Completion on the compiled runtime is milliseconds-scale, where a single
     scheduler hiccup or garbage-collection pause would dominate a one-shot
     measurement; every timing in this module goes through this helper so the
-    methodology stays uniform.
+    methodology stays uniform.  Parallel runs pay their full cost inside the
+    timer — pool start-up, payload shipping, merging — so speedups are
+    end-to-end, not kernel-only.
     """
     best = float("inf")
     completed = None
@@ -197,7 +199,8 @@ def _timed_completion(model, seed: int, repeats: int = 3,
         for _ in range(repeats):
             start = time.perf_counter()
             completed = IncompletenessJoin(
-                model, replace_synthesized=replace_synthesized, seed=seed
+                model, replace_synthesized=replace_synthesized, seed=seed,
+                n_workers=n_workers, parallel_backend=parallel_backend,
             ).run()
             best = min(best, time.perf_counter() - start)
     finally:
@@ -357,3 +360,143 @@ def print_inference_comparison(rows: Sequence[InferenceComparisonRow]) -> None:
         print(f"{row.setup:6s} {row.model_kind:5s} {row.autograd_seconds:11.3f} "
               f"{row.compiled_seconds:11.3f} {row.speedup:7.2f}x "
               f"{str(row.outputs_equivalent):>6s}  {row.path}")
+
+
+# ----------------------------------------------------------------------
+# Worker-scaling curve (parallel sharded completion throughput)
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkerScalingRow:
+    """Completion throughput of one executor configuration.
+
+    ``identical_rows`` certifies that this configuration produced bitwise
+    the same completed rows (up to order) as the serial baseline — the
+    determinism contract of the sharded incompleteness join.
+    """
+
+    dataset: str
+    setup: str
+    model_kind: str
+    path: str
+    backend: str
+    n_workers: int
+    seconds: float
+    rows_per_second: float
+    speedup: float
+    completed_rows: int
+    identical_rows: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "setup": self.setup,
+            "model_kind": self.model_kind,
+            "path": self.path,
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "seconds": self.seconds,
+            "rows_per_second": self.rows_per_second,
+            "speedup": self.speedup,
+            "completed_rows": self.completed_rows,
+            "identical_rows": self.identical_rows,
+        }
+
+
+def canonical_rows(completed):
+    """Columns + weights sorted into a content-defined row order."""
+    columns = completed.result.columns
+    names = sorted(columns)
+    weights = completed.result.effective_weights()
+    order = np.lexsort(
+        tuple(np.asarray(columns[name]) for name in names) + (weights,)
+    )
+    return (
+        {name: np.asarray(columns[name])[order] for name in names},
+        weights[order],
+    )
+
+
+def joins_bitwise_identical(a, b) -> bool:
+    """Same completed rows, bitwise, up to row order."""
+    if a.num_rows != b.num_rows:
+        return False
+    cols_a, w_a = canonical_rows(a)
+    cols_b, w_b = canonical_rows(b)
+    if set(cols_a) != set(cols_b):
+        return False
+    return (
+        all(np.array_equal(cols_a[k], cols_b[k]) for k in cols_a)
+        and np.array_equal(w_a, w_b)
+    )
+
+
+def run_worker_scaling(
+    setups: Optional[Sequence[str]] = None,
+    experiment: Optional[ExperimentConfig] = None,
+    n_workers: Sequence[int] = (1, 2, 4),
+    backends: Sequence[str] = ("thread", "process"),
+    repeats: int = 3,
+    min_scale: float = 48.0,
+    max_epochs: int = 6,
+) -> List[WorkerScalingRow]:
+    """Completion throughput for serial vs thread/process worker counts.
+
+    One AR model per setup (the curve measures the executor, not the model
+    zoo — and the model architecture is scale-independent, so training is
+    deliberately kept short via ``max_epochs`` while ``min_scale`` floors
+    the *database* size: sharding a 50-row walk would measure pool start-up,
+    not completion throughput).  Every parallel configuration is also
+    checked for bitwise row identity against the serial baseline, so the
+    benchmark doubles as a determinism audit.
+    """
+    experiment = experiment or ExperimentConfig.default()
+    experiment = replace(
+        experiment,
+        scale=max(experiment.scale, min_scale),
+        epochs=min(experiment.epochs, max_epochs),
+    )
+    names = list(setups) if setups is not None else ["H4"]
+    rows: List[WorkerScalingRow] = []
+    for name in names:
+        setup = ALL_SETUPS[name]
+        keep = experiment.keep_rates[0]
+        corr = experiment.removal_correlations[0]
+        engine, dataset = run_setup_cell(setup, keep, corr, experiment,
+                                         use_ssar=False)
+        model = engine.candidates(setup.incomplete_table)[0].model
+
+        serial_s, serial_join = _timed_completion(model, experiment.seed, repeats)
+        num_rows = serial_join.num_rows
+        rows.append(WorkerScalingRow(
+            dataset=setup.dataset, setup=name, model_kind=model.kind,
+            path=str(model.layout.path), backend="serial", n_workers=1,
+            seconds=serial_s, rows_per_second=num_rows / max(serial_s, 1e-12),
+            speedup=1.0, completed_rows=num_rows, identical_rows=True,
+        ))
+        for backend in backends:
+            for workers in n_workers:
+                seconds, join = _timed_completion(
+                    model, experiment.seed, repeats,
+                    n_workers=workers, parallel_backend=backend,
+                )
+                rows.append(WorkerScalingRow(
+                    dataset=setup.dataset, setup=name, model_kind=model.kind,
+                    path=str(model.layout.path), backend=backend,
+                    n_workers=workers, seconds=seconds,
+                    rows_per_second=join.num_rows / max(seconds, 1e-12),
+                    speedup=serial_s / max(seconds, 1e-12),
+                    completed_rows=join.num_rows,
+                    identical_rows=joins_bitwise_identical(serial_join, join),
+                ))
+    return rows
+
+
+def print_worker_scaling(rows: Sequence[WorkerScalingRow]) -> None:
+    print(f"{'setup':6s} {'kind':5s} {'backend':8s} {'workers':>7s} "
+          f"{'seconds':>9s} {'rows/s':>10s} {'speedup':>8s} {'same rows':>9s}")
+    for row in rows:
+        print(f"{row.setup:6s} {row.model_kind:5s} {row.backend:8s} "
+              f"{row.n_workers:7d} {row.seconds:9.3f} "
+              f"{row.rows_per_second:10.0f} {row.speedup:7.2f}x "
+              f"{str(row.identical_rows):>9s}")

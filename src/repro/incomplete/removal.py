@@ -18,18 +18,12 @@ The result bundles the incomplete database, the matching schema annotation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..relational import (
-    ColumnKind,
-    Database,
-    ForeignKey,
-    SchemaAnnotation,
-    Table,
-)
+from ..relational import ColumnKind, Database, SchemaAnnotation, Table
 from ..relational.tuple_factors import TF_UNKNOWN, observed_tuple_factors
 
 

@@ -10,11 +10,8 @@ missing data well.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
-import numpy as np
 
-from ..relational import Database
 from .removal import IncompleteDataset, RemovalSpec, make_incomplete
 
 

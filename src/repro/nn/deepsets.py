@@ -16,7 +16,7 @@ row with its parent, and pooling is a differentiable segment sum.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

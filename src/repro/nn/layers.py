@@ -7,7 +7,7 @@ All parameters are ``float64`` tensors with ``requires_grad=True``.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ single select item is COUNT(*)/COUNT(col)/SUM(col)/AVG(col).
 from __future__ import annotations
 
 import re
-from typing import List, Tuple, Union
+from typing import List, Union
 
 from .ast import Aggregate, AggregateKind, Filter, FilterOp, Query
 

@@ -16,7 +16,7 @@ ReStore needs two kinds of traversals over the foreign-key graph:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import networkx as nx
 

@@ -10,7 +10,9 @@ instead:
 * :mod:`~repro.runtime.rng` — counter-based per-row random streams, making
   sampling a pure function of a row's lineage rather than batch order,
 * :mod:`~repro.runtime.cache` — a bounded LRU cache for completed joins with
-  hit/miss/eviction accounting.
+  hit/miss/eviction accounting,
+* :mod:`~repro.runtime.parallel` — serial/thread/process executors that fan
+  chunked work out over workers with deterministic, ordered merging.
 """
 
 from . import rng
@@ -21,6 +23,15 @@ from .compiled import (
     CompiledMADE,
     CompiledTreeEncoder,
     compile_module,
+)
+from .parallel import (
+    PARALLEL_BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_chunk_size,
+    get_executor,
 )
 from .rng import chunk_slices
 
@@ -34,4 +45,11 @@ __all__ = [
     "CompiledTreeEncoder",
     "compile_module",
     "chunk_slices",
+    "PARALLEL_BACKENDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "default_chunk_size",
 ]

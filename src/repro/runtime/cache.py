@@ -12,7 +12,7 @@ the cache against their workload.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Tuple
 
 

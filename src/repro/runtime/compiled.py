@@ -110,7 +110,9 @@ class CompiledMADE:
         self.logit_offsets = made._logit_offsets.astype(np.int64)
         self.embeddings = [e.weight.data.astype(_DTYPE) for e in made.embeddings]
         self.input_layer = _compile_masked(made.input_layer)
-        self.residual_layers = [_compile_masked(l) for l in made.residual_layers]
+        self.residual_layers = [
+            _compile_masked(layer) for layer in made.residual_layers
+        ]
         self.output_layer = _compile_masked(made.output_layer)
         self._output_slices: Dict[int, CompiledDense] = {}
 

@@ -1,0 +1,201 @@
+"""Execution backends for sharded completion work.
+
+The incompleteness join streams over chunks of root evidence rows, and every
+chunk is a pure function of the seed and the data (counter-based per-row
+random streams, fixed-tile compiled forwards — see :mod:`repro.runtime.rng`
+and :mod:`repro.runtime.compiled`).  That purity is exactly what makes the
+chunks safe to fan out: this module provides the executor they fan out on.
+
+Three backends share one contract:
+
+* ``serial`` — run tasks inline, in order.  The default; zero overhead.
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.  Worker
+  state is shared with the caller (no copies); numpy releases the GIL inside
+  BLAS kernels, so the join's matmul-heavy sampling overlaps.
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.  Worker
+  state is *rebuilt per worker* from a picklable payload (the join ships the
+  compiled float32 model snapshot, never the autograd module), so tasks and
+  the functions operating on them must be module-level picklables.
+
+The contract of :meth:`Executor.map`:
+
+* results come back **in task order**, regardless of completion order —
+  callers can merge deterministically;
+* the worker state passed to ``fn`` is ``init(payload)`` when ``init`` is
+  given (computed once per worker, so a pool amortizes payload setup across
+  its tasks), else ``payload`` itself;
+* a task that raises surfaces the **original exception** to the caller
+  (process workers pickle it back); remaining queued tasks are cancelled
+  rather than left to hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+PARALLEL_BACKENDS = ("serial", "thread", "process")
+
+TaskFn = Callable[[Any, Any], Any]
+InitFn = Callable[[Any], Any]
+
+
+class Executor:
+    """Maps tasks over workers; see the module docstring for the contract."""
+
+    backend = "serial"
+    #: Whether worker state is the caller's live objects (serial/thread) or a
+    #: per-worker reconstruction from a pickled payload (process).
+    shares_caller_state = True
+
+    def __init__(self, n_workers: int = 1):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+
+    def map(
+        self,
+        fn: TaskFn,
+        tasks: Iterable[Any],
+        payload: Any = None,
+        init: Optional[InitFn] = None,
+    ) -> List[Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_workers={self.n_workers})"
+
+
+def _make_state(payload: Any, init: Optional[InitFn]) -> Any:
+    return payload if init is None else init(payload)
+
+
+def _collect(futures: Sequence) -> List[Any]:
+    """Results in submission order; on failure cancel what hasn't started."""
+    try:
+        return [f.result() for f in futures]
+    except BaseException:
+        for f in futures:
+            f.cancel()
+        raise
+
+
+class SerialExecutor(Executor):
+    """Run every task inline, in order, on the caller's thread."""
+
+    backend = "serial"
+
+    def map(self, fn, tasks, payload=None, init=None):
+        state = _make_state(payload, init)
+        return [fn(state, task) for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    """Fan tasks out over a thread pool; state is shared, not copied.
+
+    ``fn`` must therefore be thread-safe with respect to the state — the
+    incompleteness join guarantees this by accumulating per-chunk results
+    into chunk-local accumulators and pre-warming its shared caches.
+    """
+
+    backend = "thread"
+
+    def map(self, fn, tasks, payload=None, init=None):
+        tasks = list(tasks)
+        state = _make_state(payload, init)
+        if self.n_workers == 1 or len(tasks) <= 1:
+            return [fn(state, task) for task in tasks]
+        with ThreadPoolExecutor(
+            max_workers=min(self.n_workers, len(tasks))
+        ) as pool:
+            return _collect([pool.submit(fn, state, task) for task in tasks])
+
+
+# Worker-side state of the process backend, set once by the pool initializer.
+_WORKER_STATE: Any = None
+
+
+def _initialize_worker(init: Optional[InitFn], payload: Any) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = _make_state(payload, init)
+
+
+def _run_on_worker_state(fn: TaskFn, task: Any) -> Any:
+    return fn(_WORKER_STATE, task)
+
+
+def _default_start_method() -> str:
+    # fork shares the parent's pages copy-on-write (fast start, and the
+    # payload initargs are still pickled per worker) but is only safe on
+    # Linux: macOS frameworks (Accelerate/ObjC) may crash in forked
+    # children, which is why CPython's own default there is spawn.
+    if sys.platform.startswith("linux"):
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return "fork"
+    return "spawn"
+
+
+class ProcessExecutor(Executor):
+    """Fan tasks out over worker processes.
+
+    The payload is pickled once per worker (pool initializer), not once per
+    task; ``fn``, ``init`` and the tasks must be picklable module-level
+    objects.  With one worker (or one task) the pool is skipped and the
+    worker state is built inline — the numbers are identical either way
+    because ``init`` is the same pure construction.
+    """
+
+    backend = "process"
+    shares_caller_state = False
+
+    def __init__(self, n_workers: int = 1, start_method: Optional[str] = None):
+        super().__init__(n_workers)
+        self.start_method = start_method or _default_start_method()
+
+    def map(self, fn, tasks, payload=None, init=None):
+        tasks = list(tasks)
+        if self.n_workers == 1 or len(tasks) <= 1:
+            state = _make_state(payload, init)
+            return [fn(state, task) for task in tasks]
+        ctx = multiprocessing.get_context(self.start_method)
+        with ProcessPoolExecutor(
+            max_workers=min(self.n_workers, len(tasks)),
+            mp_context=ctx,
+            initializer=_initialize_worker,
+            initargs=(init, payload),
+        ) as pool:
+            return _collect(
+                [pool.submit(_run_on_worker_state, fn, task) for task in tasks]
+            )
+
+
+_BACKEND_CLASSES = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def get_executor(backend: str, n_workers: int = 1) -> Executor:
+    """Build the executor for a ``(backend, n_workers)`` configuration."""
+    if backend not in _BACKEND_CLASSES:
+        raise ValueError(
+            f"unknown parallel backend {backend!r}; choose from {PARALLEL_BACKENDS}"
+        )
+    return _BACKEND_CLASSES[backend](n_workers)
+
+
+def default_chunk_size(num_rows: int, n_workers: int,
+                       tasks_per_worker: int = 4) -> Optional[int]:
+    """Chunk size giving each worker a few tasks (load balancing headroom).
+
+    ``None`` (single pass) when there is nothing to parallelize.  The choice
+    never affects *which* rows a run produces — chunking is content-invariant
+    — only how evenly the work spreads.
+    """
+    if n_workers <= 1 or num_rows <= 1:
+        return None
+    return max(1, -(-num_rows // (tasks_per_worker * n_workers)))

@@ -16,7 +16,7 @@ randomness per row.  All operations are vectorized over ``uint64`` arrays.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional
 
 import numpy as np
 

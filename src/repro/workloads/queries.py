@@ -11,7 +11,7 @@ Two small adaptations versus the paper's SQL text:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..query import Query, parse_query
 

@@ -9,8 +9,8 @@ m:n link rows removed; M4/M5 additionally remove 20% of the movies).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..datasets import (
     HousingConfig,

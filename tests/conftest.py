@@ -1,6 +1,5 @@
 """Shared fixtures: small hand-built databases mirroring the paper's examples."""
 
-import numpy as np
 import pytest
 
 from repro.relational import ColumnKind, Database, ForeignKey, SchemaAnnotation, Table

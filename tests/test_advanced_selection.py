@@ -1,7 +1,5 @@
 """Tests for §5 advanced selection (derived scenarios) and selection utils."""
 
-import numpy as np
-import pytest
 
 from repro.core import (
     BiasDirection,

@@ -6,7 +6,7 @@ import pytest
 from repro.core import PathLayout, assemble_training_data, build_encoders
 from repro.datasets import HousingConfig, SyntheticConfig, generate_housing, generate_synthetic
 from repro.incomplete import RemovalSpec, make_incomplete
-from repro.relational import CompletionPath, SchemaAnnotation
+from repro.relational import CompletionPath
 from repro.relational.tuple_factors import TF_UNKNOWN
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import EvidenceTreeEncoder, Tensor, TreeNodeBatch, TreeNodeSpec
+from repro.nn import EvidenceTreeEncoder, TreeNodeBatch, TreeNodeSpec
 
 
 def flat_spec(name="children", vocabs=(4,)):

@@ -70,6 +70,7 @@ def fitted_ssar(fitted_setup):
 # Compiled-inference parity
 # ----------------------------------------------------------------------
 
+@pytest.mark.slow
 class TestCompiledParity:
     def test_conditional_probs_match_autograd(self, fitted_setup):
         *_, layout, model = fitted_setup
@@ -174,6 +175,7 @@ class TestCompiledParity:
 # No autograd graphs on the hot path
 # ----------------------------------------------------------------------
 
+@pytest.mark.slow
 class TestNoAutogradDuringJoin:
     def test_join_builds_no_graph_nodes(self, fitted_setup, monkeypatch):
         *_, model = fitted_setup
@@ -225,6 +227,7 @@ def _canonical(completed):
     )
 
 
+@pytest.mark.slow
 class TestChunkedJoin:
     @pytest.mark.parametrize("chunk_size", [3, 17, 1000000])
     def test_chunked_join_identical_to_unchunked(self, fitted_setup, chunk_size):
@@ -396,6 +399,7 @@ class TestJoinCache:
         assert len(cache) == 1
 
 
+@pytest.mark.slow
 class TestEngineCache:
     @pytest.fixture(scope="class")
     def engine_dataset(self):
