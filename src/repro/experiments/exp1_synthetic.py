@@ -24,7 +24,7 @@ from ..core import (
     build_encoders,
 )
 from ..datasets import SyntheticConfig, generate_synthetic
-from ..incomplete import RemovalSpec, make_incomplete
+from ..incomplete import registry
 from ..metrics import bias_reduction, categorical_fraction
 from ..nn import TrainConfig
 from ..relational import CompletionPath, fan_out_relations
@@ -53,12 +53,11 @@ def _complete_and_measure(
 ) -> Tuple[float, float, float]:
     """(bias reduction, final train loss, target test loss) for one cell."""
     db = generate_synthetic(config)
-    dataset = make_incomplete(
-        db,
-        [RemovalSpec("tb", "b", keep_rate, removal_correlation)],
-        tf_keep_rate=0.5,
-        seed=experiment.seed,
-    )
+    # The Exp. 1 removal protocol is the registry's "synthetic/biased"
+    # scenario (tb biased on b, TF keep rate 50%).
+    dataset = registry.build_scenario(
+        "synthetic/biased", keep_rate, removal_correlation
+    ).instantiate(db, seed=experiment.seed)
     encoders = build_encoders(dataset.incomplete, num_bins=16)
     path = CompletionPath(("ta", "tb"))
     layout = PathLayout(dataset.incomplete, dataset.annotation, path, encoders)

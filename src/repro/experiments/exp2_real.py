@@ -14,6 +14,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core import ReStore
+from ..incomplete import registry
+from ..metrics import cardinality_correction
 from ..workloads import ALL_SETUPS, base_database
 from .common import (
     ExperimentConfig,
@@ -81,6 +84,82 @@ def run_fig7(
                     candidates=evaluations,
                 ))
     return rows
+
+
+@dataclass
+class ScenarioMatrixRow:
+    """Completion quality of one registry scenario (best candidate)."""
+
+    scenario: str
+    dataset: str
+    mechanisms: str
+    target: str
+    keep_rate: float
+    true_cardinality: int
+    incomplete_cardinality: int
+    completed_cardinality: float
+    cardinality_correction: float
+
+
+def run_scenario_matrix(
+    scenarios: Optional[Sequence[str]] = None,
+    experiment: Optional[ExperimentConfig] = None,
+    keep_rate: float = 0.5,
+) -> List[ScenarioMatrixRow]:
+    """Sweep the named scenario matrix of :mod:`repro.incomplete.registry`.
+
+    For every registry scenario (default: all of them), instantiate the
+    incomplete dataset, fit the engine on the scenario's primary target and
+    report how well the completion restores the target's cardinality.  This
+    is the experiment-side consumer of the registry: new scenarios join the
+    sweep by registration, without touching experiment code.
+    """
+    experiment = experiment or ExperimentConfig.default()
+    names = list(scenarios) if scenarios is not None else registry.names()
+    rows: List[ScenarioMatrixRow] = []
+    db_cache: Dict[str, object] = {}
+    for name in names:
+        entry = registry.get(name)
+        if entry.dataset not in db_cache:
+            db_cache[entry.dataset] = base_database(
+                entry.dataset, seed=experiment.seed, scale=experiment.scale
+            )
+        db = db_cache[entry.dataset]
+        scenario = entry.build(keep_rate=keep_rate)
+        dataset = scenario.instantiate(db, seed=experiment.seed)
+        target = scenario.primary_table
+        engine = ReStore.from_dataset(dataset, experiment.engine_config())
+        engine.fit(targets=[target])
+        best = engine.candidates(target)[0]
+        completed = engine.completed_join(best.model)
+        projected = engine.project_to_tables(completed, (target,))
+        completed_card = float(projected.effective_weights().sum())
+        true_card = len(db.table(target))
+        incomplete_card = len(dataset.incomplete.table(target))
+        rows.append(ScenarioMatrixRow(
+            scenario=name,
+            dataset=entry.dataset,
+            mechanisms="+".join(entry.mechanisms),
+            target=target,
+            keep_rate=keep_rate,
+            true_cardinality=true_card,
+            incomplete_cardinality=incomplete_card,
+            completed_cardinality=completed_card,
+            cardinality_correction=cardinality_correction(
+                true_card, incomplete_card, completed_card
+            ),
+        ))
+    return rows
+
+
+def print_scenario_matrix(rows: Sequence[ScenarioMatrixRow]) -> None:
+    print(f"{'scenario':26s} {'mechanisms':22s} {'target':10s} "
+          f"{'true':>6s} {'incomp':>7s} {'completed':>10s} {'corr':>7s}")
+    for row in rows:
+        print(f"{row.scenario:26s} {row.mechanisms:22s} {row.target:10s} "
+              f"{row.true_cardinality:6d} {row.incomplete_cardinality:7d} "
+              f"{row.completed_cardinality:10.1f} "
+              f"{row.cardinality_correction:7.1%}")
 
 
 def summarize_fig7(rows: Sequence[Fig7Row]) -> Dict[str, Dict[str, float]]:

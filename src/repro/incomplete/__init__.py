@@ -1,12 +1,39 @@
-"""Incompleteness injection: biased removal, TF masking, derived scenarios."""
+"""Incompleteness injection: mechanisms, composable scenarios, registry."""
 
+from . import registry
+from .mechanisms import (
+    MCAR,
+    MAR,
+    CASCADING_TYPES,
+    FKCascade,
+    MARParent,
+    MECHANISM_TYPES,
+    MissingnessMechanism,
+    MNARSelfMasking,
+    RareValue,
+    TemporalRecent,
+    ValueThreshold,
+)
 from .removal import IncompleteDataset, RemovalSpec, make_incomplete, removal_mask
-from .scenarios import derive_selection_scenario
+from .scenarios import ScenarioSpec, derive_selection_scenario
 
 __all__ = [
+    "registry",
+    "MissingnessMechanism",
+    "MCAR",
+    "MAR",
+    "MARParent",
+    "MNARSelfMasking",
+    "ValueThreshold",
+    "FKCascade",
+    "TemporalRecent",
+    "RareValue",
+    "MECHANISM_TYPES",
+    "CASCADING_TYPES",
     "RemovalSpec",
     "IncompleteDataset",
     "make_incomplete",
     "removal_mask",
+    "ScenarioSpec",
     "derive_selection_scenario",
 ]

@@ -1,0 +1,443 @@
+"""Composable missingness mechanisms for biased tuple removal.
+
+The paper's evaluation (§7.2/§7.3) uses a single removal protocol: bias the
+removal of one table's tuples on one of its own attributes with a keep-rate
+and a correlation knob.  Real incompleteness comes in many more shapes, and
+the statistical literature names the important ones (Rubin's taxonomy):
+
+* **MCAR** — missing completely at random; removal independent of the data.
+* **MAR** — missing at random *given observed values*: removal probability
+  depends on another observed attribute (same table or an FK parent).
+* **MNAR** — missing not at random / self-masking: removal depends on the
+  value that disappears with the tuple.
+
+This module turns each of these — plus structural variants such as
+value-threshold censoring, FK-clustered (cascading) removal and temporal
+"recent rows missing" bias — into a :class:`MissingnessMechanism` object
+that a :class:`~repro.incomplete.removal.RemovalSpec` carries.  All
+mechanisms share one contract:
+
+``removal_scores(db, table, rng)`` returns one float per row of ``table``;
+the removal machinery deletes the ``(1 - keep_rate) * n`` highest-scoring
+rows.  Scores therefore encode *who goes first*, while the keep rate decides
+*how many* go — keeping every mechanism compatible with the paper's exact
+keep-rate protocol and with re-removal (the derived selection scenarios of
+§5).
+
+Mechanisms validate themselves against a database before use
+(:meth:`MissingnessMechanism.validate`), so scenario composition fails fast
+with a clear error instead of deep inside numpy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import ClassVar, Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from ..relational import ColumnKind, Database, Table
+
+
+def _require_column(db: Database, table: str, attribute: str, *, mechanism: str) -> Table:
+    """The table, after checking ``attribute`` exists on it (clear errors)."""
+    if table not in db.table_names():
+        raise ValueError(
+            f"{mechanism}: unknown table {table!r}; have {sorted(db.table_names())}"
+        )
+    tbl = db.table(table)
+    if attribute not in tbl:
+        raise ValueError(
+            f"{mechanism}: table {table!r} has no attribute {attribute!r}; "
+            f"have {tbl.column_names}"
+        )
+    return tbl
+
+
+def _biased_scores(
+    values: np.ndarray,
+    kind: ColumnKind,
+    correlation: float,
+    biased_value: Optional[object],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """The paper's biased-removal scores (shared by several mechanisms).
+
+    Categorical: with probability ``correlation`` a removal targets rows
+    carrying the biased value (default: the mode).  Continuous: mix of
+    attribute rank and noise so the removal indicator approximates a target
+    Pearson correlation with the attribute.
+    """
+    if kind is ColumnKind.CATEGORICAL:
+        if biased_value is None:
+            uniques, counts = np.unique(values, return_counts=True)
+            biased_value = uniques[counts.argmax()]
+        is_biased = values == biased_value
+        jitter = rng.random(len(values))
+        targeted = rng.random(len(values)) < correlation
+        return np.where(targeted & is_biased, 2.0 + jitter,
+                        np.where(~targeted, 1.0 + jitter, jitter))
+    arr = np.asarray(values, dtype=float)
+    ranks = np.argsort(np.argsort(arr)) / max(len(arr) - 1, 1)
+    noise = rng.random(len(arr))
+    return correlation * ranks + (1.0 - correlation) * noise
+
+
+class MissingnessMechanism(ABC):
+    """Strategy object deciding *which* rows of a table are removed first.
+
+    Subclasses are immutable dataclasses: specs carrying them stay hashable
+    and picklable (the invariant harness round-trips scenarios through
+    process pools).
+    """
+
+    #: Registry key; also the scenario-matrix vocabulary.
+    name: ClassVar[str] = ""
+
+    @abstractmethod
+    def removal_scores(
+        self, db: Database, table: str, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One score per row of ``table``; highest scores are removed first."""
+
+    def validate(self, db: Database, table: str) -> None:
+        """Raise ``ValueError`` when the mechanism cannot apply to ``table``."""
+        if table not in db.table_names():
+            raise ValueError(
+                f"{self.describe()}: unknown table {table!r}; "
+                f"have {sorted(db.table_names())}"
+            )
+
+    def with_strength(self, strength: float) -> "MissingnessMechanism":
+        """This mechanism with its bias-strength knob set to ``strength``.
+
+        The knob is the mechanism's analogue of the paper's removal
+        correlation (``correlation``, ``sharpness``, recency weight, ...),
+        so scenario sweeps re-parameterize any mechanism uniformly.
+        Mechanisms without a strength knob (MCAR, FK clusters, thresholds)
+        return themselves unchanged.
+        """
+        del strength
+        return self
+
+    def describe(self) -> str:
+        return self.name or type(self).__name__
+
+
+@dataclass(frozen=True)
+class MCAR(MissingnessMechanism):
+    """Missing completely at random — removal independent of every value."""
+
+    name: ClassVar[str] = "mcar"
+
+    def removal_scores(self, db, table, rng):
+        return rng.random(len(db.table(table)))
+
+
+@dataclass(frozen=True)
+class MAR(MissingnessMechanism):
+    """Missing at random: removal conditioned on another *observed* attribute
+    of the same table (the attribute itself survives on the kept rows)."""
+
+    name: ClassVar[str] = "mar"
+
+    attribute: str = ""
+    correlation: float = 0.5
+    biased_value: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ValueError("correlation must be in [0, 1]")
+
+    def validate(self, db, table):
+        _require_column(db, table, self.attribute, mechanism=self.describe())
+
+    def removal_scores(self, db, table, rng):
+        tbl = _require_column(db, table, self.attribute, mechanism=self.describe())
+        return _biased_scores(
+            tbl[self.attribute], tbl.meta(self.attribute).kind,
+            self.correlation, self.biased_value, rng,
+        )
+
+    def with_strength(self, strength):
+        return replace(self, correlation=float(strength))
+
+    def describe(self) -> str:
+        return f"{self.name}({self.attribute})"
+
+
+@dataclass(frozen=True)
+class MARParent(MissingnessMechanism):
+    """MAR conditioned through a foreign key: removal of child rows depends
+    on an attribute of their FK *parent* (e.g. apartments in dense
+    neighborhoods go unreported)."""
+
+    name: ClassVar[str] = "mar_parent"
+
+    parent_table: str = ""
+    attribute: str = ""
+    correlation: float = 0.5
+    biased_value: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ValueError("correlation must be in [0, 1]")
+
+    def validate(self, db, table):
+        super().validate(db, table)
+        parent = _require_column(
+            db, self.parent_table, self.attribute, mechanism=self.describe()
+        )
+        fk = self._fk(db, table)
+        if parent.primary_key != fk.parent_column:
+            # The resolution below indexes parents by the FK parent column.
+            raise ValueError(
+                f"{self.describe()}: FK {fk} does not target the parent's "
+                f"primary key"
+            )
+
+    def _fk(self, db: Database, table: str):
+        fks = [
+            fk for fk in db.foreign_keys
+            if fk.child_table == table and fk.parent_table == self.parent_table
+        ]
+        if not fks:
+            raise ValueError(
+                f"{self.describe()}: no foreign key from {table!r} to "
+                f"{self.parent_table!r}"
+            )
+        return fks[0]
+
+    def removal_scores(self, db, table, rng):
+        self.validate(db, table)
+        fk = self._fk(db, table)
+        parent = db.table(self.parent_table)
+        child_refs = db.table(table)[fk.child_column]
+        index = {int(k): i for i, k in enumerate(parent[fk.parent_column])}
+        rows = np.fromiter(
+            (index.get(int(v), -1) for v in child_refs),
+            dtype=np.int64, count=len(child_refs),
+        )
+        parent_values = parent[self.attribute]
+        kind = parent.meta(self.attribute).kind
+        # Dangling children (possible on re-removal of incomplete data) get a
+        # neutral draw instead of crashing the resolution.
+        resolved = parent_values[np.clip(rows, 0, None)]
+        scores = _biased_scores(resolved, kind, self.correlation,
+                                self.biased_value, rng)
+        return np.where(rows >= 0, scores, rng.random(len(rows)))
+
+    def with_strength(self, strength):
+        return replace(self, correlation=float(strength))
+
+    def describe(self) -> str:
+        return f"{self.name}({self.parent_table}.{self.attribute})"
+
+
+@dataclass(frozen=True)
+class MNARSelfMasking(MissingnessMechanism):
+    """Self-masking MNAR: the tuple disappears *because of* its own value —
+    the strongest bias, with only ``1 - sharpness`` of removals random."""
+
+    name: ClassVar[str] = "mnar_self"
+
+    attribute: str = ""
+    sharpness: float = 0.9
+    biased_value: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sharpness <= 1.0:
+            raise ValueError("sharpness must be in [0, 1]")
+
+    def validate(self, db, table):
+        _require_column(db, table, self.attribute, mechanism=self.describe())
+
+    def removal_scores(self, db, table, rng):
+        tbl = _require_column(db, table, self.attribute, mechanism=self.describe())
+        return _biased_scores(
+            tbl[self.attribute], tbl.meta(self.attribute).kind,
+            self.sharpness, self.biased_value, rng,
+        )
+
+    def with_strength(self, strength):
+        return replace(self, sharpness=float(strength))
+
+    def describe(self) -> str:
+        return f"{self.name}({self.attribute})"
+
+
+@dataclass(frozen=True)
+class ValueThreshold(MissingnessMechanism):
+    """Censoring: only rows beyond a quantile threshold of a continuous
+    attribute are candidates for removal (e.g. prices above the 70th
+    percentile go unreported).  If the keep rate demands more removals than
+    the censored region holds, the excess is drawn uniformly."""
+
+    name: ClassVar[str] = "threshold"
+
+    attribute: str = ""
+    quantile: float = 0.7
+    upper: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+
+    def validate(self, db, table):
+        tbl = _require_column(db, table, self.attribute, mechanism=self.describe())
+        if tbl.meta(self.attribute).kind is not ColumnKind.CONTINUOUS:
+            raise ValueError(
+                f"{self.describe()}: attribute {self.attribute!r} of "
+                f"{table!r} must be continuous for threshold censoring"
+            )
+
+    def removal_scores(self, db, table, rng):
+        self.validate(db, table)
+        arr = np.asarray(db.table(table)[self.attribute], dtype=float)
+        cut = np.quantile(arr, self.quantile)
+        in_region = arr >= cut if self.upper else arr <= cut
+        return np.where(in_region, 1.0, 0.0) + rng.random(len(arr))
+
+    def describe(self) -> str:
+        side = ">=" if self.upper else "<="
+        return f"{self.name}({self.attribute} {side} q{self.quantile:g})"
+
+
+@dataclass(frozen=True)
+class FKCascade(MissingnessMechanism):
+    """FK-clustered removal: whole sibling groups vanish together.
+
+    Every FK parent draws one score and all its children inherit it, so the
+    removal deletes complete clusters (all apartments of a neighborhood, all
+    link rows of a movie) until the keep rate is met.  Combined with the
+    dangling-link cascade of ``make_incomplete`` this yields multi-table
+    cascading removal.
+    """
+
+    name: ClassVar[str] = "fk_cascade"
+
+    parent_table: str = ""
+
+    def validate(self, db, table):
+        super().validate(db, table)
+        self._fk(db, table)
+
+    def _fk(self, db: Database, table: str):
+        fks = [
+            fk for fk in db.foreign_keys
+            if fk.child_table == table and fk.parent_table == self.parent_table
+        ]
+        if not fks:
+            raise ValueError(
+                f"{self.describe()}: no foreign key from {table!r} to "
+                f"{self.parent_table!r}"
+            )
+        return fks[0]
+
+    def removal_scores(self, db, table, rng):
+        self.validate(db, table)
+        fk = self._fk(db, table)
+        refs = np.asarray(db.table(table)[fk.child_column], dtype=np.int64)
+        uniques, inverse = np.unique(refs, return_inverse=True)
+        group_scores = rng.random(len(uniques))
+        # Tiny jitter only breaks ties *within* a group, never across groups.
+        return group_scores[inverse] + 1e-9 * rng.random(len(refs))
+
+    def describe(self) -> str:
+        return f"{self.name}(via {self.parent_table})"
+
+
+@dataclass(frozen=True)
+class TemporalRecent(MissingnessMechanism):
+    """Recency bias: the newest rows (highest time attribute) are missing
+    first — the canonical shape of late-arriving data.  ``softness`` blends
+    in uniform removals (0 = strictly newest-first)."""
+
+    name: ClassVar[str] = "temporal_recent"
+
+    time_attribute: str = ""
+    softness: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.softness <= 1.0:
+            raise ValueError("softness must be in [0, 1]")
+
+    def validate(self, db, table):
+        tbl = _require_column(db, table, self.time_attribute,
+                              mechanism=self.describe())
+        if tbl.meta(self.time_attribute).kind is ColumnKind.CATEGORICAL:
+            raise ValueError(
+                f"{self.describe()}: time attribute {self.time_attribute!r} "
+                f"of {table!r} must be numeric"
+            )
+
+    def removal_scores(self, db, table, rng):
+        self.validate(db, table)
+        arr = np.asarray(db.table(table)[self.time_attribute], dtype=float)
+        ranks = np.argsort(np.argsort(arr)) / max(len(arr) - 1, 1)
+        return (1.0 - self.softness) * ranks + self.softness * rng.random(len(arr))
+
+    def with_strength(self, strength):
+        # Strength is recency dominance; softness is its complement.
+        return replace(self, softness=1.0 - float(strength))
+
+    def describe(self) -> str:
+        return f"{self.name}({self.time_attribute})"
+
+
+@dataclass(frozen=True)
+class RareValue(MissingnessMechanism):
+    """Long-tail removal: rows carrying *infrequent* categorical values are
+    removed preferentially — the mirror image of the paper's mode-targeting
+    bias, and the regime where completion models see the least evidence."""
+
+    name: ClassVar[str] = "rare_value"
+
+    attribute: str = ""
+    correlation: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ValueError("correlation must be in [0, 1]")
+
+    def validate(self, db, table):
+        tbl = _require_column(db, table, self.attribute, mechanism=self.describe())
+        if tbl.meta(self.attribute).kind is not ColumnKind.CATEGORICAL:
+            raise ValueError(
+                f"{self.describe()}: attribute {self.attribute!r} of "
+                f"{table!r} must be categorical"
+            )
+
+    def removal_scores(self, db, table, rng):
+        self.validate(db, table)
+        values = db.table(table)[self.attribute]
+        uniques, inverse, counts = np.unique(
+            values, return_inverse=True, return_counts=True
+        )
+        rarity = 1.0 - counts[inverse] / len(values)   # rare value -> high
+        c = self.correlation
+        return c * rarity + (1.0 - c) * rng.random(len(values))
+
+    def with_strength(self, strength):
+        return replace(self, correlation=float(strength))
+
+    def describe(self) -> str:
+        return f"{self.name}({self.attribute})"
+
+
+#: All mechanism classes by name.  The paper's original protocol keeps its
+#: legacy spelling on :class:`~repro.incomplete.removal.RemovalSpec` itself
+#: (biased attribute + correlation + optional biased value) and appears in
+#: the scenario registry under the mechanism name ``"biased"``.
+MECHANISM_TYPES: Dict[str, Type[MissingnessMechanism]] = {
+    cls.name: cls
+    for cls in (
+        MCAR, MAR, MARParent, MNARSelfMasking, ValueThreshold,
+        FKCascade, TemporalRecent, RareValue,
+    )
+}
+
+#: Mechanisms that remove rows in FK-parent clusters; scenario validation
+#: walks these edges to reject cyclic cascade compositions.
+CASCADING_TYPES: Tuple[Type[MissingnessMechanism], ...] = (FKCascade,)

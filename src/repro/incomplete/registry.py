@@ -1,0 +1,417 @@
+"""Named scenario matrix: every missingness scenario experiments iterate.
+
+The registry maps stable names (``"<dataset>/<scenario>"``) to factories
+producing :class:`~repro.incomplete.scenarios.ScenarioSpec` instances, so
+experiments, workloads, benchmarks and the invariant harness all enumerate
+scenarios by name instead of re-wiring :func:`make_incomplete` by hand:
+
+* the ten paper setups (``housing/H1`` … ``movies/M5``, Fig. 4c) — the
+  biased protocol the reproduction has always used;
+* a mechanism matrix spanning Rubin's taxonomy and structural variants
+  (``mcar``, ``mar``, ``mar_parent``, ``mnar_self``, ``threshold``,
+  ``fk_cascade``, ``temporal_recent``, ``rare_value``) instantiated on the
+  synthetic, housing and movie schemas.
+
+Factories take the swept axes ``(keep_rate, removal_correlation)`` and bake
+everything else in (tuple-factor keep rates, extra removals, the hardened
+dangling-link protocol).  ``tests/invariants`` asserts pipeline-wide
+invariants for **every** entry here, so a new scenario is covered the
+moment it is registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .mechanisms import (
+    MCAR,
+    MAR,
+    FKCascade,
+    MARParent,
+    MECHANISM_TYPES,
+    MNARSelfMasking,
+    RareValue,
+    TemporalRecent,
+    ValueThreshold,
+)
+from .removal import IncompleteDataset, RemovalSpec
+from .scenarios import ScenarioSpec
+
+ScenarioFactory = Callable[[float, float], ScenarioSpec]
+
+
+@dataclass(frozen=True)
+class RegisteredScenario:
+    """One row of the scenario matrix."""
+
+    name: str
+    dataset: str
+    mechanisms: Tuple[str, ...]
+    description: str
+    factory: ScenarioFactory
+    default_keep_rate: float = 0.5
+    default_correlation: float = 0.5
+
+    def build(
+        self,
+        keep_rate: Optional[float] = None,
+        removal_correlation: Optional[float] = None,
+    ) -> ScenarioSpec:
+        """A concrete :class:`ScenarioSpec` for one sweep cell."""
+        keep = self.default_keep_rate if keep_rate is None else keep_rate
+        corr = (self.default_correlation if removal_correlation is None
+                else removal_correlation)
+        return self.factory(keep, corr)
+
+
+_REGISTRY: Dict[str, RegisteredScenario] = {}
+
+
+def register(
+    name: str,
+    dataset: str,
+    mechanisms: Tuple[str, ...],
+    description: str,
+    factory: ScenarioFactory,
+    default_keep_rate: float = 0.5,
+    default_correlation: float = 0.5,
+) -> RegisteredScenario:
+    """Add a scenario to the matrix (name collisions are an error)."""
+    if name in _REGISTRY:
+        raise ValueError(f"scenario {name!r} is already registered")
+    unknown = set(mechanisms) - (set(MECHANISM_TYPES) | {"biased"})
+    if unknown:
+        raise ValueError(
+            f"scenario {name!r} names unknown mechanisms {sorted(unknown)}"
+        )
+    entry = RegisteredScenario(
+        name=name, dataset=dataset, mechanisms=tuple(mechanisms),
+        description=description, factory=factory,
+        default_keep_rate=default_keep_rate,
+        default_correlation=default_correlation,
+    )
+    _REGISTRY[name] = entry
+    return entry
+
+
+def get(name: str) -> RegisteredScenario:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown scenario {name!r}; have {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def names(dataset: Optional[str] = None) -> List[str]:
+    """Registered scenario names, optionally for one dataset family."""
+    return [
+        name for name, entry in _REGISTRY.items()
+        if dataset is None or entry.dataset == dataset
+    ]
+
+
+def datasets() -> List[str]:
+    """Dataset families the matrix spans (registration order)."""
+    seen: List[str] = []
+    for entry in _REGISTRY.values():
+        if entry.dataset not in seen:
+            seen.append(entry.dataset)
+    return seen
+
+
+def mechanism_names() -> List[str]:
+    """Every mechanism name appearing somewhere in the matrix."""
+    seen: List[str] = []
+    for entry in _REGISTRY.values():
+        for mech in entry.mechanisms:
+            if mech not in seen:
+                seen.append(mech)
+    return seen
+
+
+def build_scenario(
+    name: str,
+    keep_rate: Optional[float] = None,
+    removal_correlation: Optional[float] = None,
+) -> ScenarioSpec:
+    """Shorthand: ``get(name).build(...)``."""
+    return get(name).build(keep_rate, removal_correlation)
+
+
+def scenario_database(name: str, seed: int = 0, scale: float = 1.0):
+    """The complete ground-truth database a scenario applies to."""
+    # Lazy import: workloads composes on top of repro.incomplete.
+    from ..workloads import base_database
+
+    return base_database(get(name).dataset, seed=seed, scale=scale)
+
+
+def make_scenario_dataset(
+    name: str,
+    db=None,
+    keep_rate: Optional[float] = None,
+    removal_correlation: Optional[float] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> IncompleteDataset:
+    """One-call instantiation: registry name → :class:`IncompleteDataset`."""
+    if db is None:
+        db = scenario_database(name, seed=seed, scale=scale)
+    scenario = build_scenario(name, keep_rate, removal_correlation)
+    return scenario.instantiate(db, seed=seed)
+
+
+# ======================================================================
+# The matrix
+# ======================================================================
+
+def _paper_setup(
+    name: str,
+    dataset: str,
+    table: str,
+    attribute: str,
+    tf_keep_rate: float,
+    extra: Tuple[RemovalSpec, ...] = (),
+    dangling_parents: Optional[Tuple[str, ...]] = None,
+    description: str = "",
+) -> None:
+    """Register one Fig. 4c completion setup (biased paper protocol)."""
+
+    def factory(keep: float, corr: float) -> ScenarioSpec:
+        return ScenarioSpec(
+            name=name,
+            dataset=dataset,
+            removals=(RemovalSpec(table, attribute, keep, corr), *extra),
+            tf_keep_rate=tf_keep_rate,
+            drop_dangling_links=True,
+            dangling_parents=dangling_parents,
+            description=description,
+        )
+
+    register(name, dataset, ("biased",), description, factory)
+
+
+def _scenario(
+    name: str,
+    dataset: str,
+    mechanisms: Tuple[str, ...],
+    description: str,
+    specs: Callable[[float, float], Tuple[RemovalSpec, ...]],
+    tf_keep_rate: float = 0.5,
+    dangling_parents: Optional[Tuple[str, ...]] = None,
+) -> None:
+    """Register one mechanism-matrix scenario."""
+
+    def factory(keep: float, corr: float) -> ScenarioSpec:
+        return ScenarioSpec(
+            name=name,
+            dataset=dataset,
+            removals=specs(keep, corr),
+            tf_keep_rate=tf_keep_rate,
+            drop_dangling_links=True,
+            dangling_parents=dangling_parents,
+            description=description,
+        )
+
+    register(name, dataset, mechanisms, description, factory)
+
+
+# ----------------------------------------------------------------------
+# Paper setups (Fig. 4c): housing H1–H5 (TF keep 30%), movies M1–M5
+# (TF keep 20%, hardened protocol: only links of removed *movies* drop;
+# M4/M5 additionally remove 20% of the movies with a mild year bias).
+# ----------------------------------------------------------------------
+_M45_EXTRA = (RemovalSpec("movie", "production_year", 0.8, 0.2),)
+
+_paper_setup("housing/H1", "housing", "apartment", "price", 0.3,
+             description="biased removal of expensive apartments")
+_paper_setup("housing/H2", "housing", "apartment", "room_type", 0.3,
+             description="biased removal of the modal room type")
+_paper_setup("housing/H3", "housing", "apartment", "property_type", 0.3,
+             description="biased removal of the modal property type")
+_paper_setup("housing/H4", "housing", "landlord", "landlord_since", 0.3,
+             description="biased removal of long-tenured landlords")
+_paper_setup("housing/H5", "housing", "landlord", "landlord_response_rate", 0.3,
+             description="biased removal of responsive landlords")
+
+_paper_setup("movies/M1", "movies", "movie", "production_year", 0.2,
+             dangling_parents=("movie",),
+             description="biased removal of recent movies (hardened links)")
+_paper_setup("movies/M2", "movies", "movie", "genre", 0.2,
+             dangling_parents=("movie",),
+             description="biased removal of the modal genre")
+_paper_setup("movies/M3", "movies", "movie", "country", 0.2,
+             dangling_parents=("movie",),
+             description="biased removal of the modal production country")
+_paper_setup("movies/M4", "movies", "director", "birth_year", 0.2,
+             extra=_M45_EXTRA, dangling_parents=("movie",),
+             description="biased director removal + 20% movie removal")
+_paper_setup("movies/M5", "movies", "company", "country_code", 0.2,
+             extra=_M45_EXTRA, dangling_parents=("movie",),
+             description="biased company removal + 20% movie removal")
+
+
+# ----------------------------------------------------------------------
+# Synthetic mechanism matrix (two tables: ta(a) 1:n tb(b); TF keep 50%
+# matching Exp. 1).
+# ----------------------------------------------------------------------
+_scenario(
+    "synthetic/biased", "synthetic", ("biased",),
+    "paper protocol: tb removal biased on its own attribute b",
+    lambda keep, corr: (RemovalSpec("tb", "b", keep, corr),),
+)
+_scenario(
+    "synthetic/mcar", "synthetic", ("mcar",),
+    "tb rows vanish completely at random",
+    lambda keep, corr: (RemovalSpec("tb", keep_rate=keep, mechanism=MCAR()),),
+)
+_scenario(
+    "synthetic/mar_parent", "synthetic", ("mar_parent",),
+    "tb removal conditioned on the parent attribute ta.a (MAR via FK)",
+    lambda keep, corr: (RemovalSpec(
+        "tb", keep_rate=keep,
+        mechanism=MARParent(parent_table="ta", attribute="a", correlation=corr),
+    ),),
+)
+_scenario(
+    "synthetic/mnar_self", "synthetic", ("mnar_self",),
+    "self-masking: tb.b's modal value removes its own rows",
+    lambda keep, corr: (RemovalSpec(
+        "tb", keep_rate=keep,
+        mechanism=MNARSelfMasking(attribute="b", sharpness=corr),
+    ),),
+)
+_scenario(
+    "synthetic/fk_cascade", "synthetic", ("fk_cascade",),
+    "whole sibling groups of tb vanish per ta parent (cluster removal)",
+    lambda keep, corr: (RemovalSpec(
+        "tb", keep_rate=keep, mechanism=FKCascade(parent_table="ta"),
+    ),),
+)
+
+
+# ----------------------------------------------------------------------
+# Housing mechanism matrix (TF keep 30% like the paper's housing rows).
+# ----------------------------------------------------------------------
+_scenario(
+    "housing/mcar", "housing", ("mcar",),
+    "apartments vanish completely at random",
+    lambda keep, corr: (RemovalSpec(
+        "apartment", keep_rate=keep, mechanism=MCAR(),
+    ),),
+    tf_keep_rate=0.3,
+)
+_scenario(
+    "housing/mar", "housing", ("mar",),
+    "apartment removal conditioned on the observed room_type (MAR)",
+    lambda keep, corr: (RemovalSpec(
+        "apartment", keep_rate=keep,
+        mechanism=MAR(attribute="room_type", correlation=corr),
+    ),),
+    tf_keep_rate=0.3,
+)
+_scenario(
+    "housing/mar_parent", "housing", ("mar_parent",),
+    "apartments in dense neighborhoods go unreported (MAR via FK)",
+    lambda keep, corr: (RemovalSpec(
+        "apartment", keep_rate=keep,
+        mechanism=MARParent(parent_table="neighborhood",
+                            attribute="pop_density", correlation=corr),
+    ),),
+    tf_keep_rate=0.3,
+)
+_scenario(
+    "housing/mnar_self", "housing", ("mnar_self",),
+    "expensive apartments hide their own listings (self-masking MNAR)",
+    lambda keep, corr: (RemovalSpec(
+        "apartment", keep_rate=keep,
+        mechanism=MNARSelfMasking(attribute="price", sharpness=corr),
+    ),),
+    tf_keep_rate=0.3,
+)
+_scenario(
+    "housing/threshold", "housing", ("threshold",),
+    "prices above the 70th percentile are censored (value threshold)",
+    lambda keep, corr: (RemovalSpec(
+        "apartment", keep_rate=keep,
+        mechanism=ValueThreshold(attribute="price", quantile=0.7),
+    ),),
+    tf_keep_rate=0.3,
+)
+_scenario(
+    "housing/temporal_recent", "housing", ("temporal_recent",),
+    "recently registered landlords are missing (recency bias)",
+    lambda keep, corr: (RemovalSpec(
+        "landlord", keep_rate=keep,
+        mechanism=TemporalRecent(time_attribute="landlord_since", softness=0.2),
+    ),),
+    tf_keep_rate=0.3,
+)
+_scenario(
+    "housing/fk_cascade", "housing", ("fk_cascade",),
+    "whole neighborhoods of apartments vanish together (cluster removal)",
+    lambda keep, corr: (RemovalSpec(
+        "apartment", keep_rate=keep,
+        mechanism=FKCascade(parent_table="neighborhood"),
+    ),),
+    tf_keep_rate=0.3,
+)
+_scenario(
+    "housing/rare_value", "housing", ("rare_value",),
+    "apartments with rare property types are removed first (long tail)",
+    lambda keep, corr: (RemovalSpec(
+        "apartment", keep_rate=keep,
+        mechanism=RareValue(attribute="property_type", correlation=corr),
+    ),),
+    tf_keep_rate=0.3,
+)
+_scenario(
+    "housing/multi_table", "housing", ("biased", "mnar_self"),
+    "simultaneous apartment-price bias and landlord self-masking; "
+    "dangling landlord FKs survive as missingness evidence",
+    lambda keep, corr: (
+        RemovalSpec("apartment", "price", keep, corr),
+        RemovalSpec(
+            "landlord", keep_rate=max(keep, 0.6),
+            mechanism=MNARSelfMasking(attribute="landlord_response_rate",
+                                      sharpness=corr),
+        ),
+    ),
+    tf_keep_rate=0.3,
+    # Hardened-protocol style: apartments of removed landlords stay; their
+    # dangling FKs are exactly the evidence that a landlord is missing.
+    dangling_parents=(),
+)
+
+
+# ----------------------------------------------------------------------
+# Movies mechanism matrix (TF keep 20%, hardened link protocol).
+# ----------------------------------------------------------------------
+_scenario(
+    "movies/mcar", "movies", ("mcar",),
+    "movies vanish completely at random (links cascade)",
+    lambda keep, corr: (RemovalSpec(
+        "movie", keep_rate=keep, mechanism=MCAR(),
+    ),),
+    tf_keep_rate=0.2, dangling_parents=("movie",),
+)
+_scenario(
+    "movies/temporal_recent", "movies", ("temporal_recent",),
+    "the newest productions are not yet in the database (recency bias)",
+    lambda keep, corr: (RemovalSpec(
+        "movie", keep_rate=keep,
+        mechanism=TemporalRecent(time_attribute="production_year",
+                                 softness=0.2),
+    ),),
+    tf_keep_rate=0.2, dangling_parents=("movie",),
+)
+_scenario(
+    "movies/rare_value", "movies", ("rare_value",),
+    "movies of rare genres are dropped first (long tail)",
+    lambda keep, corr: (RemovalSpec(
+        "movie", keep_rate=keep,
+        mechanism=RareValue(attribute="genre", correlation=corr),
+    ),),
+    tf_keep_rate=0.2, dangling_parents=("movie",),
+)

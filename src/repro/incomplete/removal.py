@@ -23,8 +23,9 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..relational import ColumnKind, Database, SchemaAnnotation, Table
+from ..relational import Database, SchemaAnnotation, Table
 from ..relational.tuple_factors import TF_UNKNOWN, observed_tuple_factors
+from .mechanisms import MissingnessMechanism, _biased_scores
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,8 @@ class RemovalSpec:
     table:
         The table to make incomplete.
     biased_attribute:
-        The attribute whose values correlate with removal.
+        The attribute whose values correlate with removal (the paper's
+        protocol).  ``None`` when a ``mechanism`` decides instead.
     keep_rate:
         Fraction of rows kept.
     removal_correlation:
@@ -44,30 +46,88 @@ class RemovalSpec:
     biased_value:
         For categorical attributes: the value whose rows are preferentially
         removed.  Defaults to the most frequent value.
+    mechanism:
+        Optional :class:`~repro.incomplete.mechanisms.MissingnessMechanism`
+        replacing the paper protocol's scoring (MCAR/MAR/MNAR/threshold/
+        FK-cascade/temporal...).  The keep rate always stays with the spec.
     """
 
     table: str
-    biased_attribute: str
-    keep_rate: float
-    removal_correlation: float
+    biased_attribute: Optional[str] = None
+    keep_rate: float = 1.0
+    removal_correlation: float = 0.0
     biased_value: Optional[object] = None
+    mechanism: Optional[MissingnessMechanism] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.keep_rate <= 1.0:
             raise ValueError("keep_rate must be in (0, 1]")
         if not 0.0 <= self.removal_correlation <= 1.0:
             raise ValueError("removal_correlation must be in [0, 1]")
+        if self.biased_attribute is None and self.mechanism is None:
+            raise ValueError(
+                f"RemovalSpec({self.table!r}): either a biased_attribute "
+                f"(paper protocol) or a mechanism is required"
+            )
+
+    @property
+    def mechanism_name(self) -> str:
+        """The scenario-matrix vocabulary name of this spec's mechanism."""
+        return self.mechanism.name if self.mechanism is not None else "biased"
+
+    def validate_against(self, db: Database) -> None:
+        """Raise ``ValueError`` when this spec cannot apply to ``db``."""
+        if self.table not in db.table_names():
+            raise ValueError(
+                f"removal spec targets unknown table {self.table!r}; "
+                f"have {sorted(db.table_names())}"
+            )
+        if self.mechanism is not None:
+            self.mechanism.validate(db, self.table)
+        if self.biased_attribute is not None:
+            table = db.table(self.table)
+            if self.biased_attribute not in table:
+                raise ValueError(
+                    f"removal spec for {self.table!r} biases on unknown "
+                    f"attribute {self.biased_attribute!r}; "
+                    f"have {table.column_names}"
+                )
+
+    def translated_for(self, db: Database) -> "RemovalSpec":
+        """This spec, revalidated for re-application on another database.
+
+        Used by the §5 derived selection scenarios: the incomplete database
+        becomes ground truth and the same removal characteristics are
+        re-applied.  Specs are immutable, so translation is validation —
+        with a clear error when e.g. the biased attribute no longer exists
+        on the (incomplete) table.
+        """
+        try:
+            self.validate_against(db)
+        except ValueError as exc:
+            raise ValueError(
+                f"cannot re-apply removal spec to the incomplete database: {exc}"
+            ) from exc
+        return self
 
 
 @dataclass
 class IncompleteDataset:
-    """An incomplete database plus everything needed to evaluate completion."""
+    """An incomplete database plus everything needed to evaluate completion.
+
+    ``drop_dangling_links`` / ``dangling_parents`` record the cascade policy
+    the dataset was produced under, so §5 re-removal
+    (:func:`~repro.incomplete.scenarios.derive_selection_scenario`) applies
+    the *same* characteristics instead of silently reverting to the default.
+    """
 
     complete: Database
     incomplete: Database
     annotation: SchemaAnnotation
     keep_masks: Dict[str, np.ndarray]
     specs: Tuple[RemovalSpec, ...]
+    drop_dangling_links: bool = True
+    dangling_parents: Optional[Tuple[str, ...]] = None
 
     def kept_fraction(self, table: str) -> float:
         mask = self.keep_masks.get(table)
@@ -80,8 +140,16 @@ def removal_mask(
     table: Table,
     spec: RemovalSpec,
     rng: np.random.Generator,
+    db: Optional[Database] = None,
 ) -> np.ndarray:
-    """Boolean keep-mask implementing the biased removal for one table."""
+    """Boolean keep-mask implementing the removal for one table.
+
+    The spec's mechanism (or the paper's biased protocol when none is set)
+    scores every row — highest score removed first — and the keep rate
+    decides how many go.  Mechanisms that look beyond the target table
+    (MAR through a foreign key, FK-clustered removal) need ``db``; the
+    single-table mechanisms and the legacy protocol do not.
+    """
     n = len(table)
     num_remove = int(round((1.0 - spec.keep_rate) * n))
     if num_remove == 0:
@@ -89,13 +157,24 @@ def removal_mask(
     if num_remove >= n:
         raise ValueError("removal would leave no tuples")
 
-    kind = table.meta(spec.biased_attribute).kind
-    values = table[spec.biased_attribute]
-
-    if kind is ColumnKind.CATEGORICAL:
-        scores = _categorical_removal_scores(values, spec, rng)
+    if spec.mechanism is not None:
+        if db is None:
+            db = Database([table], [])
+        scores = spec.mechanism.removal_scores(db, table.name, rng)
+        scores = np.asarray(scores, dtype=float)
+        if scores.shape != (n,):
+            raise ValueError(
+                f"{spec.mechanism.describe()} returned {scores.shape} scores "
+                f"for {n} rows of {table.name!r}"
+            )
     else:
-        scores = _continuous_removal_scores(values, spec, rng)
+        # The paper's protocol (mathematically MNAR self-masking): bias on
+        # one of the removed table's own attributes.
+        values = table[spec.biased_attribute]
+        scores = _biased_scores(
+            values, table.meta(spec.biased_attribute).kind,
+            spec.removal_correlation, spec.biased_value, rng,
+        )
 
     # Remove the rows with the highest scores; ties broken by the random
     # jitter already contained in the scores.
@@ -103,39 +182,6 @@ def removal_mask(
     keep = np.ones(n, dtype=bool)
     keep[remove_idx] = False
     return keep
-
-
-def _categorical_removal_scores(
-    values: np.ndarray, spec: RemovalSpec, rng: np.random.Generator
-) -> np.ndarray:
-    """Higher score = removed first.  With correlation ``c`` a fraction ``c``
-    of the removals targets rows with the biased value; the rest is uniform."""
-    biased_value = spec.biased_value
-    if biased_value is None:
-        uniques, counts = np.unique(values, return_counts=True)
-        biased_value = uniques[counts.argmax()]
-    is_biased = values == biased_value
-    jitter = rng.random(len(values))
-    targeted = rng.random(len(values)) < spec.removal_correlation
-    # Targeted removals only strike biased rows; untargeted strike anyone.
-    return np.where(targeted & is_biased, 2.0 + jitter,
-                    np.where(~targeted, 1.0 + jitter, jitter))
-
-
-def _continuous_removal_scores(
-    values: np.ndarray, spec: RemovalSpec, rng: np.random.Generator
-) -> np.ndarray:
-    """Mix of attribute rank and noise: correlation ``c`` weights the rank.
-
-    The resulting Bernoulli removal indicator has a Pearson correlation with
-    the attribute that grows monotonically with ``c`` (see tests), matching
-    the paper's "specific Pearson correlation coefficient" protocol.
-    """
-    arr = np.asarray(values, dtype=float)
-    ranks = np.argsort(np.argsort(arr)) / max(len(arr) - 1, 1)
-    noise = rng.random(len(arr))
-    c = spec.removal_correlation
-    return c * ranks + (1.0 - c) * noise
 
 
 def make_incomplete(
@@ -175,11 +221,13 @@ def make_incomplete(
     incomplete_tables = {spec.table for spec in specs}
     if len(incomplete_tables) != len(specs):
         raise ValueError("at most one removal spec per table")
+    for spec in specs:
+        spec.validate_against(db)
 
     working = db.copy()
     for spec in specs:
         table = working.table(spec.table)
-        keep = removal_mask(table, spec, rng)
+        keep = removal_mask(table, spec, rng, db=working)
         keep_masks[spec.table] = keep
         working = working.replace_table(table.select(keep))
 
@@ -240,4 +288,8 @@ def make_incomplete(
         annotation=annotation,
         keep_masks=keep_masks,
         specs=tuple(specs),
+        drop_dangling_links=drop_dangling_links,
+        dangling_parents=(
+            tuple(dangling_parents) if dangling_parents is not None else None
+        ),
     )

@@ -1,18 +1,172 @@
-"""Derived incompleteness scenarios for advanced model/path selection.
+"""Scenario composition and derived incompleteness scenarios.
 
-Paper §5 ("Advanced Selection"): to rank candidate completion models without
-access to the true complete database, ReStore *re-removes* tuples from the
-already-incomplete dataset using the same removal characteristics, treating
-the incomplete dataset as ground truth.  Models that reconstruct the
-first-level incomplete data well are assumed to also reconstruct the actual
-missing data well.
+A :class:`ScenarioSpec` bundles everything that turns a complete database
+into an incomplete one: one or more :class:`RemovalSpec`s (each carrying a
+missingness mechanism), the tuple-factor keep rate, and the dangling-link
+cascade policy.  Scenarios are immutable values — experiments re-parameterize
+them with :meth:`ScenarioSpec.with_rates` to sweep keep rate × correlation —
+and validate themselves against a database before any row is touched.
+
+The second half reproduces paper §5 ("Advanced Selection"): to rank
+candidate completion models without access to the true complete database,
+ReStore *re-removes* tuples from the already-incomplete dataset using the
+same removal characteristics, treating the incomplete dataset as ground
+truth.  Models that reconstruct the first-level incomplete data well are
+assumed to also reconstruct the actual missing data well.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
-
+from ..relational import Database
+from .mechanisms import CASCADING_TYPES
 from .removal import IncompleteDataset, RemovalSpec, make_incomplete
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, composable multi-table missingness scenario.
+
+    Attributes
+    ----------
+    name:
+        Scenario identifier (registry key, benchmark label).
+    dataset:
+        The dataset family the scenario applies to ("synthetic", "housing",
+        "movies", ... — informational; instantiation takes any database the
+        specs validate against).
+    removals:
+        One :class:`RemovalSpec` per table made incomplete.  Order matters:
+        later specs see the effects of earlier ones (their mechanisms score
+        against the partially-removed working database).
+    tf_keep_rate:
+        Fraction of parents keeping their true tuple factors (paper:
+        0.2–0.3).
+    drop_dangling_links / dangling_parents:
+        The hardened-protocol cascade; see :func:`make_incomplete`.
+    description:
+        One line of semantics for docs and ``--collect-only`` output.
+    """
+
+    name: str
+    dataset: str
+    removals: Tuple[RemovalSpec, ...]
+    tf_keep_rate: float = 1.0
+    drop_dangling_links: bool = True
+    dangling_parents: Optional[Tuple[str, ...]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.removals:
+            raise ValueError(f"scenario {self.name!r} has no removal specs")
+        if not 0.0 <= self.tf_keep_rate <= 1.0:
+            raise ValueError("tf_keep_rate must be in [0, 1]")
+        tables = [spec.table for spec in self.removals]
+        if len(set(tables)) != len(tables):
+            raise ValueError(
+                f"scenario {self.name!r} has multiple removal specs for one "
+                f"table ({tables})"
+            )
+        self._check_cascade_acyclic()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _cascade_edges(self) -> Tuple[Tuple[str, str], ...]:
+        """(child, parent) edges contributed by cluster-removal mechanisms."""
+        return tuple(
+            (spec.table, spec.mechanism.parent_table)
+            for spec in self.removals
+            if isinstance(spec.mechanism, CASCADING_TYPES)
+        )
+
+    def _check_cascade_acyclic(self) -> None:
+        """Reject cascade compositions that chase their own tail.
+
+        FK-cascade specs remove child clusters keyed by a parent table; when
+        those parents are themselves removed by a cascade keyed (transitively)
+        on the first table, the composition has no well-defined order.
+        """
+        edges = dict(self._cascade_edges())
+        for start in edges:
+            chain = [start]
+            current = edges.get(start)
+            while current is not None:
+                if current in chain:
+                    raise ValueError(
+                        f"scenario {self.name!r} has a cyclic cascade: "
+                        f"{' -> '.join([*chain, current])}"
+                    )
+                chain.append(current)
+                current = edges.get(current)
+
+    def validate(self, db: Database) -> None:
+        """Raise ``ValueError`` when this scenario cannot apply to ``db``."""
+        for spec in self.removals:
+            spec.validate_against(db)
+        if self.dangling_parents is not None:
+            unknown = set(self.dangling_parents) - set(db.table_names())
+            if unknown:
+                raise ValueError(
+                    f"scenario {self.name!r} cascades on unknown tables "
+                    f"{sorted(unknown)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Parameterization
+    # ------------------------------------------------------------------
+    def with_rates(
+        self,
+        keep_rate: Optional[float] = None,
+        removal_correlation: Optional[float] = None,
+    ) -> "ScenarioSpec":
+        """The scenario with the *primary* removal re-parameterized.
+
+        The first removal spec is the scenario's swept axis (matching the
+        paper's keep rate × correlation grids); secondary removals (e.g. the
+        M4/M5 extra movie removal) keep their fixed rates.  For
+        mechanism-backed specs the correlation knob maps onto the
+        mechanism's own strength parameter
+        (:meth:`MissingnessMechanism.with_strength`), so sweeping works
+        uniformly across the whole matrix.
+        """
+        primary, rest = self.removals[0], self.removals[1:]
+        updates = {}
+        if keep_rate is not None:
+            updates["keep_rate"] = keep_rate
+        if removal_correlation is not None:
+            if primary.mechanism is not None:
+                updates["mechanism"] = primary.mechanism.with_strength(
+                    removal_correlation
+                )
+            else:
+                updates["removal_correlation"] = removal_correlation
+        return replace(self, removals=(replace(primary, **updates), *rest))
+
+    @property
+    def primary_table(self) -> str:
+        """The table of the swept (first) removal spec."""
+        return self.removals[0].table
+
+    def mechanism_names(self) -> Tuple[str, ...]:
+        return tuple(spec.mechanism_name for spec in self.removals)
+
+    # ------------------------------------------------------------------
+    # Instantiation
+    # ------------------------------------------------------------------
+    def instantiate(self, db: Database, seed: int = 0) -> IncompleteDataset:
+        """Apply the scenario to a complete database."""
+        self.validate(db)
+        return make_incomplete(
+            db,
+            list(self.removals),
+            tf_keep_rate=self.tf_keep_rate,
+            drop_dangling_links=self.drop_dangling_links,
+            dangling_parents=self.dangling_parents,
+            seed=seed,
+        )
 
 
 def derive_selection_scenario(
@@ -22,27 +176,24 @@ def derive_selection_scenario(
 ) -> IncompleteDataset:
     """Second-level removal: the incomplete database becomes "ground truth".
 
-    Every removal spec of the original dataset is re-applied (same biased
-    attribute, keep rate and correlation) to the incomplete data.  The
-    returned :class:`IncompleteDataset` has ``complete`` set to the original
+    Every removal spec of the original dataset is re-applied — same
+    mechanism, biased attribute, keep rate and correlation — to the
+    incomplete data (:meth:`RemovalSpec.translated_for` revalidates each
+    spec against the incomplete database and raises a clear error when e.g.
+    the biased attribute no longer exists there).  The returned
+    :class:`IncompleteDataset` has ``complete`` set to the original
     *incomplete* database, so all quality metrics evaluate reconstruction of
-    data we actually possess.
+    data we actually possess.  Because specs translate rather than mutate,
+    re-application composes: deriving from a derived scenario applies the
+    identical characteristics once more (the §5 metamorphic property the
+    invariant harness checks).
     """
-    respecs = []
-    for spec in dataset.specs:
-        respecs.append(
-            RemovalSpec(
-                table=spec.table,
-                biased_attribute=spec.biased_attribute,
-                keep_rate=spec.keep_rate,
-                removal_correlation=spec.removal_correlation,
-                biased_value=spec.biased_value,
-            )
-        )
+    respecs = [spec.translated_for(dataset.incomplete) for spec in dataset.specs]
     return make_incomplete(
         dataset.incomplete,
         respecs,
         tf_keep_rate=tf_keep_rate,
-        drop_dangling_links=True,
+        drop_dangling_links=dataset.drop_dangling_links,
+        dangling_parents=dataset.dangling_parents,
         seed=seed + 104729,  # decorrelate from the first-level removal
     )

@@ -26,7 +26,9 @@ The contract of :meth:`Executor.map`:
   its tasks), else ``payload`` itself;
 * a task that raises surfaces the **original exception** to the caller
   (process workers pickle it back); remaining queued tasks are cancelled
-  rather than left to hang.
+  rather than left to hang.  The same holds for a raising ``init`` — never
+  an opaque ``BrokenProcessPool`` — and a failed ``map`` does not poison
+  the executor: the instance is reusable afterwards.
 """
 
 from __future__ import annotations
@@ -117,12 +119,30 @@ class ThreadExecutor(Executor):
 _WORKER_STATE: Any = None
 
 
+class _InitFailure:
+    """Sentinel worker state: the initializer raised.
+
+    A raising :class:`~concurrent.futures.ProcessPoolExecutor` initializer
+    kills the worker and surfaces an opaque ``BrokenProcessPool`` — so the
+    initializer never raises; it parks the original exception here and the
+    worker's first task re-raises it (pickled back to the caller intact).
+    """
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
 def _initialize_worker(init: Optional[InitFn], payload: Any) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = _make_state(payload, init)
+    try:
+        _WORKER_STATE = _make_state(payload, init)
+    except BaseException as exc:
+        _WORKER_STATE = _InitFailure(exc)
 
 
 def _run_on_worker_state(fn: TaskFn, task: Any) -> Any:
+    if isinstance(_WORKER_STATE, _InitFailure):
+        raise _WORKER_STATE.exc
     return fn(_WORKER_STATE, task)
 
 

@@ -1,10 +1,14 @@
 """The completion setups of Fig. 4c: H1–H5 (housing) and M1–M5 (movies).
 
-Each setup names the biased attribute, the table made incomplete, and the
-per-table keep rates.  Keep rate and removal correlation are swept by the
-experiments; the tuple-factor keep rates follow the paper (30% housing,
-20% movies), and the movie setups apply the hardened protocol (dangling
-m:n link rows removed; M4/M5 additionally remove 20% of the movies).
+The removal protocols themselves live in
+:mod:`repro.incomplete.registry` (scenario names ``"housing/H1"`` …
+``"movies/M5"``) — this module derives the experiment-facing
+:class:`CompletionSetup` metadata *from* those registry entries, so there
+is exactly one definition of each protocol.  Keep rate and removal
+correlation are swept by the experiments; the tuple-factor keep rates
+follow the paper (30% housing, 20% movies), and the movie setups apply the
+hardened protocol (dangling m:n link rows removed; M4/M5 additionally
+remove 20% of the movies).
 """
 
 from __future__ import annotations
@@ -15,16 +19,28 @@ from typing import Dict, Tuple
 from ..datasets import (
     HousingConfig,
     MoviesConfig,
+    SyntheticConfig,
     generate_housing,
     generate_movies,
+    generate_synthetic,
 )
-from ..incomplete import IncompleteDataset, RemovalSpec, make_incomplete
+from ..incomplete import IncompleteDataset, RemovalSpec, ScenarioSpec, registry
 from ..relational import Database
 
 
 @dataclass(frozen=True)
 class CompletionSetup:
-    """One row of Fig. 4c."""
+    """One row of Fig. 4c, backed by a registry scenario.
+
+    The setup's removal protocol lives in
+    :mod:`repro.incomplete.registry` under ``"<dataset>/<name>"`` — this
+    class keeps the experiment-facing metadata (which table, which biased
+    attribute) and delegates instantiation to the registry so every sweep
+    cell the experiments run is a scenario the invariant harness covers.
+    All fields are *derived* from the registry entry (see
+    :func:`_setup_from_registry`); a custom setup must register its
+    scenario first.
+    """
 
     name: str
     dataset: str                    # "housing" | "movies"
@@ -32,6 +48,18 @@ class CompletionSetup:
     biased_attribute: str
     tf_keep_rate: float
     extra_removals: Tuple[RemovalSpec, ...] = ()
+
+    @property
+    def scenario_name(self) -> str:
+        return f"{self.dataset}/{self.name}"
+
+    def scenario(
+        self, keep_rate: float, removal_correlation: float
+    ) -> ScenarioSpec:
+        """The registry scenario of one sweep cell."""
+        return registry.build_scenario(
+            self.scenario_name, keep_rate, removal_correlation
+        )
 
     def make(
         self,
@@ -41,47 +69,35 @@ class CompletionSetup:
         seed: int = 0,
     ) -> IncompleteDataset:
         """Instantiate the incomplete dataset for one sweep cell."""
-        specs = [
-            RemovalSpec(
-                table=self.incomplete_table,
-                biased_attribute=self.biased_attribute,
-                keep_rate=keep_rate,
-                removal_correlation=removal_correlation,
-            ),
-            *self.extra_removals,
-        ]
-        # Paper §7.3: only link rows whose *movie* was removed are dropped;
-        # links dangling against removed directors/companies survive (their
-        # foreign keys are the evidence that a tuple is missing).
-        dangling_parents = ("movie",) if self.dataset == "movies" else None
-        return make_incomplete(
-            db, specs, tf_keep_rate=self.tf_keep_rate,
-            drop_dangling_links=True, dangling_parents=dangling_parents,
-            seed=seed,
+        return self.scenario(keep_rate, removal_correlation).instantiate(
+            db, seed=seed
         )
 
 
-# Fig. 4c, housing rows.  TF keep rate 30%.
+def _setup_from_registry(name: str, dataset: str) -> CompletionSetup:
+    """Derive one Fig. 4c setup's metadata from its registry scenario."""
+    scenario = registry.build_scenario(f"{dataset}/{name}")
+    primary = scenario.removals[0]
+    return CompletionSetup(
+        name=name,
+        dataset=dataset,
+        incomplete_table=primary.table,
+        biased_attribute=primary.biased_attribute,
+        tf_keep_rate=scenario.tf_keep_rate,
+        extra_removals=scenario.removals[1:],
+    )
+
+
+# Fig. 4c rows, derived from the registry (housing TF keep rate 30%; movies
+# 20%, hardened link protocol, M4/M5 with the extra 20% movie removal).
 HOUSING_SETUPS: Dict[str, CompletionSetup] = {
-    "H1": CompletionSetup("H1", "housing", "apartment", "price", 0.3),
-    "H2": CompletionSetup("H2", "housing", "apartment", "room_type", 0.3),
-    "H3": CompletionSetup("H3", "housing", "apartment", "property_type", 0.3),
-    "H4": CompletionSetup("H4", "housing", "landlord", "landlord_since", 0.3),
-    "H5": CompletionSetup("H5", "housing", "landlord", "landlord_response_rate", 0.3),
+    name: _setup_from_registry(name, "housing")
+    for name in ("H1", "H2", "H3", "H4", "H5")
 }
 
-# Fig. 4c, movies rows.  TF keep rate 20%; M4/M5 additionally remove 20% of
-# the movies (keep 80%) with a mild year bias, per §7.3.
-_M45_EXTRA = (RemovalSpec("movie", "production_year", 0.8, 0.2),)
-
 MOVIES_SETUPS: Dict[str, CompletionSetup] = {
-    "M1": CompletionSetup("M1", "movies", "movie", "production_year", 0.2),
-    "M2": CompletionSetup("M2", "movies", "movie", "genre", 0.2),
-    "M3": CompletionSetup("M3", "movies", "movie", "country", 0.2),
-    "M4": CompletionSetup("M4", "movies", "director", "birth_year", 0.2,
-                          extra_removals=_M45_EXTRA),
-    "M5": CompletionSetup("M5", "movies", "company", "country_code", 0.2,
-                          extra_removals=_M45_EXTRA),
+    name: _setup_from_registry(name, "movies")
+    for name in ("M1", "M2", "M3", "M4", "M5")
 }
 
 ALL_SETUPS: Dict[str, CompletionSetup] = {**HOUSING_SETUPS, **MOVIES_SETUPS}
@@ -91,7 +107,14 @@ REMOVAL_CORRELATIONS = (0.2, 0.4, 0.6, 0.8)
 
 
 def base_database(dataset: str, seed: int = 0, scale: float = 1.0) -> Database:
-    """The complete ground-truth database for a setup family."""
+    """The complete ground-truth database for a setup or scenario family."""
+    if dataset == "synthetic":
+        cfg = SyntheticConfig(
+            num_parents=max(200, int(1000 * scale)),
+            predictability=0.8,
+            seed=seed,
+        )
+        return generate_synthetic(cfg)
     if dataset == "housing":
         cfg = HousingConfig(
             num_neighborhoods=max(20, int(120 * scale)),

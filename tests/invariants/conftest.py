@@ -1,0 +1,62 @@
+"""Fixtures of the invariant harness.
+
+The harness asserts pipeline-wide properties for **every** scenario in
+:mod:`repro.incomplete.registry`, so the central fixture is
+``scenario_name`` — parametrized over the full matrix — plus session-scoped
+caches for the (expensive) complete databases and the (cheap) instantiated
+incomplete datasets.  Scales are small: removal-level invariants run the
+whole matrix in seconds; training-level invariants pick single scenarios
+and are marked ``slow``.
+"""
+
+import pytest
+
+from repro.incomplete import IncompleteDataset, registry
+from repro.relational import Database
+
+from harness_utils import DB_SCALE, HARNESS_SEED
+
+
+@pytest.fixture(scope="session")
+def complete_databases():
+    """Session cache: dataset family -> complete ground-truth database."""
+    cache = {}
+
+    def get(dataset: str) -> Database:
+        if dataset not in cache:
+            from repro.workloads import base_database
+
+            cache[dataset] = base_database(
+                dataset, seed=HARNESS_SEED, scale=DB_SCALE[dataset]
+            )
+        return cache[dataset]
+
+    return get
+
+
+@pytest.fixture(params=sorted(registry.names()))
+def scenario_name(request) -> str:
+    """Every scenario of the registry matrix, by name."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def scenario_datasets(complete_databases):
+    """Session cache: scenario name -> instantiated incomplete dataset."""
+    cache = {}
+
+    def get(name: str) -> IncompleteDataset:
+        if name not in cache:
+            entry = registry.get(name)
+            cache[name] = registry.make_scenario_dataset(
+                name, db=complete_databases(entry.dataset), seed=HARNESS_SEED
+            )
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture
+def scenario_dataset(scenario_name, scenario_datasets) -> IncompleteDataset:
+    """The current scenario instantiated at the harness seed."""
+    return scenario_datasets(scenario_name)

@@ -1,0 +1,67 @@
+"""Shared helpers of the invariant harness (importable from every module)."""
+
+import os
+
+import numpy as np
+
+from repro.relational import Database
+
+# One fixed seed for everything derived from the registry: golden snapshots
+# and determinism checks depend on it.
+HARNESS_SEED = 7
+
+#: Complete-database scale per dataset family (small, but large enough that
+#: keep rates resolve to better than the harness tolerance).
+DB_SCALE = {"synthetic": 0.4, "housing": 0.1, "movies": 0.1}
+
+
+def keep_rate_tolerance(num_rows: int) -> float:
+    """Removal deletes ``round((1 - keep) * n)`` rows exactly; the kept
+    fraction can therefore differ from the spec by at most ~1/n (plus float
+    slack)."""
+    return 2.0 / max(num_rows, 1) + 1e-9
+
+
+def dangling_parent_tables(db: Database):
+    """Parent tables that dangling FK references point into."""
+    parents = set()
+    for problem in db.validate_references():
+        arrow = problem.split("-> ", 1)[1]
+        parents.add(arrow.split(".", 1)[0])
+    return parents
+
+
+def regen_golden() -> bool:
+    """Whether this run should rewrite the golden snapshot files."""
+    return os.environ.get("RESTORE_REGEN_GOLDEN", "") == "1"
+
+
+def cascade_can_shrink(dataset, table: str) -> bool:
+    """Whether the dangling-link cascade may remove extra rows of ``table``.
+
+    A spec'd table only misses its exact keep rate when it is the FK child
+    of *another* removed table and that parent participates in the cascade
+    — then children of removed parents are dropped on top of the spec's own
+    removal.
+    """
+    if not dataset.drop_dangling_links:
+        return False
+    removed = {spec.table for spec in dataset.specs}
+    cascading = (
+        removed if dataset.dangling_parents is None
+        else removed & set(dataset.dangling_parents)
+    )
+    return any(
+        fk.child_table == table and fk.parent_table in (cascading - {table})
+        for fk in dataset.incomplete.foreign_keys
+    )
+
+
+def assert_tables_equal(a: Database, b: Database) -> None:
+    """Bitwise table equality (column order, values) across two databases."""
+    assert a.table_names() == b.table_names()
+    for name in a.table_names():
+        ta, tb = a.table(name), b.table(name)
+        assert ta.column_names == tb.column_names, name
+        for col in ta.column_names:
+            np.testing.assert_array_equal(ta[col], tb[col], err_msg=f"{name}.{col}")

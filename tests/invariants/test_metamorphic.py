@@ -1,0 +1,145 @@
+"""Metamorphic invariants of the §5 derived selection scenarios.
+
+``derive_selection_scenario`` re-applies a dataset's removal
+characteristics to the already-incomplete data, treating it as ground
+truth.  The properties that make the trick sound are metamorphic — they
+relate the outputs of repeated applications rather than pinning point
+values:
+
+* re-application succeeds for **every** registry scenario (the spec
+  translation covers every mechanism, not just the paper protocol);
+* the derived dataset's "complete" side *is* the first-level incomplete
+  database (no copy, no mutation);
+* the same keep rates are hit again on the smaller data;
+* derivation composes: deriving from a derived dataset applies the same
+  characteristics once more (fixpoint-compatible re-application);
+* the second-level removal is decorrelated from the first (different rows
+  go) yet deterministic in the seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.incomplete import (
+    RemovalSpec,
+    derive_selection_scenario,
+    make_incomplete,
+    registry,
+)
+
+from harness_utils import cascade_can_shrink, keep_rate_tolerance
+
+
+def _assert_keep_rates(dataset, label):
+    for spec in dataset.specs:
+        n = len(dataset.complete.table(spec.table))
+        kept = dataset.kept_fraction(spec.table)
+        tolerance = keep_rate_tolerance(n)
+        if cascade_can_shrink(dataset, spec.table):
+            assert kept <= spec.keep_rate + tolerance, label
+        else:
+            assert abs(kept - spec.keep_rate) <= tolerance, (
+                f"{label}: {spec.table} kept {kept:.3f}, "
+                f"spec {spec.keep_rate:.3f}"
+            )
+
+
+def _derivable(dataset) -> bool:
+    """Scenarios whose spec'd tables keep >1 row at the second level."""
+    return all(
+        len(dataset.incomplete.table(spec.table)) * (1.0 - spec.keep_rate) >= 1
+        for spec in dataset.specs
+    )
+
+
+class TestDeriveEveryScenario:
+    def test_derivation_succeeds(self, scenario_name, scenario_dataset):
+        derived = derive_selection_scenario(scenario_dataset, seed=3)
+        assert derived.complete is scenario_dataset.incomplete
+        assert derived.specs == scenario_dataset.specs
+
+    def test_keep_rates_hit_again(self, scenario_name, scenario_dataset):
+        derived = derive_selection_scenario(scenario_dataset, seed=3)
+        _assert_keep_rates(derived, f"{scenario_name} (second level)")
+
+    def test_derivation_composes(self, scenario_name, scenario_dataset):
+        """Fixpoint-compatible: deriving from a derived dataset applies the
+        identical characteristics a third time."""
+        second = derive_selection_scenario(scenario_dataset, seed=3)
+        if not _derivable(second):
+            pytest.skip("second level too small for a third removal")
+        third = derive_selection_scenario(second, seed=4)
+        assert third.complete is second.incomplete
+        assert third.specs == scenario_dataset.specs
+        _assert_keep_rates(third, f"{scenario_name} (third level)")
+
+    def test_decorrelated_from_first_level(self, scenario_name,
+                                           scenario_dataset):
+        """The re-removal must not delete the same logical rows again (it is
+        reseeded); otherwise the derived scenario would systematically see
+        the same survivors.  Only meaningful for mechanisms with a dominant
+        random component: near-deterministic ones (recency, threshold) are
+        *supposed* to pick the same rows at any seed."""
+        deterministic = {"temporal_recent", "threshold"}
+        mechanisms = set(registry.get(scenario_name).mechanisms)
+        if mechanisms <= deterministic:
+            pytest.skip("near-deterministic mechanism: same rows by design")
+        derived_a = derive_selection_scenario(scenario_dataset, seed=3)
+        derived_b = derive_selection_scenario(scenario_dataset, seed=9)
+        different = False
+        for spec in scenario_dataset.specs:
+            if spec.mechanism_name in deterministic:
+                continue
+            mask_a = derived_a.keep_masks[spec.table]
+            mask_b = derived_b.keep_masks[spec.table]
+            if not np.array_equal(mask_a, mask_b):
+                different = True
+        assert different
+
+    def test_deterministic_in_seed(self, scenario_dataset):
+        derived_a = derive_selection_scenario(scenario_dataset, seed=3)
+        derived_b = derive_selection_scenario(scenario_dataset, seed=3)
+        for spec in scenario_dataset.specs:
+            np.testing.assert_array_equal(
+                derived_a.keep_masks[spec.table],
+                derived_b.keep_masks[spec.table],
+            )
+
+
+class TestDeriveValidation:
+    """The satellite fix: spec translation validates against the incomplete
+    data and fails with a clear error instead of deep inside numpy."""
+
+    def test_missing_attribute_raises_clearly(self):
+        from repro.datasets import SyntheticConfig, generate_synthetic
+
+        db = generate_synthetic(SyntheticConfig(num_parents=150, seed=0))
+        dataset = make_incomplete(
+            db, [RemovalSpec("tb", "b", 0.5, 0.4)], seed=1
+        )
+        # Simulate a pipeline that dropped the biased attribute from the
+        # incomplete table (e.g. a projection pushed below the removal).
+        tb = dataset.incomplete.table("tb")
+        stripped = dataset.incomplete.replace_table(
+            tb.project([c for c in tb.column_names if c != "b"])
+        )
+        broken = type(dataset)(
+            complete=dataset.complete,
+            incomplete=stripped,
+            annotation=dataset.annotation,
+            keep_masks=dataset.keep_masks,
+            specs=dataset.specs,
+        )
+        with pytest.raises(ValueError, match="cannot re-apply.*'b'"):
+            derive_selection_scenario(broken, seed=2)
+
+    def test_mechanism_validation_also_applies(self, scenario_datasets):
+        """Mechanism-backed specs revalidate too (e.g. FK-cascade needs its
+        foreign key in the incomplete schema — present here, so it works)."""
+        dataset = scenario_datasets("synthetic/fk_cascade")
+        derived = derive_selection_scenario(dataset, seed=5)
+        assert derived.specs[0].mechanism is dataset.specs[0].mechanism
+
+    def test_registry_scenarios_all_translate(self, scenario_dataset):
+        for spec in scenario_dataset.specs:
+            assert spec.translated_for(scenario_dataset.incomplete) is spec

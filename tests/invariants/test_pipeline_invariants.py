@@ -1,0 +1,251 @@
+"""End-to-end pipeline invariants: removal → training → completion → AQP.
+
+The training-level properties every future scale PR is validated against:
+
+* **cardinality restoration** — the completed database's estimated target
+  cardinality is far closer to the truth than the incomplete count, and
+  moves monotonically with the keep rate;
+* **bitwise reproducibility** — at a fixed seed the completed join is
+  bitwise identical (up to row order) for any chunk size, any parallel
+  backend and any worker count;
+* **golden snapshot** — per-table completed cardinalities and AQP relative
+  errors at the harness seed are pinned in a checked-in JSON; silent drift
+  of the pipeline's numbers fails the suite.  Regenerate deliberately with
+  ``RESTORE_REGEN_GOLDEN=1 pytest tests/invariants/test_pipeline_invariants.py``.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core import IncompletenessJoin, ModelConfig, ReStore, ReStoreConfig
+from repro.experiments import joins_bitwise_identical
+from repro.incomplete import registry
+from repro.metrics import relative_error
+from repro.nn import TrainConfig
+from repro.query import execute, parse_query
+
+from harness_utils import HARNESS_SEED, regen_golden
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "pipeline_golden.json"
+
+#: Scenarios pinned by the golden snapshot, with the AQP queries evaluated
+#: on each (all touch the scenario's incomplete target table).
+GOLDEN_SCENARIOS = {
+    "synthetic/biased": ("SELECT COUNT(*) FROM tb;",),
+    "housing/H1": (
+        "SELECT SUM(price) FROM apartment WHERE room_type = 'Entire home/apt';",
+        "SELECT COUNT(*) FROM apartment WHERE property_type = 'House';",
+    ),
+}
+
+
+def _train_config() -> ReStoreConfig:
+    return ReStoreConfig(
+        model=ModelConfig(
+            hidden=(24, 24),
+            train=TrainConfig(epochs=5, batch_size=128, lr=1e-2, patience=3,
+                              seed=HARNESS_SEED),
+        ),
+        seed=HARNESS_SEED,
+    )
+
+
+def _fit_scenario(name, complete_databases, keep_rate=None):
+    entry = registry.get(name)
+    db = complete_databases(entry.dataset)
+    dataset = registry.make_scenario_dataset(
+        name, db=db, keep_rate=keep_rate, seed=HARNESS_SEED
+    )
+    scenario = entry.build(keep_rate=keep_rate)
+    target = scenario.primary_table
+    engine = ReStore.from_dataset(dataset, _train_config())
+    engine.fit(targets=[target])
+    return engine, dataset, target
+
+
+def _estimated_cardinality(engine, target) -> float:
+    best = engine.candidates(target)[0]
+    completed = engine.completed_join(best.model)
+    projected = engine.project_to_tables(completed, (target,))
+    return float(projected.effective_weights().sum())
+
+
+@pytest.mark.slow
+class TestCardinalityRestoration:
+    KEEP_RATES = (0.3, 0.5, 0.8)
+
+    @pytest.fixture(scope="class")
+    def sweep(self, complete_databases):
+        rows = []
+        for keep in self.KEEP_RATES:
+            engine, dataset, target = _fit_scenario(
+                "synthetic/biased", complete_databases, keep_rate=keep
+            )
+            rows.append({
+                "keep": keep,
+                "true": len(dataset.complete.table(target)),
+                "incomplete": len(dataset.incomplete.table(target)),
+                "estimated": _estimated_cardinality(engine, target),
+            })
+        return rows
+
+    def test_completion_beats_incomplete_cardinality(self, sweep):
+        for row in sweep:
+            est_error = abs(row["estimated"] - row["true"])
+            inc_error = abs(row["incomplete"] - row["true"])
+            assert est_error < inc_error, row
+
+    def test_estimate_within_ballpark(self, sweep):
+        for row in sweep:
+            assert abs(row["estimated"] - row["true"]) / row["true"] < 0.25, row
+
+    def test_estimates_monotone_in_keep_rate(self, sweep):
+        estimates = [row["estimated"] for row in sweep]
+        for lower, higher in zip(estimates, estimates[1:]):
+            assert higher >= lower * 0.98, estimates
+
+    def test_incomplete_counts_monotone_by_construction(self, sweep):
+        counts = [row["incomplete"] for row in sweep]
+        assert counts == sorted(counts)
+
+
+@pytest.mark.slow
+class TestBitwiseReproducibility:
+    """Fixed seed ⇒ identical completed rows for any execution strategy."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, complete_databases):
+        engine, _dataset, target = _fit_scenario(
+            "synthetic/mar_parent", complete_databases
+        )
+        return engine.candidates(target)[0].model
+
+    @pytest.fixture(scope="class")
+    def reference_join(self, fitted):
+        return IncompletenessJoin(fitted, seed=HARNESS_SEED).run()
+
+    @pytest.mark.parametrize("chunk_size", [None, 7, 23, 1000])
+    def test_chunk_size_invariant(self, fitted, reference_join, chunk_size):
+        join = IncompletenessJoin(
+            fitted, seed=HARNESS_SEED, chunk_size=chunk_size
+        ).run()
+        assert joins_bitwise_identical(reference_join, join)
+
+    @pytest.mark.parametrize("backend,n_workers", [
+        ("serial", 1), ("thread", 2), ("thread", 4), ("process", 2),
+    ])
+    def test_backend_invariant(self, fitted, reference_join, backend, n_workers):
+        join = IncompletenessJoin(
+            fitted, seed=HARNESS_SEED, chunk_size=11,
+            n_workers=n_workers, parallel_backend=backend,
+        ).run()
+        assert joins_bitwise_identical(reference_join, join)
+
+    def test_engine_refit_reproduces_join(self, complete_databases,
+                                          fitted, reference_join):
+        """A fresh engine (fresh training) at the same seed lands on the
+        same completed rows — the whole pipeline is seed-deterministic."""
+        engine, _dataset, target = _fit_scenario(
+            "synthetic/mar_parent", complete_databases
+        )
+        again = engine.candidates(target)[0].model
+        join = IncompletenessJoin(again, seed=HARNESS_SEED).run()
+        assert joins_bitwise_identical(reference_join, join)
+
+
+def _snapshot_scenario(name, queries, complete_databases):
+    engine, dataset, target = _fit_scenario(name, complete_databases)
+    best = engine.candidates(target)[0]
+    completed = engine.completed_join(best.model)
+    aqp = {}
+    for sql in queries:
+        query = parse_query(sql)
+        truth = execute(dataset.complete, query)
+        on_incomplete = execute(dataset.incomplete, query)
+        answer = engine.answer(query, model=best.model)
+        aqp[sql] = {
+            "incomplete": relative_error(on_incomplete, truth),
+            "completed": relative_error(answer.result, truth),
+        }
+    return {
+        "target": target,
+        "completed_rows": int(completed.num_rows),
+        "num_synthesized": {k: int(v) for k, v in
+                            sorted(completed.num_synthesized.items())},
+        "true_cardinality": len(dataset.complete.table(target)),
+        "incomplete_cardinality": len(dataset.incomplete.table(target)),
+        "estimated_cardinality": _estimated_cardinality(engine, target),
+        "aqp": aqp,
+    }
+
+
+def _assert_close(actual, golden, where, rel=0.02, abs_tol=2.0):
+    if isinstance(golden, dict):
+        assert set(actual) == set(golden), where
+        for key in golden:
+            _assert_close(actual[key], golden[key], f"{where}.{key}",
+                          rel=rel, abs_tol=abs_tol)
+    elif isinstance(golden, (int, float)):
+        assert math.isclose(actual, golden, rel_tol=rel, abs_tol=abs_tol), (
+            f"{where}: {actual} drifted from golden {golden}"
+        )
+    else:
+        assert actual == golden, where
+
+
+@pytest.mark.slow
+class TestGoldenSnapshot:
+    """Checked-in pipeline numbers at the harness seed guard silent drift."""
+
+    @pytest.fixture(scope="class")
+    def snapshots(self, complete_databases):
+        return {
+            name: _snapshot_scenario(name, queries, complete_databases)
+            for name, queries in GOLDEN_SCENARIOS.items()
+        }
+
+    def test_golden_snapshot(self, snapshots):
+        if regen_golden():
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(json.dumps({
+                "_meta": {
+                    "seed": HARNESS_SEED,
+                    "regenerate": "RESTORE_REGEN_GOLDEN=1 pytest "
+                                  "tests/invariants/test_pipeline_invariants.py",
+                },
+                **snapshots,
+            }, indent=2, sort_keys=True) + "\n")
+            pytest.skip(f"regenerated {GOLDEN_PATH}")
+        assert GOLDEN_PATH.exists(), (
+            "golden snapshot missing; regenerate with RESTORE_REGEN_GOLDEN=1"
+        )
+        golden = json.loads(GOLDEN_PATH.read_text())
+        golden.pop("_meta", None)
+        assert set(snapshots) == set(golden)
+        for name, snap in snapshots.items():
+            # AQP relative errors get an absolute band (they are already
+            # ratios); every other number must stay within 2%.
+            golden_rest = {k: v for k, v in golden[name].items() if k != "aqp"}
+            golden_aqp = golden[name]["aqp"]
+            actual_rest = {k: v for k, v in snap.items() if k != "aqp"}
+            actual_aqp = snap["aqp"]
+            _assert_close(actual_rest, golden_rest, name)
+            assert set(actual_aqp) == set(golden_aqp), name
+            for sql, errors in golden_aqp.items():
+                for side in ("incomplete", "completed"):
+                    assert abs(actual_aqp[sql][side] - errors[side]) <= 0.08, (
+                        f"{name} {side} error on {sql!r}: "
+                        f"{actual_aqp[sql][side]:.4f} vs golden {errors[side]:.4f}"
+                    )
+
+    def test_completion_improves_the_golden_queries(self, snapshots):
+        """Independent of pinned values: completion must not make the AQP
+        errors of the golden workload worse."""
+        for name, snap in snapshots.items():
+            for sql, errors in snap["aqp"].items():
+                assert errors["completed"] <= errors["incomplete"] + 0.05, (
+                    name, sql, errors
+                )

@@ -1,0 +1,104 @@
+"""Hypothesis-driven property tests (optional dependency, own marker).
+
+The same invariants as ``test_property_random.py``, but explored by
+Hypothesis with shrinking.  The library is an *optional* test dependency:
+when absent the module skips cleanly, and the whole file carries the
+``hypothesis`` marker so CI can schedule it separately
+(``-m "not hypothesis"`` keeps the harness dependency-free).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.datasets import SyntheticConfig, generate_synthetic  # noqa: E402
+from repro.incomplete import (  # noqa: E402
+    MCAR,
+    FKCascade,
+    MARParent,
+    MNARSelfMasking,
+    RemovalSpec,
+    ScenarioSpec,
+    derive_selection_scenario,
+    make_incomplete,
+)
+
+from harness_utils import dangling_parent_tables, keep_rate_tolerance  # noqa: E402
+
+pytestmark = pytest.mark.hypothesis
+
+_DB = generate_synthetic(SyntheticConfig(num_parents=220, seed=5))
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+mechanism_strategy = st.one_of(
+    st.just(None),
+    st.just(MCAR()),
+    st.floats(0.0, 1.0).map(
+        lambda c: MARParent(parent_table="ta", attribute="a", correlation=c)
+    ),
+    st.floats(0.0, 1.0).map(
+        lambda s: MNARSelfMasking(attribute="b", sharpness=s)
+    ),
+    st.just(FKCascade(parent_table="ta")),
+)
+
+
+def _build_spec(keep, corr, mechanism):
+    if mechanism is None:
+        return RemovalSpec("tb", "b", keep, corr)
+    return RemovalSpec("tb", keep_rate=keep, mechanism=mechanism)
+
+
+@_PROPERTY_SETTINGS
+@given(keep=st.floats(0.15, 0.95), corr=st.floats(0.0, 1.0),
+       mechanism=mechanism_strategy, seed=st.integers(0, 2**31 - 1))
+def test_keep_rate_and_integrity(keep, corr, mechanism, seed):
+    spec = _build_spec(keep, corr, mechanism)
+    dataset = make_incomplete(_DB, [spec], seed=seed)
+    n = len(_DB.table("tb"))
+    assert abs(dataset.kept_fraction("tb") - keep) <= keep_rate_tolerance(n)
+    for parent in dangling_parent_tables(dataset.incomplete):
+        assert not dataset.annotation.is_complete(parent)
+
+
+@_PROPERTY_SETTINGS
+@given(keep=st.floats(0.4, 0.9), mechanism=mechanism_strategy,
+       seed=st.integers(0, 2**31 - 1))
+def test_derivation_always_composes(keep, mechanism, seed):
+    spec = _build_spec(keep, 0.5, mechanism)
+    dataset = make_incomplete(_DB, [spec], seed=seed)
+    derived = derive_selection_scenario(dataset, seed=seed + 1)
+    assert derived.complete is dataset.incomplete
+    n = len(derived.complete.table("tb"))
+    assert abs(derived.kept_fraction("tb") - keep) <= keep_rate_tolerance(n)
+
+
+@_PROPERTY_SETTINGS
+@given(keep=st.floats(0.15, 0.95), seed=st.integers(0, 2**31 - 1))
+def test_same_seed_is_bitwise_stable(keep, seed):
+    import numpy as np
+
+    spec = RemovalSpec("tb", "b", keep, 0.6)
+    a = make_incomplete(_DB, [spec], seed=seed)
+    b = make_incomplete(_DB, [spec], seed=seed)
+    np.testing.assert_array_equal(a.keep_masks["tb"], b.keep_masks["tb"])
+
+
+@_PROPERTY_SETTINGS
+@given(tf=st.floats(-5.0, 5.0))
+def test_scenario_rejects_out_of_range_tf(tf):
+    spec = RemovalSpec("tb", "b", 0.5, 0.5)
+    if 0.0 <= tf <= 1.0:
+        ScenarioSpec(name="ok", dataset="synthetic", removals=(spec,),
+                     tf_keep_rate=tf)
+    else:
+        with pytest.raises(ValueError, match="tf_keep_rate"):
+            ScenarioSpec(name="bad", dataset="synthetic", removals=(spec,),
+                         tf_keep_rate=tf)

@@ -1,0 +1,152 @@
+"""Seeded-generator property tests (no dependency beyond numpy).
+
+A counter-based RNG drives randomized scenario construction — random
+mechanism, keep rate, correlation and seed — and every draw must satisfy
+the removal invariants.  This is the dependency-free core of the
+property-based harness; ``test_property_hypothesis.py`` runs the same
+properties under Hypothesis' shrinking when the library is available.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import HousingConfig, SyntheticConfig, generate_housing, generate_synthetic
+from repro.incomplete import (
+    MCAR,
+    MAR,
+    FKCascade,
+    MARParent,
+    MNARSelfMasking,
+    RareValue,
+    RemovalSpec,
+    ScenarioSpec,
+    TemporalRecent,
+    ValueThreshold,
+    derive_selection_scenario,
+    make_incomplete,
+)
+
+from harness_utils import (
+    cascade_can_shrink,
+    dangling_parent_tables,
+    keep_rate_tolerance,
+)
+
+NUM_DRAWS = 25
+
+
+@pytest.fixture(scope="module")
+def synthetic_db():
+    return generate_synthetic(SyntheticConfig(num_parents=250, seed=13))
+
+
+@pytest.fixture(scope="module")
+def housing_db():
+    return generate_housing(HousingConfig(
+        num_neighborhoods=20, num_landlords=60,
+        apartments_per_neighborhood=8.0, seed=13,
+    ))
+
+
+def _random_synthetic_mechanism(rng):
+    """One random mechanism applicable to the synthetic tb table."""
+    corr = float(rng.uniform(0.0, 1.0))
+    choices = (
+        lambda: None,                                   # paper protocol
+        lambda: MCAR(),
+        lambda: MARParent(parent_table="ta", attribute="a", correlation=corr),
+        lambda: MNARSelfMasking(attribute="b", sharpness=corr),
+        lambda: FKCascade(parent_table="ta"),
+        lambda: RareValue(attribute="b", correlation=corr),
+    )
+    return choices[rng.integers(len(choices))]()
+
+
+def _check_invariants(dataset, spec):
+    n = len(dataset.complete.table(spec.table))
+    kept = dataset.kept_fraction(spec.table)
+    tolerance = keep_rate_tolerance(n)
+    if cascade_can_shrink(dataset, spec.table):
+        # Another removed table cascades into this one: its own keep rate
+        # is an upper bound, not an equality.
+        assert kept <= spec.keep_rate + tolerance
+    else:
+        assert abs(kept - spec.keep_rate) <= tolerance
+    for parent in dangling_parent_tables(dataset.incomplete):
+        assert not dataset.annotation.is_complete(parent)
+    mask = dataset.keep_masks[spec.table]
+    assert int(mask.sum()) == len(dataset.incomplete.table(spec.table))
+
+
+class TestRandomizedSpecs:
+    def test_random_synthetic_removals_hold_invariants(self, synthetic_db):
+        rng = np.random.default_rng(20260730)
+        for draw in range(NUM_DRAWS):
+            keep = float(rng.uniform(0.15, 0.95))
+            corr = float(rng.uniform(0.0, 1.0))
+            mechanism = _random_synthetic_mechanism(rng)
+            spec = (
+                RemovalSpec("tb", "b", keep, corr)
+                if mechanism is None
+                else RemovalSpec("tb", keep_rate=keep, mechanism=mechanism)
+            )
+            dataset = make_incomplete(
+                synthetic_db, [spec],
+                tf_keep_rate=float(rng.uniform(0.0, 1.0)),
+                seed=int(rng.integers(1 << 31)),
+            )
+            _check_invariants(dataset, spec)
+
+    def test_random_housing_scenarios_hold_invariants(self, housing_db):
+        rng = np.random.default_rng(4201)
+        apartment_mechs = (
+            lambda corr: MAR(attribute="room_type", correlation=corr),
+            lambda corr: MARParent(parent_table="neighborhood",
+                                   attribute="pop_density", correlation=corr),
+            lambda corr: MNARSelfMasking(attribute="price", sharpness=corr),
+            lambda corr: ValueThreshold(attribute="price",
+                                        quantile=float(rng.uniform(0.4, 0.9))),
+            lambda corr: FKCascade(parent_table="neighborhood"),
+        )
+        for draw in range(NUM_DRAWS):
+            keep = float(rng.uniform(0.2, 0.9))
+            corr = float(rng.uniform(0.0, 1.0))
+            mech = apartment_mechs[rng.integers(len(apartment_mechs))](corr)
+            removals = [RemovalSpec("apartment", keep_rate=keep, mechanism=mech)]
+            if rng.random() < 0.5:
+                removals.append(RemovalSpec(
+                    "landlord", keep_rate=float(rng.uniform(0.4, 0.9)),
+                    mechanism=TemporalRecent(time_attribute="landlord_since",
+                                             softness=float(rng.uniform(0, 1))),
+                ))
+            scenario = ScenarioSpec(
+                name=f"random-{draw}", dataset="housing",
+                removals=tuple(removals),
+                tf_keep_rate=float(rng.uniform(0.0, 1.0)),
+                dangling_parents=() if rng.random() < 0.5 else None,
+            )
+            dataset = scenario.instantiate(
+                housing_db, seed=int(rng.integers(1 << 31))
+            )
+            for spec in dataset.specs:
+                _check_invariants(dataset, spec)
+
+    def test_random_scenarios_survive_derivation(self, synthetic_db):
+        """Metamorphic: any random first-level removal admits re-removal."""
+        rng = np.random.default_rng(77)
+        for draw in range(NUM_DRAWS // 2):
+            keep = float(rng.uniform(0.35, 0.9))
+            mechanism = _random_synthetic_mechanism(rng)
+            spec = (
+                RemovalSpec("tb", "b", keep, 0.5)
+                if mechanism is None
+                else RemovalSpec("tb", keep_rate=keep, mechanism=mechanism)
+            )
+            dataset = make_incomplete(
+                synthetic_db, [spec], seed=int(rng.integers(1 << 31))
+            )
+            derived = derive_selection_scenario(
+                dataset, seed=int(rng.integers(1 << 31))
+            )
+            assert derived.complete is dataset.incomplete
+            _check_invariants(derived, spec)

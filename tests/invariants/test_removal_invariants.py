@@ -1,0 +1,191 @@
+"""Structural invariants of every registry scenario's removal.
+
+These run the **entire** scenario matrix (every dataset × mechanism) at a
+small scale, asserting the properties any removal protocol must satisfy
+regardless of its mechanism:
+
+* the spec'd keep rate is hit exactly (up to the 1-row rounding bound);
+* referential integrity only degrades in the sanctioned way — dangling
+  foreign keys may point into *removed incomplete* tables (they are the
+  evidence of missingness), never into complete ones;
+* the complete ground-truth database is never mutated;
+* keep masks, annotations and table sizes stay mutually consistent;
+* fixed seeds reproduce the removal bitwise; different seeds vary it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.incomplete import registry
+from repro.relational.tuple_factors import TF_UNKNOWN
+
+from harness_utils import (
+    DB_SCALE,
+    HARNESS_SEED,
+    assert_tables_equal,
+    cascade_can_shrink,
+    dangling_parent_tables,
+    keep_rate_tolerance,
+)
+
+
+class TestKeepRate:
+    def test_spec_tables_hit_keep_rate(self, scenario_name, scenario_dataset):
+        for spec in scenario_dataset.specs:
+            n = len(scenario_dataset.complete.table(spec.table))
+            kept = scenario_dataset.kept_fraction(spec.table)
+            tolerance = keep_rate_tolerance(n)
+            if cascade_can_shrink(scenario_dataset, spec.table):
+                assert kept <= spec.keep_rate + tolerance, scenario_name
+            else:
+                assert abs(kept - spec.keep_rate) <= tolerance, (
+                    f"{scenario_name}: {spec.table} kept {kept:.3f}, "
+                    f"spec {spec.keep_rate:.3f}"
+                )
+
+    def test_masks_match_table_sizes(self, scenario_dataset):
+        for table, mask in scenario_dataset.keep_masks.items():
+            assert len(mask) == len(scenario_dataset.complete.table(table))
+            assert int(mask.sum()) == len(scenario_dataset.incomplete.table(table))
+
+    def test_some_rows_removed_and_some_kept(self, scenario_dataset):
+        for spec in scenario_dataset.specs:
+            incomplete = scenario_dataset.incomplete.table(spec.table)
+            complete = scenario_dataset.complete.table(spec.table)
+            assert 0 < len(incomplete) < len(complete)
+
+
+class TestReferentialIntegrity:
+    def test_dangling_refs_only_into_removed_tables(self, scenario_name,
+                                                    scenario_dataset):
+        """Dangling FKs are allowed only as missingness evidence."""
+        annotation = scenario_dataset.annotation
+        for parent in dangling_parent_tables(scenario_dataset.incomplete):
+            assert not annotation.is_complete(parent), (
+                f"{scenario_name}: dangling references into complete "
+                f"table {parent!r}"
+            )
+
+    def test_full_cascade_leaves_no_dangling(self, scenario_name,
+                                             scenario_dataset):
+        entry = registry.get(scenario_name)
+        scenario = entry.build()
+        if not scenario.drop_dangling_links or scenario.dangling_parents is not None:
+            pytest.skip("scenario intentionally keeps dangling references")
+        assert scenario_dataset.incomplete.validate_references() == []
+
+    def test_kept_rows_are_a_subset_of_complete(self, scenario_dataset):
+        """Removal only deletes rows — it never invents or edits them."""
+        for spec in scenario_dataset.specs:
+            mask = scenario_dataset.keep_masks[spec.table]
+            complete = scenario_dataset.complete.table(spec.table)
+            incomplete = scenario_dataset.incomplete.table(spec.table)
+            for col in complete.column_names:
+                np.testing.assert_array_equal(
+                    incomplete[col], complete[col][mask],
+                    err_msg=f"{spec.table}.{col}",
+                )
+
+
+class TestAnnotation:
+    def test_annotation_covers_every_table(self, scenario_dataset):
+        scenario_dataset.annotation.check_covers(scenario_dataset.incomplete)
+
+    def test_spec_tables_marked_incomplete(self, scenario_dataset):
+        for spec in scenario_dataset.specs:
+            assert not scenario_dataset.annotation.is_complete(spec.table)
+
+    def test_untouched_tables_marked_complete(self, scenario_dataset):
+        touched = set(scenario_dataset.keep_masks)
+        for table in scenario_dataset.incomplete.table_names():
+            if table not in touched:
+                assert scenario_dataset.annotation.is_complete(table)
+
+    def test_known_tuple_factors_are_true_counts(self, scenario_dataset):
+        """Where a TF is annotated as known it must be the *true* count."""
+        from repro.relational.tuple_factors import observed_tuple_factors
+
+        db = scenario_dataset.complete
+        for fk in scenario_dataset.incomplete.foreign_keys:
+            key = str(fk)
+            annotated = scenario_dataset.annotation.known_tuple_factors.get(key)
+            if annotated is None:
+                continue
+            true_tfs = observed_tuple_factors(db, fk)
+            parent_keep = scenario_dataset.keep_masks.get(fk.parent_table)
+            if parent_keep is not None:
+                true_tfs = true_tfs[parent_keep]
+            known = annotated != TF_UNKNOWN
+            np.testing.assert_array_equal(annotated[known], true_tfs[known])
+
+
+class TestDeterminism:
+    def test_complete_database_untouched(self, scenario_name,
+                                         complete_databases,
+                                         scenario_dataset):
+        entry = registry.get(scenario_name)
+        fresh = registry.scenario_database(
+            scenario_name, seed=HARNESS_SEED, scale=DB_SCALE[entry.dataset],
+        )
+        assert_tables_equal(scenario_dataset.complete, fresh)
+
+    def test_same_seed_reproduces_bitwise(self, scenario_name,
+                                          complete_databases,
+                                          scenario_dataset):
+        entry = registry.get(scenario_name)
+        again = registry.make_scenario_dataset(
+            scenario_name, db=complete_databases(entry.dataset),
+            seed=HARNESS_SEED,
+        )
+        assert_tables_equal(scenario_dataset.incomplete, again.incomplete)
+        for table, mask in scenario_dataset.keep_masks.items():
+            np.testing.assert_array_equal(mask, again.keep_masks[table])
+
+    def test_different_seed_changes_the_removal(self, scenario_name,
+                                                complete_databases,
+                                                scenario_dataset):
+        entry = registry.get(scenario_name)
+        other = registry.make_scenario_dataset(
+            scenario_name, db=complete_databases(entry.dataset),
+            seed=HARNESS_SEED + 1,
+        )
+        different = any(
+            not np.array_equal(mask, other.keep_masks[table])
+            for table, mask in scenario_dataset.keep_masks.items()
+        )
+        assert different, f"{scenario_name}: removal ignores the seed"
+
+
+class TestMatrixShape:
+    """The acceptance criteria of the scenario matrix itself."""
+
+    def test_at_least_eight_mechanisms(self):
+        assert len(registry.mechanism_names()) >= 8
+
+    def test_matrix_spans_at_least_two_datasets(self):
+        assert len(registry.datasets()) >= 2
+
+    def test_every_scenario_builds_and_validates(self, complete_databases):
+        for name in registry.names():
+            entry = registry.get(name)
+            scenario = entry.build()
+            scenario.validate(complete_databases(entry.dataset))
+
+    def test_scenarios_reparameterize(self):
+        for name in registry.names():
+            scenario = registry.build_scenario(name)
+            tweaked = scenario.with_rates(keep_rate=0.35)
+            assert tweaked.removals[0].keep_rate == 0.35
+            assert tweaked.removals[1:] == scenario.removals[1:]
+
+    def test_correlation_sweep_reaches_every_mechanism(self):
+        """with_rates(removal_correlation=...) must re-parameterize the
+        primary spec whatever its mechanism — never a silent no-op."""
+        for name in registry.names():
+            scenario = registry.build_scenario(name)
+            primary = scenario.removals[0]
+            swept = scenario.with_rates(removal_correlation=0.9).removals[0]
+            if primary.mechanism is None:
+                assert swept.removal_correlation == 0.9, name
+            else:
+                assert swept.mechanism == primary.mechanism.with_strength(0.9), name

@@ -14,8 +14,17 @@ from repro.datasets import (
     generate_synthetic,
 )
 from repro.incomplete import (
+    MCAR,
+    MAR,
+    FKCascade,
     IncompleteDataset,
+    MARParent,
+    MNARSelfMasking,
+    RareValue,
     RemovalSpec,
+    ScenarioSpec,
+    TemporalRecent,
+    ValueThreshold,
     derive_selection_scenario,
     make_incomplete,
     removal_mask,
@@ -280,6 +289,169 @@ class TestMakeIncomplete:
             db, [RemovalSpec("tb", "b", keep, corr)], seed=3
         )
         assert abs(dataset.kept_fraction("tb") - keep) < 0.05
+
+
+class TestSpecValidation:
+    """Negative paths: bad rates, unknown tables/attributes, bad cascades."""
+
+    def test_bad_keep_rates(self):
+        for keep in (0.0, -0.2, 1.3):
+            with pytest.raises(ValueError, match="keep_rate"):
+                RemovalSpec("t", "a", keep_rate=keep, removal_correlation=0.5)
+
+    def test_bad_correlations(self):
+        for corr in (-0.1, 1.2):
+            with pytest.raises(ValueError, match="removal_correlation"):
+                RemovalSpec("t", "a", keep_rate=0.5, removal_correlation=corr)
+
+    def test_spec_needs_attribute_or_mechanism(self):
+        with pytest.raises(ValueError, match="biased_attribute.*mechanism"):
+            RemovalSpec("t", keep_rate=0.5)
+
+    def test_unknown_table_raises_clearly(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=0))
+        with pytest.raises(ValueError, match="unknown table 'nope'"):
+            make_incomplete(db, [RemovalSpec("nope", "b", 0.5, 0.5)])
+
+    def test_unknown_attribute_raises_clearly(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=0))
+        with pytest.raises(ValueError, match="unknown attribute 'zz'"):
+            make_incomplete(db, [RemovalSpec("tb", "zz", 0.5, 0.5)])
+
+    def test_mechanism_attribute_validated(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=0))
+        spec = RemovalSpec("tb", keep_rate=0.5,
+                           mechanism=MAR(attribute="zz", correlation=0.5))
+        with pytest.raises(ValueError, match="no attribute 'zz'"):
+            make_incomplete(db, [spec])
+
+    def test_mechanism_fk_validated(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=0))
+        spec = RemovalSpec("ta", keep_rate=0.5,
+                           mechanism=FKCascade(parent_table="tb"))
+        with pytest.raises(ValueError, match="no foreign key"):
+            make_incomplete(db, [spec])
+
+    def test_threshold_rejects_categorical(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=0))
+        spec = RemovalSpec("tb", keep_rate=0.5,
+                           mechanism=ValueThreshold(attribute="b"))
+        with pytest.raises(ValueError, match="must be continuous"):
+            make_incomplete(db, [spec])
+
+    def test_rare_value_rejects_continuous(self):
+        db = generate_housing(HousingConfig(seed=0, num_neighborhoods=20,
+                                            num_landlords=50,
+                                            apartments_per_neighborhood=4.0))
+        spec = RemovalSpec("apartment", keep_rate=0.5,
+                           mechanism=RareValue(attribute="price"))
+        with pytest.raises(ValueError, match="must be categorical"):
+            make_incomplete(db, [spec])
+
+    def test_mechanism_parameter_ranges(self):
+        with pytest.raises(ValueError, match="correlation"):
+            MAR(attribute="a", correlation=1.5)
+        with pytest.raises(ValueError, match="sharpness"):
+            MNARSelfMasking(attribute="a", sharpness=-0.1)
+        with pytest.raises(ValueError, match="quantile"):
+            ValueThreshold(attribute="a", quantile=1.0)
+        with pytest.raises(ValueError, match="softness"):
+            TemporalRecent(time_attribute="a", softness=2.0)
+
+    def test_with_strength_updates_the_bias_knob(self):
+        assert MAR(attribute="a", correlation=0.2).with_strength(0.9).correlation == 0.9
+        assert MARParent(parent_table="p", attribute="a",
+                         correlation=0.2).with_strength(0.9).correlation == 0.9
+        assert MNARSelfMasking(attribute="a",
+                               sharpness=0.2).with_strength(0.9).sharpness == 0.9
+        assert RareValue(attribute="a",
+                         correlation=0.2).with_strength(0.9).correlation == 0.9
+        recent = TemporalRecent(time_attribute="a", softness=0.5)
+        assert recent.with_strength(0.9).softness == pytest.approx(0.1)
+        # Mechanisms without a strength knob are unchanged.
+        assert MCAR().with_strength(0.9) == MCAR()
+        cascade = FKCascade(parent_table="p")
+        assert cascade.with_strength(0.9) is cascade
+
+    def test_mcar_ignores_everything(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=400, seed=1))
+        spec = RemovalSpec("tb", keep_rate=0.5, mechanism=MCAR())
+        dataset = make_incomplete(db, [spec], seed=2)
+        assert abs(dataset.kept_fraction("tb") - 0.5) < 0.01
+
+
+class TestScenarioValidation:
+    def _spec(self, table="tb", mechanism=None):
+        if mechanism is not None:
+            return RemovalSpec(table, keep_rate=0.5, mechanism=mechanism)
+        return RemovalSpec(table, "b", 0.5, 0.5)
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ValueError, match="no removal specs"):
+            ScenarioSpec(name="empty", dataset="synthetic", removals=())
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(ValueError, match="multiple removal specs"):
+            ScenarioSpec(name="dup", dataset="synthetic",
+                         removals=(self._spec(), self._spec()))
+
+    def test_bad_tf_keep_rate_rejected(self):
+        with pytest.raises(ValueError, match="tf_keep_rate"):
+            ScenarioSpec(name="tf", dataset="synthetic",
+                         removals=(self._spec(),), tf_keep_rate=1.5)
+
+    def test_cyclic_cascade_rejected(self):
+        removals = (
+            self._spec("ta", FKCascade(parent_table="tb")),
+            self._spec("tb", FKCascade(parent_table="ta")),
+        )
+        with pytest.raises(ValueError, match="cyclic cascade"):
+            ScenarioSpec(name="cycle", dataset="synthetic", removals=removals)
+
+    def test_acyclic_cascade_chain_accepted(self):
+        removals = (
+            self._spec("tb", FKCascade(parent_table="ta")),
+        )
+        scenario = ScenarioSpec(name="chain", dataset="synthetic",
+                                removals=removals)
+        assert scenario.mechanism_names() == ("fk_cascade",)
+
+    def test_validate_reports_unknown_dangling_parent(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=0))
+        scenario = ScenarioSpec(
+            name="bad-dangle", dataset="synthetic",
+            removals=(self._spec(),), dangling_parents=("ghost",),
+        )
+        with pytest.raises(ValueError, match="unknown tables.*ghost"):
+            scenario.validate(db)
+
+    def test_validate_reports_unknown_spec_table(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=0))
+        scenario = ScenarioSpec(
+            name="bad-table", dataset="synthetic",
+            removals=(self._spec("ghost"),),
+        )
+        with pytest.raises(ValueError, match="unknown table 'ghost'"):
+            scenario.validate(db)
+
+    def test_mar_parent_requires_fk(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=0))
+        scenario = ScenarioSpec(
+            name="no-fk", dataset="synthetic",
+            removals=(self._spec("ta", MARParent(parent_table="tb",
+                                                 attribute="b")),),
+        )
+        with pytest.raises(ValueError, match="no foreign key"):
+            scenario.validate(db)
+
+    def test_instantiate_validates_first(self):
+        db = generate_synthetic(SyntheticConfig(num_parents=100, seed=0))
+        scenario = ScenarioSpec(
+            name="late", dataset="synthetic",
+            removals=(RemovalSpec("tb", "zz", 0.5, 0.5),),
+        )
+        with pytest.raises(ValueError, match="unknown attribute"):
+            scenario.instantiate(db)
 
 
 class TestDerivedScenario:

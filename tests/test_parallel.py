@@ -63,6 +63,14 @@ def _use_state(state, task):
     return state["base"] + task
 
 
+def _boom_init(payload):
+    raise RuntimeError(f"init exploded with payload {payload}")
+
+
+def _identity(state, task):
+    return task
+
+
 # ----------------------------------------------------------------------
 # Executor contract
 # ----------------------------------------------------------------------
@@ -114,6 +122,59 @@ class TestExecutors:
         # 4 tasks per worker: 1000 rows / (4 * 4) -> 63-row chunks.
         assert default_chunk_size(1000, 4) == 63
         assert default_chunk_size(3, 8) == 1
+
+
+class TestExecutorEdgeCases:
+    """The corners the first parallel PR's suite skipped: init crashes,
+    single-worker short-circuits, and pool reuse after a failure."""
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_init_crash_surfaces_original_exception(self, backend):
+        """A failing worker *initializer* must surface its exception, not a
+        BrokenProcessPool or a hang."""
+        executor = get_executor(backend, 2)
+        with pytest.raises(RuntimeError, match="init exploded with payload 9"):
+            executor.map(_identity, [1, 2, 3, 4], payload=9, init=_boom_init)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_single_worker_short_circuit_equivalence(self, backend):
+        """n_workers=1 runs inline; results (incl. init-derived state) are
+        exactly the serial executor's."""
+        tasks = list(range(8))
+        serial = SerialExecutor().map(_use_state, tasks, payload=3,
+                                      init=_build_state)
+        inline = get_executor(backend, 1).map(_use_state, tasks, payload=3,
+                                              init=_build_state)
+        assert inline == serial
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_single_task_short_circuit_equivalence(self, backend):
+        """A single task never pays pool start-up, whatever the worker
+        count — and the result still matches serial."""
+        serial = SerialExecutor().map(_double_plus_state, [21], payload=1)
+        pooled = get_executor(backend, 4).map(_double_plus_state, [21],
+                                              payload=1)
+        assert pooled == serial == [43]
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_executor_reusable_after_task_error(self, backend):
+        """A failed map must not poison the executor: the same instance maps
+        fresh tasks afterwards (pools are per-call, state is rebuilt)."""
+        executor = get_executor(backend, 2)
+        with pytest.raises(ValueError, match="boom on task 3"):
+            executor.map(_boom, list(range(6)))
+        tasks = list(range(10))
+        assert executor.map(_double_plus_state, tasks, payload=2) == [
+            2 + 2 * t for t in tasks
+        ]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_executor_reusable_after_init_error(self, backend):
+        executor = get_executor(backend, 2)
+        with pytest.raises(RuntimeError, match="init exploded"):
+            executor.map(_identity, [1, 2, 3], payload=0, init=_boom_init)
+        out = executor.map(_use_state, [1, 2, 3], payload=4, init=_build_state)
+        assert out == [41, 42, 43]
 
 
 # ----------------------------------------------------------------------
