@@ -29,8 +29,18 @@ from .core import (
 )
 from .query import Query, QueryResult, parse_query
 from .relational import ColumnKind, Database, ForeignKey, SchemaAnnotation, Table
+from .serving import (
+    CompletionService,
+    ServiceConfig,
+    load_artifact,
+    save_artifact,
+)
+from .version import repro_version
 
-__version__ = "1.0.0"
+#: Single source of truth is pyproject.toml / the installed distribution
+#: metadata — see :mod:`repro.version`.  Artifact manifests stamp the same
+#: value.
+__version__ = repro_version()
 
 __all__ = [
     "ReStore",
@@ -48,4 +58,9 @@ __all__ = [
     "ForeignKey",
     "SchemaAnnotation",
     "ColumnKind",
+    "CompletionService",
+    "ServiceConfig",
+    "save_artifact",
+    "load_artifact",
+    "repro_version",
 ]

@@ -139,6 +139,9 @@ class ReStore:
         self._candidates: Dict[str, List[CandidateScore]] = {}
         self.join_cache = JoinCache(self.config.join_cache_size)
         self.merge_stats: Dict[str, int] = {}
+        #: Optional provenance: the registry scenario this engine's dataset
+        #: came from; stamped into saved artifacts (repro.serving).
+        self.scenario_name: Optional[str] = None
 
     @classmethod
     def from_dataset(
@@ -448,6 +451,81 @@ class ReStore:
     def clear_cache(self) -> None:
         self.join_cache.invalidate()
         self.join_cache.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Serving artifacts (repro.serving)
+    # ------------------------------------------------------------------
+    def join_signature(self, model: _CompletionModelBase) -> Tuple:
+        """Public identity of the completed join a model would produce.
+
+        The completion service groups concurrent requests by this signature
+        so one incompleteness join serves a whole micro-batch; it equals the
+        join cache key.
+        """
+        return self._join_key(model)
+
+    def fitted_models(self) -> Dict[Tuple[str, Tuple[str, ...]], _CompletionModelBase]:
+        """The trained models, keyed by ``(kind, path tables)`` (a copy)."""
+        return dict(self._models)
+
+    def candidate_scores(self) -> Dict[str, List[CandidateScore]]:
+        """Per-target candidate rankings as produced by ``fit`` (a copy)."""
+        return {target: list(scores) for target, scores in self._candidates.items()}
+
+    def adopt_fitted_state(
+        self,
+        models: Dict[Tuple[str, Tuple[str, ...]], _CompletionModelBase],
+        candidates: Dict[str, List[CandidateScore]],
+        encoders: Optional[Dict] = None,
+    ) -> "ReStore":
+        """Install externally restored fitted state (an artifact load).
+
+        Any cached completed joins were sampled from the *previous* models,
+        so the join cache is invalidated and its statistics reset: after
+        adoption, ``cache_stats`` describes only the loaded engine's era —
+        the first ``answer`` is a truthful miss, repeats are hits.
+        """
+        if encoders is not None:
+            self.encoders = encoders
+        self._models = dict(models)
+        self._candidates = {t: list(c) for t, c in candidates.items()}
+        unique_paths: List[CompletionPath] = []
+        for model in self._models.values():
+            if model.layout.path not in unique_paths:
+                unique_paths.append(model.layout.path)
+        self.merge_stats = training_savings(unique_paths)
+        self.join_cache.invalidate()
+        self.join_cache.reset_stats()
+        return self
+
+    def save_artifact(self, path, scenario: Optional[str] = None,
+                      overwrite: bool = False):
+        """Persist this fitted engine to an artifact directory.
+
+        See :func:`repro.serving.artifacts.save_artifact`; ``scenario``
+        defaults to :attr:`scenario_name`.
+        """
+        from ..serving.artifacts import save_artifact
+
+        return save_artifact(
+            self, path,
+            scenario=scenario if scenario is not None else self.scenario_name,
+            overwrite=overwrite,
+        )
+
+    @classmethod
+    def load(cls, path, config_overrides: Optional[Dict] = None) -> "ReStore":
+        """Reconstruct a ready-to-answer engine from a saved artifact.
+
+        The loaded engine produces the same completed joins (bitwise, up to
+        row order) as the engine that was saved, at the same seed.
+        ``config_overrides`` replaces execution-only settings
+        (``chunk_size``, ``n_workers``, ``parallel_backend``, …) without
+        touching the trained state.
+        """
+        from ..serving.artifacts import load_artifact
+
+        return load_artifact(path, config_overrides=config_overrides)
 
     # ------------------------------------------------------------------
     # Projection (§4.4: completion path may exceed the query path)

@@ -257,6 +257,7 @@ class _CompletionModelBase(_HopSamplingAPI, Module):
         self.train_result: Optional[TrainResult] = None
         self.training_data: Optional[TrainingData] = None
         self._val_indices: Optional[np.ndarray] = None
+        self._fitted_from_artifact = False
         # Inference backend: "compiled" (graph-free float32 runtime) or
         # "autograd" (float64 Tensor forward).  Mutable so benchmarks can
         # compare the two on one fitted model.
@@ -347,8 +348,25 @@ class _CompletionModelBase(_HopSamplingAPI, Module):
         return result
 
     def _require_fitted(self) -> None:
-        if self.train_result is None:
+        if self.train_result is None and not self._fitted_from_artifact:
             raise RuntimeError("completion model must be fitted first")
+
+    def mark_fitted_from_artifact(
+        self, train_result: Optional[TrainResult] = None
+    ) -> None:
+        """Declare this model fitted with externally restored parameters.
+
+        Used by :mod:`repro.serving.artifacts` after ``load_state_dict``:
+        the weights are a trained snapshot, but the training-time state
+        (training matrix, validation split) is intentionally not part of an
+        artifact, so selection statistics must come from the artifact's
+        stored candidate scores rather than be recomputed here.  An optional
+        ``train_result`` restores the loss trajectory for provenance.
+        """
+        self._fitted_from_artifact = True
+        if train_result is not None:
+            self.train_result = train_result
+        self.invalidate_compiled()
 
     def _init_output_bias(
         self, matrix: np.ndarray, var_weights: Dict[int, np.ndarray]

@@ -94,6 +94,20 @@ class CategoricalCodec:
         if self._values is None:
             raise RuntimeError("codec must be fitted before use")
 
+    def get_state(self) -> Dict[str, object]:
+        """Serializable fitted state (arrays stay numpy; see serving.artifacts)."""
+        self._require_fitted()
+        return {"kind": "categorical", "values": np.array(self._values, copy=True)}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "CategoricalCodec":
+        """Rebuild a fitted codec from :meth:`get_state` output."""
+        codec = cls()
+        values = np.asarray(state["values"])
+        codec._values = values
+        codec._code_of = {value: code + 1 for code, value in enumerate(values.tolist())}
+        return codec
+
 
 class ContinuousCodec:
     """Quantile binning with per-bin dequantization.
@@ -181,6 +195,30 @@ class ContinuousCodec:
     def _require_fitted(self) -> None:
         if self._edges is None:
             raise RuntimeError("codec must be fitted before use")
+
+    def get_state(self) -> Dict[str, object]:
+        """Serializable fitted state (arrays stay numpy; see serving.artifacts)."""
+        self._require_fitted()
+        return {
+            "kind": "continuous",
+            "num_bins": self.num_bins,
+            "integral": bool(self._integral),
+            "edges": np.array(self._edges, copy=True),
+            "bin_means": np.array(self._bin_means, copy=True),
+            "bin_lo": np.array(self._bin_lo, copy=True),
+            "bin_hi": np.array(self._bin_hi, copy=True),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "ContinuousCodec":
+        """Rebuild a fitted codec from :meth:`get_state` output."""
+        codec = cls(int(state["num_bins"]))
+        codec._integral = bool(state["integral"])
+        codec._edges = np.asarray(state["edges"], dtype=float)
+        codec._bin_means = np.asarray(state["bin_means"], dtype=float)
+        codec._bin_lo = np.asarray(state["bin_lo"], dtype=float)
+        codec._bin_hi = np.asarray(state["bin_hi"], dtype=float)
+        return codec
 
 
 class TupleFactorCodec:

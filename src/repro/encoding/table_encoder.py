@@ -84,3 +84,32 @@ class TableEncoder:
         for values in columns.values():
             return len(values)
         return 0
+
+    # ------------------------------------------------------------------
+    # Serialization (see repro.serving.artifacts)
+    # ------------------------------------------------------------------
+    def get_state(self) -> Dict[str, object]:
+        """Fitted state of every codec, keyed by column (arrays stay numpy)."""
+        return {
+            "table": self.table_name,
+            "columns": list(self.columns),
+            "codecs": {c: self._codecs[c].get_state() for c in self.columns},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "TableEncoder":
+        """Rebuild an encoder from :meth:`get_state` output (no refit)."""
+        encoder = cls.__new__(cls)
+        encoder.table_name = state["table"]
+        encoder.columns = list(state["columns"])
+        encoder._codecs = {}
+        for column in encoder.columns:
+            codec_state = state["codecs"][column]
+            kind = codec_state["kind"]
+            if kind == "categorical":
+                encoder._codecs[column] = CategoricalCodec.from_state(codec_state)
+            elif kind == "continuous":
+                encoder._codecs[column] = ContinuousCodec.from_state(codec_state)
+            else:
+                raise ValueError(f"unknown codec kind {kind!r} for {column!r}")
+        return encoder

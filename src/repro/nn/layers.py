@@ -20,9 +20,21 @@ class Module:
 
     def parameters(self) -> Iterator[Tensor]:
         """Yield all trainable tensors owned by this module (recursively)."""
+        for _name, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self) -> Iterator[tuple]:
+        """Yield ``(name, tensor)`` for every trainable parameter.
+
+        Names are attribute paths ("made.embeddings.0.weight") built from
+        the module's construction structure, so the same architecture always
+        produces the same names — the stable identity that serialized
+        artifacts (:mod:`repro.serving.artifacts`) key model weights on.
+        Shared parameters appear once, under the first path reaching them.
+        """
         seen: set[int] = set()
-        for value in self.__dict__.values():
-            yield from _parameters_of(value, seen)
+        for attr, value in self.__dict__.items():
+            yield from _named_parameters_of(value, attr, seen)
 
     def zero_grad(self) -> None:
         """Clear accumulated gradients on every parameter."""
@@ -34,15 +46,42 @@ class Module:
         return sum(p.size for p in self.parameters())
 
     def state_dict(self) -> dict:
-        """Flat name → array snapshot of all parameters (copy)."""
+        """Name → array snapshot of all parameters (copy)."""
         return {
-            f"param_{i}": np.array(p.data, copy=True)
-            for i, p in enumerate(self.parameters())
+            name: np.array(p.data, copy=True)
+            for name, p in self.named_parameters()
         }
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore parameters saved by :meth:`state_dict` (order-based)."""
-        params = list(self.parameters())
+        """Restore parameters saved by :meth:`state_dict`.
+
+        Entries are matched by parameter name; missing, unexpected or
+        shape-mismatched entries raise ``ValueError`` naming the offender.
+        Legacy order-based dicts (``param_0`` … ``param_N``, the format
+        before parameters were named) are still accepted.
+        """
+        named = list(self.named_parameters())
+        if state and all(k.startswith("param_") for k in state):
+            self._load_legacy_state_dict(state, [p for _n, p in named])
+            return
+        params = dict(named)
+        missing = sorted(set(params) - set(state))
+        unexpected = sorted(set(state) - set(params))
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict does not match model parameters "
+                f"(missing {missing or 'none'}, unexpected {unexpected or 'none'})"
+            )
+        for name, param in named:
+            value = state[name]
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for parameter {name!r}: "
+                    f"state {value.shape} vs model {param.data.shape}"
+                )
+            param.data[...] = value
+
+    def _load_legacy_state_dict(self, state: dict, params: List[Tensor]) -> None:
         if len(params) != len(state):
             raise ValueError(
                 f"state dict has {len(state)} entries, model has {len(params)} parameters"
@@ -72,22 +111,22 @@ class Module:
         return compile_module(self)
 
 
-def _parameters_of(value, seen: set[int]) -> Iterator[Tensor]:
+def _named_parameters_of(value, prefix: str, seen: set[int]) -> Iterator[tuple]:
     if isinstance(value, Tensor):
         if value.requires_grad and id(value) not in seen:
             seen.add(id(value))
-            yield value
+            yield prefix, value
     elif isinstance(value, Module):
-        for param in value.parameters():
+        for name, param in value.named_parameters():
             if id(param) not in seen:
                 seen.add(id(param))
-                yield param
+                yield f"{prefix}.{name}", param
     elif isinstance(value, (list, tuple)):
-        for item in value:
-            yield from _parameters_of(item, seen)
+        for i, item in enumerate(value):
+            yield from _named_parameters_of(item, f"{prefix}.{i}", seen)
     elif isinstance(value, dict):
-        for item in value.values():
-            yield from _parameters_of(item, seen)
+        for key, item in value.items():
+            yield from _named_parameters_of(item, f"{prefix}.{key}", seen)
 
 
 def _kaiming_uniform(rng: np.random.Generator, fan_in: int, shape) -> np.ndarray:

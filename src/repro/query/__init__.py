@@ -12,10 +12,12 @@ from .ast import (
 from .executor import (
     JoinResult,
     aggregate,
+    available_columns,
     execute,
     execute_on_join,
     filter_mask,
     join_tables,
+    validate_query_columns,
 )
 from .sql import SQLSyntaxError, parse_query
 
@@ -33,6 +35,8 @@ __all__ = [
     "aggregate",
     "execute",
     "execute_on_join",
+    "available_columns",
+    "validate_query_columns",
     "parse_query",
     "SQLSyntaxError",
 ]

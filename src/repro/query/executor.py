@@ -70,6 +70,59 @@ class JoinResult:
 
 
 # ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+def available_columns(db: Database, tables: Sequence[str]) -> List[str]:
+    """Qualified column names a query over ``tables`` may reference.
+
+    Unknown table names raise ``ValueError`` listing the database's tables.
+    """
+    known = set(db.table_names())
+    unknown = [t for t in tables if t not in known]
+    if unknown:
+        raise ValueError(
+            f"query references unknown table(s) {sorted(unknown)}; "
+            f"available tables: {sorted(known)}"
+        )
+    return [
+        f"{table}.{column}"
+        for table in tables
+        for column in db.table(table).column_names
+    ]
+
+
+def validate_query_columns(db: Database, query: Query) -> None:
+    """Check every column the query references resolves in its tables.
+
+    Raises ``ValueError`` — never a raw ``KeyError`` from deep inside the
+    executor — naming the offending column and listing the candidate
+    qualified columns, so admission layers (the completion service) can
+    reject bad queries before any completion work is spent.
+    """
+    candidates = available_columns(db, query.tables)
+    unqualified: Dict[str, List[str]] = {}
+    for name in candidates:
+        unqualified.setdefault(name.split(".", 1)[1], []).append(name)
+    qualified = set(candidates)
+    for column in query.columns_referenced():
+        if column in qualified:
+            continue
+        matches = unqualified.get(column, [])
+        if len(matches) == 1:
+            continue
+        if len(matches) > 1:
+            raise ValueError(
+                f"column {column!r} is ambiguous across {sorted(matches)}; "
+                f"qualify it as one of them"
+            )
+        raise ValueError(
+            f"query references unknown column {column!r}; "
+            f"candidate columns: {sorted(candidates)}"
+        )
+
+
+# ----------------------------------------------------------------------
 # Join
 # ----------------------------------------------------------------------
 

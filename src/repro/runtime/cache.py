@@ -11,6 +11,7 @@ the cache against their workload.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Tuple
@@ -52,6 +53,13 @@ class JoinCache:
     differently, so the backend is part of the identity).  ``get`` refreshes
     recency and counts hits/misses; ``contains`` is a pure probe (no stats,
     no reordering) for provenance reporting.
+
+    All operations are thread-safe: the completion service
+    (:mod:`repro.serving`) answers concurrent micro-batches on worker
+    threads that share one engine, so bookkeeping and eviction are guarded
+    by a lock.  The lock serializes cache *accounting*, not join
+    computation — callers that must avoid duplicate joins for one key
+    coalesce at a higher level (single-flight in the service).
     """
 
     def __init__(self, capacity: int = 8):
@@ -60,40 +68,48 @@ class JoinCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def contains(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> Tuple[Hashable, ...]:
         """Keys from least- to most-recently used (for introspection)."""
-        return tuple(self._entries.keys())
+        with self._lock:
+            return tuple(self._entries.keys())
 
     def get(self, key: Hashable) -> Optional[Any]:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
 
     def put(self, key: Hashable, value: Any) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
             self._entries[key] = value
-            return
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate(self) -> None:
         """Drop every entry (models were re-fitted; cached joins are stale)."""
-        if self._entries:
-            self.stats.invalidations += 1
-        self._entries.clear()
+        with self._lock:
+            if self._entries:
+                self.stats.invalidations += 1
+            self._entries.clear()
 
     def reset_stats(self) -> None:
-        self.stats = CacheStats()
+        with self._lock:
+            self.stats = CacheStats()

@@ -1,0 +1,52 @@
+"""Serving layer: durable model artifacts + an async completion service.
+
+Two halves of ReStore's train-once / query-many story:
+
+* :mod:`~repro.serving.artifacts` — versioned save/load of a fitted
+  engine (``save_artifact`` / ``load_artifact`` / ``ReStore.load``), with
+  manifest hashes and clear schema/version errors;
+* :mod:`~repro.serving.service` — :class:`CompletionService`, a
+  long-lived asyncio front-end that micro-batches concurrent queries,
+  coalesces identical completion work into single-flight incompleteness
+  joins, applies admission backpressure and reports latency percentiles.
+"""
+
+from .artifacts import (
+    FORMAT_VERSION,
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactSchemaError,
+    ArtifactVersionError,
+    database_digest,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+    verify_artifact,
+)
+from .batching import (
+    MicroBatcher,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServiceRequest,
+)
+from .service import CompletionService, ServiceConfig, ServiceStats
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ArtifactError",
+    "ArtifactVersionError",
+    "ArtifactIntegrityError",
+    "ArtifactSchemaError",
+    "save_artifact",
+    "load_artifact",
+    "read_manifest",
+    "verify_artifact",
+    "database_digest",
+    "MicroBatcher",
+    "ServiceRequest",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "CompletionService",
+    "ServiceConfig",
+    "ServiceStats",
+]

@@ -1,0 +1,126 @@
+"""Admission control and micro-batch collection for the completion service.
+
+The service's front-end is a bounded asyncio queue: submissions beyond
+``max_queue`` either wait (backpressure — the caller's coroutine blocks
+until capacity frees up) or are rejected immediately with
+:class:`ServiceOverloadedError`.  A collector pulls requests off the queue
+in *micro-batches*: the first request opens a batch, and the window stays
+open for ``window_s`` seconds (or until ``max_batch`` requests arrived).
+Batching is what lets the service group concurrent requests by join
+signature so one incompleteness join serves all of them.
+
+The batcher never loses a request: if the collector is cancelled while a
+batch is being assembled, the partial batch is spilled and handed back by
+:meth:`MicroBatcher.drain`, so shutdown can fail those futures explicitly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.selection import SuspectedBias
+from ..query import Query
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The admission queue is full and the caller declined to wait."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is not running (never started, or already closed)."""
+
+
+@dataclass
+class ServiceRequest:
+    """One submitted query travelling through the service."""
+
+    query: Query
+    future: "asyncio.Future"
+    enqueued_at: float
+    suspected_bias: Optional[SuspectedBias] = None
+
+    def fail(self, exc: BaseException) -> None:
+        if not self.future.done():
+            self.future.set_exception(exc)
+
+    def succeed(self, result) -> None:
+        if not self.future.done():
+            self.future.set_result(result)
+
+
+@dataclass
+class MicroBatcher:
+    """Bounded admission queue + windowed batch collection."""
+
+    max_queue: int
+    max_batch: int
+    window_s: float
+    _queue: Optional["asyncio.Queue"] = field(default=None, repr=False)
+    _spill: List[ServiceRequest] = field(default_factory=list, repr=False)
+
+    def start(self) -> None:
+        """Bind the queue to the running event loop (call from the loop)."""
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+
+    @property
+    def started(self) -> bool:
+        return self._queue is not None
+
+    def qsize(self) -> int:
+        return 0 if self._queue is None else self._queue.qsize()
+
+    async def put(self, request: ServiceRequest, wait: bool = True) -> None:
+        """Admit a request; full queue ⇒ block (``wait``) or reject."""
+        if self._queue is None:
+            raise ServiceClosedError("service is not running")
+        if wait:
+            await self._queue.put(request)
+            return
+        try:
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            raise ServiceOverloadedError(
+                f"admission queue is full ({self.max_queue} requests); "
+                f"retry later or submit with wait=True"
+            ) from None
+
+    async def next_batch(self) -> List[ServiceRequest]:
+        """Collect one micro-batch (blocks until at least one request).
+
+        Cancellation while a batch is partially collected spills the
+        collected requests into :meth:`drain` instead of dropping them.
+        """
+        assert self._queue is not None
+        batch: List[ServiceRequest] = []
+        try:
+            batch.append(await self._queue.get())
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            return batch
+        except asyncio.CancelledError:
+            self._spill.extend(batch)
+            raise
+
+    def drain(self) -> List[ServiceRequest]:
+        """Spilled + still-queued requests, for explicit failure on close."""
+        pending = list(self._spill)
+        self._spill.clear()
+        if self._queue is not None:
+            while True:
+                try:
+                    pending.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+        return pending

@@ -1,0 +1,47 @@
+"""The package version, with ``pyproject.toml`` as the single source of truth.
+
+``repro.__version__`` and the ``repro_version`` stamped into serving
+artifacts both resolve through :func:`repro_version`:
+
+1. a source/editable checkout reads the adjacent ``pyproject.toml``
+   directly (installed metadata can lag an editable install, and the
+   tier-1 ``PYTHONPATH=src`` invocation has no metadata at all),
+2. an installed wheel falls back to ``importlib.metadata``,
+3. otherwise a sentinel version marks the provenance as unknown.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+DIST_NAME = "restore-repro"
+_FALLBACK = "0.0.0+unknown"
+
+
+def _version_from_pyproject() -> str | None:
+    pyproject = Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE
+    )
+    return match.group(1) if match else None
+
+
+def _version_from_metadata() -> str | None:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py<3.8 only
+        return None
+    try:
+        return version(DIST_NAME)
+    except PackageNotFoundError:
+        return None
+
+
+def repro_version() -> str:
+    """The version string stamped into artifacts and ``repro.__version__``."""
+    return _version_from_pyproject() or _version_from_metadata() or _FALLBACK

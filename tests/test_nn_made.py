@@ -203,3 +203,51 @@ class TestStateDict:
         assert not np.allclose(model.forward(x).numpy(), before)
         model.load_state_dict(state)
         np.testing.assert_allclose(model.forward(x).numpy(), before)
+
+    def test_names_are_stable_attribute_paths(self):
+        """Two same-architecture builds produce identical parameter names —
+        the identity that serialized artifacts key weights on."""
+        a = make_model([3, 3], seed=11)
+        b = make_model([3, 3], seed=99)
+        names_a = [name for name, _p in a.named_parameters()]
+        names_b = [name for name, _p in b.named_parameters()]
+        assert names_a == names_b
+        assert len(set(names_a)) == len(names_a)  # unique
+        assert any(name.startswith("embeddings.0.") for name in names_a)
+
+    def test_cross_instance_load_by_name(self):
+        source = make_model([3, 3], seed=11)
+        target = make_model([3, 3], seed=99)
+        x = np.zeros((2, 2), dtype=int)
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_array_equal(
+            target.forward(x).numpy(), source.forward(x).numpy()
+        )
+
+    def test_legacy_order_based_state_dict_still_loads(self):
+        source = make_model([3, 3], seed=11)
+        legacy = {
+            f"param_{i}": np.array(p.data, copy=True)
+            for i, p in enumerate(source.parameters())
+        }
+        target = make_model([3, 3], seed=99)
+        target.load_state_dict(legacy)
+        x = np.zeros((2, 2), dtype=int)
+        np.testing.assert_array_equal(
+            target.forward(x).numpy(), source.forward(x).numpy()
+        )
+
+    def test_mismatched_names_raise(self):
+        model = make_model([3, 3], seed=11)
+        state = model.state_dict()
+        state["not_a_parameter"] = state.pop(next(iter(state)))
+        with pytest.raises(ValueError, match="not_a_parameter"):
+            model.load_state_dict(state)
+
+    def test_mismatched_shape_names_parameter(self):
+        model = make_model([3, 3], seed=11)
+        state = model.state_dict()
+        first = next(iter(state))
+        state[first] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match=first.split(".")[0]):
+            model.load_state_dict(state)

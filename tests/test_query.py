@@ -13,10 +13,12 @@ from repro.query import (
     JoinResult,
     Query,
     SQLSyntaxError,
+    available_columns,
     execute,
     execute_on_join,
     join_tables,
     parse_query,
+    validate_query_columns,
 )
 
 
@@ -265,3 +267,45 @@ class TestPropertyBased:
         q = Query(("t",), Aggregate(AggregateKind.COUNT), group_by=("g",))
         result = execute_on_join(jr, q)
         assert sum(result.values.values()) == len(groups)
+
+
+class TestColumnValidation:
+    """validate_query_columns: admission-time checks with clear errors."""
+
+    def test_valid_queries_pass(self, housing_mini):
+        validate_query_columns(housing_mini, parse_query(
+            "SELECT AVG(rent) FROM apartment NATURAL JOIN neighborhood "
+            "WHERE state = 'CA' GROUP BY room_type;"
+        ))
+        validate_query_columns(housing_mini, parse_query(
+            "SELECT AVG(apartment.rent) FROM apartment;"
+        ))
+
+    def test_unknown_column_lists_candidates(self, housing_mini):
+        query = parse_query("SELECT AVG(price) FROM apartment;")
+        with pytest.raises(ValueError) as err:
+            validate_query_columns(housing_mini, query)
+        message = str(err.value)
+        assert "price" in message and "apartment.rent" in message
+        assert not isinstance(err.value, KeyError)
+
+    def test_unknown_table_lists_tables(self, housing_mini):
+        query = parse_query("SELECT COUNT(*) FROM nowhere;")
+        with pytest.raises(ValueError, match="nowhere"):
+            validate_query_columns(housing_mini, query)
+        with pytest.raises(ValueError, match="apartment"):
+            validate_query_columns(housing_mini, query)
+
+    def test_ambiguous_column_requires_qualification(self, housing_mini):
+        query = parse_query(
+            "SELECT COUNT(*) FROM apartment NATURAL JOIN neighborhood "
+            "WHERE id = 1;"
+        )
+        with pytest.raises(ValueError, match="ambiguous"):
+            validate_query_columns(housing_mini, query)
+
+    def test_available_columns_are_qualified(self, housing_mini):
+        columns = available_columns(housing_mini, ["neighborhood"])
+        assert columns == [
+            "neighborhood.id", "neighborhood.state", "neighborhood.pop_density",
+        ]
