@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..incomplete import IncompleteDataset
+from ..nn.train import TRAIN_BACKENDS
 from ..runtime import CacheStats, JoinCache
 from ..runtime.parallel import PARALLEL_BACKENDS, get_executor
 from ..query import (
@@ -66,6 +67,12 @@ class ReStoreConfig:
     Backends are ``"serial"`` (default), ``"thread"`` and ``"process"``;
     results are identical across all of them at a fixed seed (completed
     joins bitwise up to row order).
+
+    ``train_backend`` overrides the per-model training backend
+    (``model.train.backend``) for every path the engine fits: ``"fused"``
+    runs the hand-derived float32 kernels of
+    :mod:`repro.runtime.training`, ``"autograd"`` the float64 reference
+    engine, ``None`` (default) respects the model config.
     """
 
     model: ModelConfig = field(default_factory=ModelConfig)
@@ -82,6 +89,7 @@ class ReStoreConfig:
     compiled_inference: bool = True
     n_workers: int = 1
     parallel_backend: str = "serial"
+    train_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.parallel_backend not in PARALLEL_BACKENDS:
@@ -91,6 +99,11 @@ class ReStoreConfig:
             )
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.train_backend is not None and self.train_backend not in TRAIN_BACKENDS:
+            raise ValueError(
+                f"train_backend must be one of {TRAIN_BACKENDS} or None, "
+                f"got {self.train_backend!r}"
+            )
 
 
 @dataclass
@@ -271,6 +284,12 @@ class ReStore:
 
     def _model_config(self, seed: int) -> ModelConfig:
         base = self.config.model
+        train_cfg = base.train
+        if (
+            self.config.train_backend is not None
+            and train_cfg.backend != self.config.train_backend
+        ):
+            train_cfg = replace(train_cfg, backend=self.config.train_backend)
         return ModelConfig(
             embed_dim=base.embed_dim,
             hidden=base.hidden,
@@ -279,7 +298,7 @@ class ReStore:
             compiled_inference=(
                 base.compiled_inference and self.config.compiled_inference
             ),
-            train=base.train,
+            train=train_cfg,
         )
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ Both expose the same hop-level API used by the incompleteness join:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -43,7 +43,9 @@ class ModelConfig:
 
     ``compiled_inference`` selects the default inference backend: the
     graph-free float32 runtime (:mod:`repro.runtime`) or the float64
-    autograd forward.  Training always uses autograd.
+    autograd forward.  The training backend is ``train.backend``
+    (``"fused"`` kernels by default, ``"autograd"`` as the reference
+    oracle).
     """
 
     embed_dim: int = 16
@@ -311,15 +313,34 @@ class _CompletionModelBase(_HopSamplingAPI, Module):
         )
 
     # -- context hooks (overridden by SSAR) ----------------------------
+    def _context_batches(self, indices: np.ndarray):
+        """Raw evidence-tree batches for training rows (``(None, 0)`` for AR).
+
+        Shared by both training backends: the autograd path feeds the
+        batches through the Tensor tree encoder, the fused path through
+        :class:`repro.runtime.training.FusedTreeEncoder`.
+        """
+        return None, 0
+
     def _training_context(self, indices: np.ndarray) -> Optional[Tensor]:
-        return None
+        batches, batch_size = self._context_batches(indices)
+        if batches is None:
+            return None
+        return self.tree_encoder(batches, batch_size)
 
     def _context_tensor(self, context: Optional[np.ndarray]) -> Optional[Tensor]:
         return None if context is None else Tensor(context)
 
     # -- training -------------------------------------------------------
     def fit(self) -> TrainResult:
-        """Assemble training data from the incomplete database and train."""
+        """Assemble training data from the incomplete database and train.
+
+        The training backend comes from ``config.train.backend``:
+        ``"fused"`` (default) runs the hand-derived float32 kernels of
+        :mod:`repro.runtime.training`; ``"autograd"`` keeps the float64
+        reference engine.  Both produce models with identical parameter
+        names and shapes.
+        """
         data = assemble_training_data(self.layout)
         if data.num_rows < 8:
             raise ValueError(
@@ -330,18 +351,27 @@ class _CompletionModelBase(_HopSamplingAPI, Module):
         var_weights = self._debias_weights(data)
         self._init_output_bias(matrix, var_weights)
 
-        def loss_fn(idx: np.ndarray):
-            vw = {v: w[idx] for v, w in var_weights.items()}
-            return self.made.nll(
-                matrix[idx], context=self._training_context(idx), variable_weights=vw
-            )
-
-        def eval_fn(idx: np.ndarray) -> float:
-            ctx = self._training_context(idx)
-            return float(self.made.per_example_nll(matrix[idx], context=ctx).mean())
-
         cfg = self.config.train
-        result = train(self, data.num_rows, loss_fn, eval_fn, cfg)
+        if cfg.backend == "fused":
+            from ..runtime.training import FusedTrainStepper
+
+            stepper = FusedTrainStepper(self, matrix, var_weights, cfg)
+            result = train(self, data.num_rows, config=cfg, stepper=stepper)
+        else:
+            def loss_fn(idx: np.ndarray):
+                vw = {v: w[idx] for v, w in var_weights.items()}
+                return self.made.nll(
+                    matrix[idx], context=self._training_context(idx),
+                    variable_weights=vw,
+                )
+
+            def eval_fn(idx: np.ndarray) -> float:
+                ctx = self._training_context(idx)
+                return float(
+                    self.made.per_example_nll(matrix[idx], context=ctx).mean()
+                )
+
+            result = train(self, data.num_rows, loss_fn, eval_fn, cfg)
         self.train_result = result
         self._val_indices = result.val_indices
         self.invalidate_compiled()
@@ -407,15 +437,22 @@ class _CompletionModelBase(_HopSamplingAPI, Module):
         """
         tables = self.layout.path.tables
         weights: Dict[int, np.ndarray] = {}
-        stacked: List[np.ndarray] = []
         slot_weight: Dict[int, np.ndarray] = {}
+        # Slot combos are encoded incrementally: the group ids of slots
+        # 0..j-1 pair with slot j's row positions to give the ids of slots
+        # 0..j, so each slot costs one 1-D unique instead of re-sorting an
+        # ever-growing stacked (rows, j) matrix.
+        group_ids: Optional[np.ndarray] = None
         for slot, table in enumerate(tables):
-            stacked.append(data.row_positions[table])
-            combo = np.stack(stacked, axis=1)
-            _, inverse, counts = np.unique(
-                combo, axis=0, return_inverse=True, return_counts=True
+            positions = data.row_positions[table]
+            if group_ids is None:
+                combined = positions
+            else:
+                combined = group_ids * (int(positions.max(initial=0)) + 1) + positions
+            _, group_ids, counts = np.unique(
+                combined, return_inverse=True, return_counts=True
             )
-            slot_weight[slot] = 1.0 / counts[inverse]
+            slot_weight[slot] = 1.0 / counts[group_ids]
         for var_idx, spec in enumerate(self.layout.variables):
             if spec.is_tuple_factor:
                 weights[var_idx] = slot_weight[spec.slot - 1]
@@ -506,7 +543,7 @@ class SSARCompletionModel(_CompletionModelBase):
             context_dim=self.tree_encoder.context_dim,
         )
 
-    def _training_context(self, indices: np.ndarray) -> Optional[Tensor]:
+    def _context_batches(self, indices: np.ndarray):
         data = self.training_data
         root_table = self.layout.path.tables[0]
         target_table = self.layout.path.target
@@ -515,7 +552,7 @@ class SSARCompletionModel(_CompletionModelBase):
         if self.forest.self_evidence_table == target_table:
             exclude = data.row_positions[target_table][indices]
         batches = self.forest.batch_for_roots(roots, exclude_target_rows=exclude)
-        return self.tree_encoder(batches, len(indices))
+        return batches, len(indices)
 
     def compiled_tree(self):
         """Lazily built graph-free snapshot of the tree encoder."""

@@ -19,8 +19,16 @@ from .layers import (
 )
 from .made import ResidualMADE
 from .deepsets import EvidenceTreeEncoder, TreeNodeBatch, TreeNodeSpec
-from .optim import SGD, Adam, Optimizer, clip_grad_norm
-from .train import TrainConfig, TrainResult, train
+from .optim import SGD, Adam, AdamArrays, Optimizer, clip_grad_norm, clip_grad_norm_arrays
+from .train import (
+    TRAIN_BACKENDS,
+    AutogradStepper,
+    TrainConfig,
+    TrainResult,
+    TrainStepper,
+    batch_bounds,
+    train,
+)
 
 __all__ = [
     "Tensor",
@@ -42,8 +50,14 @@ __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "AdamArrays",
     "clip_grad_norm",
+    "clip_grad_norm_arrays",
+    "TRAIN_BACKENDS",
     "TrainConfig",
     "TrainResult",
+    "TrainStepper",
+    "AutogradStepper",
+    "batch_bounds",
     "train",
 ]

@@ -1,8 +1,15 @@
-"""Gradient-descent optimizers for the numpy autograd engine."""
+"""Gradient-descent optimizers for the numpy autograd engine.
+
+The Adam update itself is factored into :class:`AdamArrays`, an
+ndarray-state stepper shared by both training backends: the float64
+autograd path wraps it behind the :class:`Adam` ``Optimizer`` interface,
+and the fused float32 runtime (:mod:`repro.runtime.training`) drives it
+directly on a flat parameter buffer.  One update rule, two substrates.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -47,39 +54,108 @@ class SGD(Optimizer):
                 param.data -= self.lr * param.grad
 
 
-class Adam(Optimizer):
-    """Adam (Kingma & Ba) with bias correction — the paper's de-facto choice
-    for training MADE-style models."""
+class AdamArrays:
+    """Adam (Kingma & Ba) with bias correction, operating on plain ndarrays.
 
-    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-3,
+    Holds the first/second-moment state for a fixed list of parameter
+    arrays (moment buffers match each parameter's dtype, so a float32
+    parameter buffer gets float32 state).  ``step`` updates the parameter
+    arrays in place; a ``None`` gradient skips that parameter but the step
+    count still advances, matching the classic per-optimizer bias
+    correction.
+    """
+
+    def __init__(self, parameters: Sequence[np.ndarray], lr: float = 1e-3,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
                  weight_decay: float = 0.0):
-        super().__init__(parameters)
         self.lr = lr
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
         self._step_count = 0
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._scratch = [np.empty_like(p) for p in parameters]
 
-    def step(self) -> None:
+    def step(
+        self,
+        parameters: Sequence[np.ndarray],
+        gradients: Sequence[Optional[np.ndarray]],
+    ) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
-            if param.grad is None:
+        for param, grad, m, v, scratch in zip(
+            parameters, gradients, self._m, self._v, self._scratch
+        ):
+            if grad is None:
                 continue
-            grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = grad + self.weight_decay * param
+            # Classic Adam, phrased as in-place updates through one scratch
+            # buffer — the flat-buffer training path calls this every
+            # mini-batch, so intermediate allocations matter.
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            m += scratch
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.beta2
+            v += scratch
+            np.multiply(v, 1.0 / bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= self.lr / bias1
+            param -= scratch
+
+
+class Adam(Optimizer):
+    """Adam over autograd :class:`Tensor` parameters — the paper's de-facto
+    choice for training MADE-style models.  Delegates the update math to
+    :class:`AdamArrays` so both training backends share one rule."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters)
+        self._arrays = AdamArrays(
+            [p.data for p in self.parameters],
+            lr=lr, betas=betas, eps=eps, weight_decay=weight_decay,
+        )
+
+    @property
+    def lr(self) -> float:
+        return self._arrays.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self._arrays.lr = value
+
+    def step(self) -> None:
+        self._arrays.step(
+            [p.data for p in self.parameters],
+            [p.grad for p in self.parameters],
+        )
+
+
+def clip_grad_norm_arrays(
+    gradients: Sequence[Optional[np.ndarray]], max_norm: float
+) -> float:
+    """Scale gradient arrays so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  ``None`` entries are skipped; scaling
+    happens in place.
+    """
+    grads = [g for g in gradients if g is not None]
+    total = float(np.sqrt(sum(
+        float(np.dot(g.reshape(-1), g.reshape(-1))) for g in grads
+    )))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for grad in grads:
+            grad *= np.asarray(scale, dtype=grad.dtype)
+    return total
 
 
 def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
@@ -87,10 +163,4 @@ def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
 
     Returns the pre-clipping norm (useful for logging training stability).
     """
-    params = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
-    if total > max_norm and total > 0:
-        scale = max_norm / total
-        for param in params:
-            param.grad *= scale
-    return total
+    return clip_grad_norm_arrays([p.grad for p in parameters], max_norm)

@@ -1,12 +1,15 @@
-"""Inference runtime: the execution substrate of the completion hot path.
+"""Execution runtime: the compiled substrate of both hot paths.
 
-Training uses the float64 autograd engine (:mod:`repro.nn`); everything the
-incompleteness join does at completion time routes through this package
-instead:
+The float64 autograd engine (:mod:`repro.nn`) remains the reference oracle;
+both completion (inference) and ``fit`` (training) execute here instead:
 
+* :mod:`~repro.runtime.kernels` — the shared dense/embedding/softmax layer
+  kernels both compiled inference and fused training are built from,
 * :mod:`~repro.runtime.compiled` — graph-free float32 forwards for MADE and
   deep-sets modules, executed over fixed-size row tiles so results are
   independent of batch chunking,
+* :mod:`~repro.runtime.training` — hand-derived fused forward+backward
+  kernels over flat float32 parameter buffers, the default ``fit`` backend,
 * :mod:`~repro.runtime.rng` — counter-based per-row random streams, making
   sampling a pure function of a row's lineage rather than batch order,
 * :mod:`~repro.runtime.cache` — a bounded LRU cache for completed joins with
@@ -15,7 +18,7 @@ instead:
   chunked work out over workers with deterministic, ordered merging.
 """
 
-from . import rng
+from . import kernels, rng
 from .cache import CacheStats, JoinCache
 from .compiled import (
     TILE,
@@ -23,6 +26,12 @@ from .compiled import (
     CompiledMADE,
     CompiledTreeEncoder,
     compile_module,
+)
+from .training import (
+    FusedResidualMADE,
+    FusedTrainStepper,
+    FusedTreeEncoder,
+    ParameterBuffer,
 )
 from .parallel import (
     PARALLEL_BACKENDS,
@@ -36,9 +45,14 @@ from .parallel import (
 from .rng import chunk_slices
 
 __all__ = [
+    "kernels",
     "rng",
     "CacheStats",
     "JoinCache",
+    "ParameterBuffer",
+    "FusedResidualMADE",
+    "FusedTreeEncoder",
+    "FusedTrainStepper",
     "TILE",
     "CompiledDense",
     "CompiledMADE",

@@ -37,50 +37,17 @@ from ..nn.layers import (
 )
 from ..nn.made import ResidualMADE
 from . import rng as _rng
+from .kernels import (
+    DTYPE as _DTYPE,
+    TILE,
+    DenseKernel,
+    softmax as _softmax,
+    tile_apply as _tile_apply,
+)
 
-TILE = 128
-
-_DTYPE = np.float32
-
-
-def _tile_apply(x: np.ndarray, fn: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
-    """Apply ``fn`` over fixed-size row tiles of ``x`` (zero-padded).
-
-    ``fn`` must be row-local (each output row a function of the matching
-    input row only) — true for dense layers and elementwise nonlinearities.
-    """
-    n = len(x)
-    if n == 0:
-        probe = fn(np.zeros((TILE, x.shape[1]), dtype=_DTYPE))
-        return np.zeros((0, probe.shape[1]), dtype=probe.dtype)
-    pieces: List[np.ndarray] = []
-    for start in range(0, n, TILE):
-        block = x[start:start + TILE]
-        if len(block) < TILE:
-            padded = np.zeros((TILE, x.shape[1]), dtype=_DTYPE)
-            padded[: len(block)] = block
-            pieces.append(fn(padded)[: len(block)])
-        else:
-            pieces.append(fn(block))
-    return np.concatenate(pieces, axis=0)
-
-
-class CompiledDense:
-    """A pure-numpy affine + optional ReLU snapshot of a (masked) linear."""
-
-    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray],
-                 relu: bool = False):
-        self.weight = np.ascontiguousarray(weight, dtype=_DTYPE)
-        self.bias = None if bias is None else bias.astype(_DTYPE)
-        self.relu = relu
-
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        out = x @ self.weight
-        if self.bias is not None:
-            out += self.bias
-        if self.relu:
-            np.maximum(out, 0.0, out=out)
-        return out
+#: Back-compat alias: the inference-side dense kernel now lives in
+#: :mod:`repro.runtime.kernels` where fused training shares it.
+CompiledDense = DenseKernel
 
 
 def _compile_linear(layer: Linear) -> CompiledDense:
@@ -325,12 +292,6 @@ class CompiledTreeEncoder:
             node.encode(batches.get(node.name), batch_size) for node in self.encoders
         ]
         return np.concatenate(parts, axis=-1)
-
-
-def _softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max(axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
 
 
 def compile_module(module: Module):

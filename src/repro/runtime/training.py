@@ -1,0 +1,556 @@
+"""Fused forward+backward training kernels over flat parameter buffers.
+
+``ReStore.fit()`` used to build a closure-based float64 autograd graph per
+mini-batch; this module replaces that with hand-derived fused kernels for
+the two architectures the engine trains — :class:`~repro.nn.made.ResidualMADE`
+and the deep-sets :class:`~repro.nn.deepsets.EvidenceTreeEncoder` — running
+on a single flat float32 parameter buffer with an array-based Adam
+(:class:`repro.nn.optim.AdamArrays`).
+
+Design:
+
+* **One kernel set.**  The dense/embedding/softmax primitives live in
+  :mod:`repro.runtime.kernels`, shared with compiled inference; the
+  backward passes here differentiate exactly those forwards.
+* **Flat buffers.**  :class:`ParameterBuffer` packs every named parameter
+  of a module into one contiguous array (plus a matching gradient array)
+  and hands out reshaped views keyed by the original autograd tensors.
+  Optimizer steps, gradient clipping and best-epoch snapshots are single
+  vectorized operations on the flat arrays.
+* **The autograd engine stays the oracle.**  Buffers accept a ``dtype``
+  so the gradcheck harness can run the same kernels in float64 and compare
+  against the reference engine to machine precision; production training
+  uses float32.
+* **Write-back.**  After training, :meth:`ParameterBuffer.write_back`
+  copies the buffer into the module's float64 tensors, so ``state_dict``
+  names, serialized artifacts and compiled inference snapshots are
+  unchanged — a fused-trained model is indistinguishable in shape and
+  plumbing from an autograd-trained one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.deepsets import EvidenceTreeEncoder, TreeNodeBatch, _NodeEncoder
+from ..nn.layers import Module
+from ..nn.made import ResidualMADE
+from ..nn.optim import AdamArrays, clip_grad_norm_arrays
+from ..nn.train import TrainConfig, TrainStepper
+from . import kernels
+
+
+class ParameterBuffer:
+    """Flat typed storage for a module's parameters and their gradients.
+
+    Packs every ``named_parameters()`` tensor of ``module`` into one
+    contiguous ``dtype`` array (float32 by default) and exposes reshaped
+    views by parameter name or by the original tensor object.  The views
+    alias the flat array, so an optimizer update on :attr:`flat` is
+    immediately visible to every kernel holding a view.
+    """
+
+    def __init__(self, module: Module, dtype=kernels.DTYPE):
+        self.module = module
+        self.dtype = np.dtype(dtype)
+        named = list(module.named_parameters())
+        self.names: List[str] = [name for name, _ in named]
+        self._tensors = [param for _, param in named]
+        sizes = [param.data.size for param in self._tensors]
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        total = int(offsets[-1])
+        self.flat = np.empty(total, dtype=self.dtype)
+        self.grad = np.zeros(total, dtype=self.dtype)
+        self._views: Dict[str, np.ndarray] = {}
+        self._grad_views: Dict[str, np.ndarray] = {}
+        self._name_by_id: Dict[int, str] = {}
+        for name, param, start, stop in zip(
+            self.names, self._tensors, offsets[:-1], offsets[1:]
+        ):
+            shape = param.data.shape
+            self._views[name] = self.flat[start:stop].reshape(shape)
+            self._grad_views[name] = self.grad[start:stop].reshape(shape)
+            self._name_by_id[id(param)] = name
+            self._views[name][...] = param.data
+
+    @property
+    def num_parameters(self) -> int:
+        return self.flat.size
+
+    def _name_of(self, key) -> str:
+        if isinstance(key, str):
+            return key
+        name = self._name_by_id.get(id(key))
+        if name is None:
+            raise KeyError("tensor is not a parameter of the buffered module")
+        return name
+
+    def view(self, key) -> np.ndarray:
+        """Parameter view (by name or by the module's tensor object)."""
+        return self._views[self._name_of(key)]
+
+    def grad_view(self, key) -> np.ndarray:
+        """Gradient view aligned with :meth:`view`."""
+        return self._grad_views[self._name_of(key)]
+
+    def stacked_views(self, keys) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Row-stacked (param, grad) views over adjacent 2-D parameters.
+
+        When the given parameters occupy consecutive ranges of the flat
+        buffer and share their trailing dimension, their concatenation is
+        itself a contiguous ``(sum(rows), dim)`` view — one gather/scatter
+        can then serve all of them (the MADE embedding fast path).  Returns
+        ``None`` when the layout does not line up.
+        """
+        views = [self._views[self._name_of(k)] for k in keys]
+        if not views or any(v.ndim != 2 for v in views):
+            return None
+        dim = views[0].shape[1]
+        if any(v.shape[1] != dim for v in views):
+            return None
+        offset = self._offset_of(views[0])
+        lo = offset
+        for view in views:
+            if self._offset_of(view) != offset:
+                return None
+            offset += view.size
+        return (
+            self.flat[lo:offset].reshape(-1, dim),
+            self.grad[lo:offset].reshape(-1, dim),
+        )
+
+    def _offset_of(self, view: np.ndarray) -> int:
+        """Element offset of a parameter view within the flat buffer."""
+        byte_offset = view.__array_interface__["data"][0] - \
+            self.flat.__array_interface__["data"][0]
+        return byte_offset // self.flat.itemsize
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the current flat parameters (cheap best-epoch state)."""
+        return self.flat.copy()
+
+    def restore(self, state: np.ndarray) -> None:
+        self.flat[...] = state
+
+    def write_back(self) -> None:
+        """Copy the buffer into the module's own (float64) parameters."""
+        for name, param in zip(self.names, self._tensors):
+            param.data[...] = self._views[name].astype(param.data.dtype)
+
+
+class FusedResidualMADE:
+    """Hand-derived forward+backward for :class:`ResidualMADE` training.
+
+    Reproduces the autograd loss
+    ``sum_i weighted_mean_CE(logits_i, x[:, i])`` exactly (up to the buffer
+    dtype): embedding gather → masked input layer → ReLU residual blocks →
+    masked output layer → per-variable weighted softmax-NLL, with the
+    backward pass accumulating into the buffer's gradient views.  MADE
+    masks are applied at forward time (weights stay raw in the buffer) and
+    to the weight gradients, so masked-out entries never train — the same
+    fixed point the autograd engine converges to.
+    """
+
+    def __init__(self, made: ResidualMADE, buffer: ParameterBuffer):
+        self.buffer = buffer
+        self.dtype = buffer.dtype
+        self.num_variables = made.num_variables
+        self.context_dim = made.context_dim
+        self.logit_offsets = made._logit_offsets.astype(np.int64)
+        self.embeddings = [buffer.view(e.weight) for e in made.embeddings]
+        self.d_embeddings = [buffer.grad_view(e.weight) for e in made.embeddings]
+        self.embed_dim = made.embed_dim
+        self.embed_starts = np.empty(self.num_variables, dtype=np.int64)
+        offset = self.context_dim
+        for i, emb in enumerate(self.embeddings):
+            self.embed_starts[i] = offset
+            offset += emb.shape[1]
+        self.feature_dim = offset
+        # Concatenated embedding-vocabulary space for the one-GEMM scatter:
+        # variable i's code c maps to row vocab_offsets[i] + c.
+        vocabs = np.array([emb.shape[0] for emb in self.embeddings], dtype=np.int64)
+        self.vocab_offsets = np.concatenate([[0], np.cumsum(vocabs)])
+        self.total_vocab = int(self.vocab_offsets[-1])
+        self._head_kernel = kernels.MultiheadNLLKernel(
+            self.logit_offsets, dtype=self.dtype
+        )
+        # Fast path: the buffer lays the per-variable embedding tables out
+        # back to back, so one gather/scatter over the concatenated
+        # vocabulary serves every variable at once.
+        self._stacked = buffer.stacked_views([e.weight for e in made.embeddings])
+
+        def dense(layer):
+            return (
+                buffer.view(layer.weight),
+                buffer.grad_view(layer.weight),
+                None if layer.bias is None else buffer.view(layer.bias),
+                None if layer.bias is None else buffer.grad_view(layer.bias),
+                np.ascontiguousarray(layer.mask.data, dtype=self.dtype),
+            )
+
+        self.input_layer = dense(made.input_layer)
+        self.residual_layers = [dense(layer) for layer in made.residual_layers]
+        self.output_layer = dense(made.output_layer)
+
+    # -- forward helpers -------------------------------------------------
+    def _features(self, x: np.ndarray, context: Optional[np.ndarray]) -> np.ndarray:
+        x = np.asarray(x)
+        features = np.empty((len(x), self.feature_dim), dtype=self.dtype)
+        if self.context_dim:
+            if context is None:
+                raise ValueError("model was built with context_dim > 0; pass context")
+            features[:, : self.context_dim] = context
+        if self._stacked is not None:
+            stacked, _grad = self._stacked
+            flat_codes = (x + self.vocab_offsets[None, :-1]).ravel()
+            features[:, self.context_dim:] = stacked[flat_codes].reshape(
+                len(x), -1
+            )
+            return features
+        for i, emb in enumerate(self.embeddings):
+            lo = int(self.embed_starts[i])
+            features[:, lo:lo + emb.shape[1]] = emb[x[:, i]]
+        return features
+
+    def _masked_weights(self):
+        """The effective (mask-applied) weights of every dense layer.
+
+        Computed once per step and shared between the forward and backward
+        passes — weights change every optimizer step, masks never do.
+        """
+        w_in, _, _, _, mask_in = self.input_layer
+        wm_res = [w * mask for w, _, _, _, mask in self.residual_layers]
+        w_out, _, _, _, mask_out = self.output_layer
+        return w_in * mask_in, wm_res, w_out * mask_out
+
+    def _hidden_states(self, features: np.ndarray, wm_in, wm_res):
+        """Forward through the residual stack, caching what backward needs."""
+        z = features @ wm_in
+        b_in = self.input_layer[2]
+        if b_in is not None:
+            z += b_in
+        relu0 = z > 0
+        np.maximum(z, 0.0, out=z)
+        hs = [z]            # hs[k] = input to residual layer k; hs[-1] = final
+        relus = []          # ReLU masks of each residual pre-activation
+        for (w, _dw, b, _db, mask), wm in zip(self.residual_layers, wm_res):
+            zk = hs[-1] @ wm
+            if b is not None:
+                zk += b
+            mk = zk > 0
+            np.maximum(zk, 0.0, out=zk)
+            relus.append(mk)
+            hs.append(hs[-1] + zk)
+        return hs, relu0, relus
+
+    def forward_logits(
+        self, x: np.ndarray, context: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """All per-variable logits ``(batch, sum(K_i))`` — forward only."""
+        features = self._features(x, context)
+        wm_in, wm_res, wm_out = self._masked_weights()
+        hs, _relu0, _relus = self._hidden_states(features, wm_in, wm_res)
+        logits = hs[-1] @ wm_out
+        b_out = self.output_layer[2]
+        if b_out is not None:
+            logits += b_out
+        return logits
+
+    def _weight_matrix(
+        self,
+        batch_size: int,
+        variable_weights: Optional[Dict[int, np.ndarray]],
+    ) -> np.ndarray:
+        """Pre-normalized ``(batch, num_variables)`` per-head loss weights."""
+        wmat = np.empty((batch_size, self.num_variables))
+        for i in range(self.num_variables):
+            weights = None
+            if variable_weights is not None and i in variable_weights:
+                weights = variable_weights[i]
+            if weights is None:
+                wmat[:, i] = 1.0 / max(batch_size, 1)
+            else:
+                weights = np.asarray(weights, dtype=np.float64)
+                total = float(weights.sum())
+                if total <= 0:
+                    raise ValueError(
+                        f"variable {i} training weights must have positive sum"
+                    )
+                wmat[:, i] = weights / total
+        return wmat
+
+    # -- training step ----------------------------------------------------
+    def loss_and_grad(
+        self,
+        x: np.ndarray,
+        context: Optional[np.ndarray],
+        variable_weights: Optional[Dict[int, np.ndarray]] = None,
+        weight_matrix: Optional[np.ndarray] = None,
+    ) -> Tuple[float, Optional[np.ndarray]]:
+        """Fused forward+backward of the weighted NLL over one mini-batch.
+
+        Accumulates parameter gradients into the buffer and returns
+        ``(loss, d_context)`` — the context gradient feeds the tree-encoder
+        backward for SSAR models (``None`` for context-free models).
+        Loss weights come either from ``variable_weights`` (per-variable
+        batch vectors, normalized here) or a pre-normalized
+        ``weight_matrix`` (the stepper's fast path).
+        """
+        x = np.asarray(x)
+        features = self._features(x, context)
+        wm_in, wm_res, wm_out = self._masked_weights()
+        hs, relu0, relus = self._hidden_states(features, wm_in, wm_res)
+        logits = hs[-1] @ wm_out
+        _w_out, dw_out, b_out, db_out, mask_out = self.output_layer
+        if b_out is not None:
+            logits += b_out
+
+        if weight_matrix is None:
+            weight_matrix = self._weight_matrix(len(x), variable_weights)
+        loss, d_logits = self._head_kernel(logits, x, weight_matrix)
+
+        # Backward through the output layer.
+        dw_out += (hs[-1].T @ d_logits) * mask_out
+        if db_out is not None:
+            db_out += d_logits.sum(axis=0)
+        dh = d_logits @ wm_out.T
+
+        # Residual blocks, in reverse:  h_{k+1} = h_k + relu(h_k @ Wm_k + b_k)
+        for k in range(len(self.residual_layers) - 1, -1, -1):
+            _w, dw, _b, db, mask = self.residual_layers[k]
+            dz = dh * relus[k]
+            dw += (hs[k].T @ dz) * mask
+            if db is not None:
+                db += dz.sum(axis=0)
+            dh = dh + dz @ wm_res[k].T
+
+        # Input layer.
+        _w_in, dw_in, _b_in, db_in, mask_in = self.input_layer
+        dz0 = dh * relu0
+        dw_in += (features.T @ dz0) * mask_in
+        if db_in is not None:
+            db_in += dz0.sum(axis=0)
+        d_features = dz0 @ wm_in.T
+
+        # Split the feature gradient: context block + one dense embedding
+        # scatter over the concatenated vocabulary space (bincount columns
+        # instead of one np.add.at per variable).
+        d_context = d_features[:, : self.context_dim] if self.context_dim else None
+        flat_codes = (x + self.vocab_offsets[None, :-1]).ravel()
+        d_embedded = d_features[:, self.context_dim:].reshape(-1, self.embed_dim)
+        d_stacked = kernels.dense_scatter(flat_codes, d_embedded, self.total_vocab)
+        if self._stacked is not None:
+            _params, stacked_grad = self._stacked
+            stacked_grad += d_stacked
+        else:
+            for i, d_emb in enumerate(self.d_embeddings):
+                lo = int(self.vocab_offsets[i])
+                d_emb += d_stacked[lo:lo + d_emb.shape[0]]
+        return loss, d_context
+
+    # -- evaluation --------------------------------------------------------
+    def per_example_nll(
+        self,
+        x: np.ndarray,
+        context: Optional[np.ndarray] = None,
+        variables: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Per-row NLL on the buffer's current parameters (no gradients)."""
+        x = np.asarray(x)
+        logits = self.forward_logits(x, context)
+        selected = range(self.num_variables) if variables is None else variables
+        total = np.zeros(len(x))
+        for i in selected:
+            start = int(self.logit_offsets[i])
+            stop = int(self.logit_offsets[i + 1])
+            total += kernels.nll_rows(logits[:, start:stop], x[:, i])
+        return total
+
+
+class _FusedNode:
+    """Fused phi/rho deep-sets node mirroring :class:`_NodeEncoder`."""
+
+    def __init__(self, encoder: _NodeEncoder, buffer: ParameterBuffer):
+        self.name = encoder.spec.name
+        self.dtype = buffer.dtype
+        self.num_columns = len(encoder.spec.vocab_sizes)
+        self.embeddings = [buffer.view(e.weight) for e in encoder.embeddings]
+        self.d_embeddings = [buffer.grad_view(e.weight) for e in encoder.embeddings]
+        self.children = [_FusedNode(c, buffer) for c in encoder.child_encoders]
+        self.w_phi = buffer.view(encoder.phi.weight)
+        self.dw_phi = buffer.grad_view(encoder.phi.weight)
+        self.b_phi = None if encoder.phi.bias is None else buffer.view(encoder.phi.bias)
+        self.db_phi = (
+            None if encoder.phi.bias is None else buffer.grad_view(encoder.phi.bias)
+        )
+        self.w_rho = buffer.view(encoder.rho.weight)
+        self.dw_rho = buffer.grad_view(encoder.rho.weight)
+        self.b_rho = None if encoder.rho.bias is None else buffer.view(encoder.rho.bias)
+        self.db_rho = (
+            None if encoder.rho.bias is None else buffer.grad_view(encoder.rho.bias)
+        )
+        self.out_dim = encoder.rho.out_features
+        self._cache = None
+
+    def _empty_batch(self) -> TreeNodeBatch:
+        return TreeNodeBatch(
+            values=np.zeros((0, self.num_columns), dtype=np.int64),
+            parent_ids=np.zeros(0, dtype=np.int64),
+        )
+
+    def forward(self, batch: Optional[TreeNodeBatch], num_parents: int) -> np.ndarray:
+        if batch is None:
+            batch = self._empty_batch()
+        parts: List[np.ndarray] = [
+            emb[batch.values[:, i]] for i, emb in enumerate(self.embeddings)
+        ]
+        for child in self.children:
+            parts.append(child.forward(batch.children.get(child.name), batch.num_rows))
+        if parts:
+            features = np.concatenate(parts, axis=-1).astype(self.dtype, copy=False)
+        else:
+            features = np.zeros((batch.num_rows, 1), dtype=self.dtype)
+
+        z_phi = features @ self.w_phi
+        if self.b_phi is not None:
+            z_phi += self.b_phi
+        relu_phi = z_phi > 0
+        np.maximum(z_phi, 0.0, out=z_phi)
+        pooled = kernels.segment_sum_forward(z_phi, batch.parent_ids, num_parents)
+        z_rho = pooled @ self.w_rho
+        if self.b_rho is not None:
+            z_rho += self.b_rho
+        relu_rho = z_rho > 0
+        np.maximum(z_rho, 0.0, out=z_rho)
+        self._cache = (batch, features, relu_phi, pooled, relu_rho)
+        return z_rho
+
+    def backward(self, d_out: np.ndarray) -> None:
+        batch, features, relu_phi, pooled, relu_rho = self._cache
+        dz_rho = d_out * relu_rho
+        self.dw_rho += pooled.T @ dz_rho
+        if self.db_rho is not None:
+            self.db_rho += dz_rho.sum(axis=0)
+        d_pooled = dz_rho @ self.w_rho.T
+        d_encoded = kernels.segment_sum_backward(d_pooled, batch.parent_ids)
+        dz_phi = d_encoded * relu_phi
+        self.dw_phi += features.T @ dz_phi
+        if self.db_phi is not None:
+            self.db_phi += dz_phi.sum(axis=0)
+        d_features = dz_phi @ self.w_phi.T
+        col = 0
+        for i, emb in enumerate(self.embeddings):
+            width = emb.shape[1]
+            kernels.embedding_backward(
+                self.d_embeddings[i], batch.values[:, i],
+                d_features[:, col:col + width],
+            )
+            col += width
+        for child in self.children:
+            child.backward(d_features[:, col:col + child.out_dim])
+            col += child.out_dim
+
+
+class FusedTreeEncoder:
+    """Fused forward+backward for :class:`EvidenceTreeEncoder` training."""
+
+    def __init__(self, encoder: EvidenceTreeEncoder, buffer: ParameterBuffer):
+        self.nodes = [_FusedNode(e, buffer) for e in encoder.encoders]
+        self.context_dim = encoder.context_dim
+
+    def forward(
+        self, batches: Dict[str, TreeNodeBatch], batch_size: int
+    ) -> np.ndarray:
+        parts = [
+            node.forward(batches.get(node.name), batch_size) for node in self.nodes
+        ]
+        return np.concatenate(parts, axis=-1)
+
+    def backward(self, d_context: np.ndarray) -> None:
+        col = 0
+        for node in self.nodes:
+            node.backward(d_context[:, col:col + node.out_dim])
+            col += node.out_dim
+
+
+class FusedTrainStepper(TrainStepper):
+    """The ``"fused"`` training backend for completion models.
+
+    Owns a :class:`ParameterBuffer` over the whole model (MADE plus, for
+    SSAR, the tree encoder), the fused kernels, and an array-based Adam on
+    the flat buffer.  The hop-level inference surface and the picklable
+    :class:`~repro.core.models.CompletionSnapshot` are untouched — the
+    stepper lives only for the duration of one ``fit`` and writes its final
+    parameters back into the module's float64 tensors.
+    """
+
+    backend = "fused"
+
+    def __init__(
+        self,
+        model,
+        matrix: np.ndarray,
+        variable_weights: Dict[int, np.ndarray],
+        config: TrainConfig,
+        dtype=kernels.DTYPE,
+    ):
+        self.model = model
+        self.matrix = matrix
+        self.variable_weights = variable_weights
+        self.grad_clip = config.grad_clip
+        self.buffer = ParameterBuffer(model, dtype=dtype)
+        self.made = FusedResidualMADE(model.made, self.buffer)
+        tree = getattr(model, "tree_encoder", None)
+        self.tree = None if tree is None else FusedTreeEncoder(tree, self.buffer)
+        self.optimizer = AdamArrays(
+            [self.buffer.flat],
+            lr=config.lr, weight_decay=config.weight_decay,
+        )
+        # Full (rows, num_variables) weight table; each step slices its
+        # batch and normalizes per column in two vectorized ops instead of
+        # a per-variable python loop.
+        self._weight_table = np.ones(
+            (len(matrix), self.made.num_variables), dtype=np.float64
+        )
+        for variable, weights in variable_weights.items():
+            self._weight_table[:, variable] = weights
+
+    def _context(self, indices: np.ndarray) -> Optional[np.ndarray]:
+        if self.tree is None:
+            return None
+        batches, batch_size = self.model._context_batches(indices)
+        return self.tree.forward(batches, batch_size)
+
+    def step(self, indices: np.ndarray) -> float:
+        self.buffer.zero_grad()
+        context = self._context(indices)
+        weight_matrix = self._weight_table[indices]
+        weight_matrix /= weight_matrix.sum(axis=0)
+        loss, d_context = self.made.loss_and_grad(
+            self.matrix[indices], context, weight_matrix=weight_matrix
+        )
+        if self.tree is not None:
+            self.tree.backward(d_context)
+        clip_grad_norm_arrays([self.buffer.grad], self.grad_clip)
+        self.optimizer.step([self.buffer.flat], [self.buffer.grad])
+        return loss
+
+    def evaluate(self, indices: np.ndarray) -> float:
+        context = self._context(indices)
+        return float(
+            self.made.per_example_nll(self.matrix[indices], context).mean()
+        )
+
+    def snapshot(self) -> np.ndarray:
+        return self.buffer.snapshot()
+
+    def restore(self, state: np.ndarray) -> None:
+        self.buffer.restore(state)
+
+    def finalize(self) -> None:
+        self.buffer.write_back()

@@ -324,6 +324,8 @@ def _train_summary(result: Optional[TrainResult]) -> Optional[dict]:
         "best_val_loss": float(result.best_val_loss),
         "epochs_run": int(result.epochs_run),
         "wall_time_s": float(result.wall_time_s),
+        "backend": result.backend,
+        "epoch_wall_times_s": [float(x) for x in result.epoch_wall_times_s],
     }
 
 
@@ -337,6 +339,12 @@ def _train_result_from(summary: Optional[dict]) -> Optional[TrainResult]:
         epochs_run=int(summary["epochs_run"]),
         wall_time_s=float(summary["wall_time_s"]),
         val_indices=None,
+        # Artifacts written before the fused runtime carry neither field;
+        # every model back then was trained on the autograd engine.
+        backend=summary.get("backend", "autograd"),
+        epoch_wall_times_s=[
+            float(x) for x in summary.get("epoch_wall_times_s", [])
+        ],
     )
 
 
@@ -525,6 +533,11 @@ def save_artifact(
     _write_json(path / _MODELS_JSON, models_meta)
     _write_npz(path / _MODELS_NPZ, model_arrays)
 
+    train_backends = sorted({
+        entry["train_summary"]["backend"]
+        for entry in models_meta["models"]
+        if entry["train_summary"] is not None
+    })
     manifest = {
         "format_version": FORMAT_VERSION,
         "repro_version": repro_version(),
@@ -534,6 +547,7 @@ def save_artifact(
         "database_digest": database_digest(engine.db, engine.annotation),
         "num_models": len(models_meta["models"]),
         "targets": sorted(models_meta["candidates"]),
+        "train_backends": train_backends,
         "files": {name: _sha256_file(path / name) for name in _HASHED_FILES},
     }
     _write_json(path / _MANIFEST, manifest)

@@ -163,19 +163,44 @@ class TestRoundTrip:
         assert manifest["seed"] == synthetic_engine.config.seed
         assert manifest["scenario"] == "synthetic/biased"
         assert manifest["targets"] == ["tb"]
+        # Default training runs on the fused runtime; the manifest records it.
+        assert manifest["train_backends"] == ["fused"]
         assert set(manifest["files"]) == {
             "config.json", "schema.json", "database.npz",
             "encoders.json", "encoders.npz", "models.json", "models.npz",
         }
         verify_artifact(synthetic_artifact)  # hashes hold
 
-    def test_fresh_process_parity(
-        self, synthetic_engine, synthetic_artifact, tmp_path
+    def test_train_result_provenance_round_trips(
+        self, synthetic_engine, synthetic_artifact
     ):
-        """The acceptance check: a fresh OS process loads the artifact and
-        answers the workload with results identical to the in-memory
-        engine at the same seed."""
-        expected = _answers(synthetic_engine, "synthetic/biased")
+        """Backend stamp and per-epoch wall times survive save/load."""
+        loaded = ReStore.load(synthetic_artifact)
+        for key, model in synthetic_engine.fitted_models().items():
+            original = model.train_result
+            restored = loaded.fitted_models()[key].train_result
+            assert original.backend == "fused"
+            assert restored.backend == original.backend
+            assert restored.epoch_wall_times_s == pytest.approx(
+                original.epoch_wall_times_s
+            )
+            assert len(restored.epoch_wall_times_s) == original.epochs_run
+
+    @pytest.mark.parametrize("backend", ["fused", "autograd"])
+    def test_fresh_process_parity(self, backend, tmp_path):
+        """The acceptance check, for both training backends: a fresh OS
+        process loads the artifact and answers the workload with results
+        identical to the in-memory engine at the same seed."""
+        from dataclasses import replace as dc_replace
+
+        engine = _build_engine(
+            "synthetic/biased", train=dc_replace(FAST, backend=backend)
+        )
+        artifact = tmp_path / "artifact"
+        save_artifact(engine, artifact, scenario="synthetic/biased")
+        manifest = read_manifest(artifact)
+        assert manifest["train_backends"] == [backend]
+        expected = _answers(engine, "synthetic/biased")
         script = (
             "import json, sys\n"
             "from repro import ReStore, parse_query\n"
@@ -187,7 +212,7 @@ class TestRoundTrip:
             "print(json.dumps(out))\n"
         )
         proc = subprocess.run(
-            [sys.executable, "-c", script, str(synthetic_artifact),
+            [sys.executable, "-c", script, str(artifact),
              json.dumps(SCENARIO_QUERIES["synthetic/biased"])],
             capture_output=True, text=True,
             cwd=str(Path(__file__).resolve().parent.parent),
