@@ -47,3 +47,54 @@ def test_fig14(benchmark, experiment_config):
     coverage = np.mean([c.covered for c in cells])
     # Paper: contained or close to the bounds in nearly all cases.
     assert coverage >= 0.5
+
+
+def test_distribution_memoization(benchmark):
+    """Repeated bands on one variable skip the model forward after the first.
+
+    ``ConfidenceEstimator`` memoizes ``_per_tuple_distributions`` per model
+    variable; the forward over every synthesized row dominates band cost, so
+    warm calls must be much cheaper than the first.  Measured directly on a
+    small housing engine (no experiment grid).
+    """
+    import time
+
+    from repro.core import ConfidenceEstimator, ModelConfig, ReStore, ReStoreConfig
+    from repro.datasets import HousingConfig, generate_housing
+    from repro.incomplete import RemovalSpec, make_incomplete
+    from repro.nn import TrainConfig
+
+    db = generate_housing(HousingConfig(seed=0, num_neighborhoods=60,
+                                        num_landlords=250,
+                                        apartments_per_neighborhood=12.0))
+    dataset = make_incomplete(db, [RemovalSpec("apartment", "price", 0.5, 0.4)],
+                              tf_keep_rate=0.3, seed=1)
+    config = ReStoreConfig(
+        model=ModelConfig(hidden=(32, 32),
+                          train=TrainConfig(epochs=8, batch_size=128,
+                                            lr=1e-2, patience=3)))
+    engine = ReStore.from_dataset(dataset, config).fit()
+    model = next(iter(engine.fitted_models().values()))
+    completed = engine.completed_join(model)
+
+    def cold_and_warm():
+        estimator = ConfidenceEstimator(model, completed)
+        t0 = time.perf_counter()
+        estimator.average("price")
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        estimator.total("price")     # same variable -> memo hit
+        estimator.average("price")
+        warm = (time.perf_counter() - t0) / 2.0
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(cold_and_warm, rounds=3, iterations=1,
+                                    warmup_rounds=1)
+    benchmark.extra_info.update({
+        "cold_band_s": cold,
+        "warm_band_s": warm,
+        "memo_speedup": cold / warm if warm else float("inf"),
+    })
+    print(f"\nband: cold {cold * 1000:.1f} ms, warm {warm * 1000:.2f} ms "
+          f"({cold / max(warm, 1e-9):.0f}x)")
+    assert warm < cold

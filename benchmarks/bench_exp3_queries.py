@@ -13,10 +13,30 @@ HOUSING_QUERIES = ["Q1", "Q3", "Q4", "Q6", "Q8"]
 MOVIES_QUERIES = ["Q1", "Q3", "Q5", "Q8", "Q10"]
 
 
+def _record_query_profiles(benchmark, rows):
+    """Per-query wall time and scan profile → ``--benchmark-json`` output.
+
+    ``rows_scanned`` is what full materialization walks (every root
+    evidence row); ``rows_qualifying`` what predicate pushdown walks.
+    """
+    per_query = {}
+    for row in rows:
+        entry = per_query.setdefault(row.query, {
+            "wall_ms": 0.0, "rows_scanned": 0, "rows_qualifying": 0, "cells": 0,
+        })
+        entry["wall_ms"] += row.wall_ms
+        entry["cells"] += 1
+        if row.roots_total is not None:
+            entry["rows_scanned"] += row.roots_total
+            entry["rows_qualifying"] += row.roots_qualifying
+    benchmark.extra_info["queries"] = per_query
+
+
 def test_fig8_housing(benchmark, experiment_config):
     """Fig. 8 housing rows: completion improves most queries."""
     rows = run_once(benchmark, run_fig8, "housing", HOUSING_QUERIES,
                     experiment_config)
+    _record_query_profiles(benchmark, rows)
     print()
     print_fig8(rows)
     summary = summarize_fig8(rows)
@@ -31,6 +51,7 @@ def test_fig8_movies(benchmark, experiment_config):
     """Fig. 8 movies rows."""
     rows = run_once(benchmark, run_fig8, "movies", MOVIES_QUERIES,
                     experiment_config)
+    _record_query_profiles(benchmark, rows)
     print()
     print_fig8(rows)
     summary = summarize_fig8(rows)

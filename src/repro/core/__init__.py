@@ -27,7 +27,8 @@ from .selection import (
     rank_by_derived_scenario,
     score_candidates,
 )
-from .confidence import ConfidenceBand, ConfidenceEstimator
+from .confidence import ConfidenceBand, ConfidenceEstimator, band_for_query
+from .progressive import Refinement, SamplingBudget
 from .engine import Answer, ReStore, ReStoreConfig
 
 __all__ = [
@@ -61,6 +62,9 @@ __all__ = [
     "apply_suspected_bias",
     "ConfidenceBand",
     "ConfidenceEstimator",
+    "band_for_query",
+    "Refinement",
+    "SamplingBudget",
     "Answer",
     "ReStore",
     "ReStoreConfig",

@@ -19,11 +19,12 @@ Fig. 6/13).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..encoding import CategoricalCodec, ContinuousCodec
+from ..query import AggregateKind, Query
 from .incompleteness_join import CompletedJoin
 from .models import _CompletionModelBase
 
@@ -74,6 +75,7 @@ class ConfidenceEstimator:
         self.confidence = confidence
         self.layout = model.layout
         self.target = model.layout.path.target
+        self._distributions: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Shared plumbing
@@ -86,7 +88,16 @@ class ConfidenceEstimator:
         raise KeyError(f"{name} is not a model variable")
 
     def _per_tuple_distributions(self, variable: int) -> Tuple[np.ndarray, np.ndarray]:
-        """``(P_model per synthesized row, certainty per synthesized row)``."""
+        """``(P_model per synthesized row, certainty per synthesized row)``.
+
+        Memoized per variable: the model forward over every synthesized row
+        dominates band cost, and repeated ``count_fraction`` calls for
+        different values of one column — or ``average`` + ``total`` on the
+        same column — share identical distributions.  The completed join is
+        immutable, so entries never go stale.
+        """
+        if variable in self._distributions:
+            return self._distributions[variable]
         synth = self.completed.target_synthesized()
         codes = self.completed.codes[synth]
         ctx = None if self.completed.context is None else self.completed.context[synth]
@@ -102,6 +113,7 @@ class ConfidenceEstimator:
             axis=1,
         )
         certainty = 1.0 - np.exp(-np.maximum(kl, 0.0))
+        self._distributions[variable] = (p_model, certainty)
         return p_model, certainty
 
     def _weights(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -210,3 +222,35 @@ class ConfidenceEstimator:
         if total == 0:
             return 0.0
         return float(weights[synth].sum()) / total
+
+
+def band_for_query(
+    estimator: ConfidenceEstimator, query: Query
+) -> Optional[ConfidenceBand]:
+    """A §6 band for the query's aggregate, where the machinery supports one.
+
+    Supported: ungrouped ``AVG``/``SUM`` over a *continuous* column of the
+    completion target.  Anything else (grouping, COUNT, non-target or
+    categorical columns) returns ``None`` — progressive refinement then
+    streams point estimates without bands rather than failing.
+    """
+    if query.group_by:
+        return None
+    agg = query.aggregate
+    if agg.column is None or agg.kind is AggregateKind.COUNT:
+        return None
+    column = agg.column
+    if "." in column:
+        table, column = column.split(".", 1)
+        if table != estimator.target:
+            return None
+    target_table = estimator.layout.db.table(estimator.target)
+    if column not in target_table.column_names:
+        return None
+    try:
+        if agg.kind is AggregateKind.AVG:
+            return estimator.average(column)
+        return estimator.total(column)
+    except (TypeError, KeyError):
+        # categorical column or not a model variable
+        return None

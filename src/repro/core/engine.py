@@ -20,7 +20,7 @@ import numpy as np
 
 from ..incomplete import IncompleteDataset
 from ..nn.train import TRAIN_BACKENDS
-from ..runtime import CacheStats, JoinCache
+from ..runtime import CacheStats, JoinCache, PartialCacheStats, PartialJoinCache
 from ..runtime.parallel import PARALLEL_BACKENDS, get_executor
 from ..query import (
     JoinResult,
@@ -29,6 +29,7 @@ from ..query import (
     execute,
     execute_on_join,
 )
+from ..query.pushdown import PushdownPlan, plan_pushdown
 from ..relational import (
     CompletionPath,
     Database,
@@ -36,9 +37,14 @@ from ..relational import (
     enumerate_completion_paths,
     fan_out_relations,
 )
-from .confidence import ConfidenceEstimator
+from .confidence import ConfidenceBand, ConfidenceEstimator, band_for_query
 from .forest import EvidenceForest
-from .incompleteness_join import CompletedJoin, IncompletenessJoin
+from .incompleteness_join import (
+    CompletedJoin,
+    IncompletenessJoin,
+    restrict_chunk_output,
+)
+from .progressive import Refinement, SamplingBudget
 from .merging import training_savings
 from .models import ARCompletionModel, ModelConfig, SSARCompletionModel, _CompletionModelBase
 from .path_data import PathLayout, build_encoders
@@ -73,6 +79,13 @@ class ReStoreConfig:
     runs the hand-derived float32 kernels of
     :mod:`repro.runtime.training`, ``"autograd"`` the float64 reference
     engine, ``None`` (default) respects the model config.
+
+    ``partial_cache_chunks`` bounds the chunk-granular partial-completion
+    cache (:class:`~repro.runtime.PartialJoinCache`) backing pushdown and
+    progressive answering.  ``progressive_chunks`` sets the canonical chunk
+    grid for those paths when ``chunk_size`` is ``None``: the root table is
+    split into about that many chunks so budgeted runs have something to
+    stream over (an explicit ``chunk_size`` always wins).
     """
 
     model: ModelConfig = field(default_factory=ModelConfig)
@@ -90,8 +103,18 @@ class ReStoreConfig:
     n_workers: int = 1
     parallel_backend: str = "serial"
     train_backend: Optional[str] = None
+    partial_cache_chunks: int = 256
+    progressive_chunks: int = 16
 
     def __post_init__(self) -> None:
+        if self.partial_cache_chunks < 1:
+            raise ValueError(
+                f"partial_cache_chunks must be >= 1, got {self.partial_cache_chunks}"
+            )
+        if self.progressive_chunks < 1:
+            raise ValueError(
+                f"progressive_chunks must be >= 1, got {self.progressive_chunks}"
+            )
         if self.parallel_backend not in PARALLEL_BACKENDS:
             raise ValueError(
                 f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
@@ -116,6 +139,9 @@ class Answer:
     model: Optional[_CompletionModelBase] = None
     completed: Optional[CompletedJoin] = None
     from_cache: bool = False
+    #: pushdown provenance (roots scanned vs qualifying, chunks walked vs
+    #: total, filter kinds); None when the legacy full-join path answered.
+    pushdown: Optional[Dict[str, object]] = None
 
     def confidence(self, confidence: float = 0.95) -> Optional[ConfidenceEstimator]:
         """A §6 confidence estimator for this answer (None if no completion)."""
@@ -151,6 +177,7 @@ class ReStore:
         self._models: Dict[Tuple[str, Tuple[str, ...]], _CompletionModelBase] = {}
         self._candidates: Dict[str, List[CandidateScore]] = {}
         self.join_cache = JoinCache(self.config.join_cache_size)
+        self.partial_cache = PartialJoinCache(self.config.partial_cache_chunks)
         self.merge_stats: Dict[str, int] = {}
         #: Optional provenance: the registry scenario this engine's dataset
         #: came from; stamped into saved artifacts (repro.serving).
@@ -189,10 +216,12 @@ class ReStore:
         serial run regardless of scheduling.  Process workers train on a
         worker-local engine copy and ship the fitted models back.
 
-        Re-fitting invalidates the join cache: cached joins were sampled
-        from the previous models and no longer reflect the engine's state.
+        Re-fitting invalidates the join cache and the partial-completion
+        cache: cached joins and chunks were sampled from the previous
+        models and no longer reflect the engine's state.
         """
         self.join_cache.invalidate()
+        self.partial_cache.invalidate()
         targets = list(targets) if targets is not None else self.incomplete_targets()
         all_paths: List[CompletionPath] = []
         tasks: List[Tuple[str, Tuple[str, ...], int]] = []
@@ -440,22 +469,140 @@ class ReStore:
             model.inference_backend,
         )
 
+    def _make_join(
+        self, model: _CompletionModelBase, chunk_size: Optional[int] = None
+    ) -> IncompletenessJoin:
+        return IncompletenessJoin(
+            model,
+            approximate_replacement=self.config.approximate_replacement,
+            seed=self.config.seed,
+            chunk_size=(
+                chunk_size if chunk_size is not None else self.config.chunk_size
+            ),
+            n_workers=self.config.n_workers,
+            parallel_backend=self.config.parallel_backend,
+        )
+
+    def _partial_join(self, model: _CompletionModelBase) -> IncompletenessJoin:
+        """The join used by every partial-cache-aware path (pushdown,
+        progressive, top-up).
+
+        All of them must agree on one canonical chunk grid — chunk bounds
+        key the partial cache.  An explicit ``chunk_size`` is used as-is;
+        otherwise the root table splits into about ``progressive_chunks``
+        chunks so budgeted runs have a schedule to stream over.
+        """
+        chunk_size = self.config.chunk_size
+        if chunk_size is None:
+            num_roots = len(self.db.table(model.layout.path.tables[0]))
+            chunk_size = max(1, -(-num_roots // self.config.progressive_chunks))
+        return self._make_join(model, chunk_size=chunk_size)
+
+    def _gather_chunks(
+        self,
+        join: IncompletenessJoin,
+        tables: List[str],
+        grid: Tuple[Tuple[int, int], ...],
+        indices: Sequence[int],
+        plan: Optional[PushdownPlan],
+        signature: Tuple,
+    ) -> Tuple[List, Dict[str, int]]:
+        """Chunk outputs for the given grid indices: cache, then walk.
+
+        Chunks with no qualifying root row are skipped outright; cached
+        chunks from a looser plan are re-filtered by the leftover
+        predicates; everything else is walked on the executor and cached
+        under the plan's fingerprint for the next overlapping query.
+        Outputs come back in grid order.
+        """
+        fingerprints = plan.fingerprint_set() if plan is not None else frozenset()
+        mask = None
+        if plan is not None and plan.has_root_filters:
+            mask = join.qualifying_root_mask(plan, tables)
+        outputs: List = []
+        missing: List[Tuple[int, Tuple[int, int]]] = []
+        stats = {"chunks_cached": 0, "chunks_walked": 0, "chunks_skipped": 0}
+        for i in indices:
+            task = grid[i]
+            if mask is not None and not mask[task[0]:task[1]].any():
+                stats["chunks_skipped"] += 1
+                continue
+            hit = self.partial_cache.lookup(signature, grid, task, fingerprints)
+            if hit is not None:
+                output, cached_fps = hit
+                if cached_fps != fingerprints:
+                    output = restrict_chunk_output(
+                        output, plan.filters_not_in(cached_fps)
+                    )
+                outputs.append(output)
+                stats["chunks_cached"] += 1
+            else:
+                missing.append((len(outputs), task))
+                outputs.append(None)
+        if missing:
+            walked = join.walk_chunks([t for _, t in missing], tables, plan)
+            for (pos, task), output in zip(missing, walked):
+                self.partial_cache.put(
+                    signature, grid, task, fingerprints, output
+                )
+                outputs[pos] = output
+            stats["chunks_walked"] = len(missing)
+        return outputs, stats
+
+    def _pushed_completion(
+        self, model: _CompletionModelBase, plan: PushdownPlan
+    ) -> CompletedJoin:
+        """A pushdown-pruned completion over the canonical partial grid."""
+        join = self._partial_join(model)
+        tables = join.effective_tables()
+        grid = tuple(join.chunk_tasks(tables))
+        signature = self._join_key(model)
+        outputs, stats = self._gather_chunks(
+            join, tables, grid, range(len(grid)), plan, signature
+        )
+        completed = join.assemble(outputs, tables, plan)
+        num_roots = len(self.db.table(tables[0]))
+        roots_qualifying = num_roots
+        if plan.has_root_filters:
+            roots_qualifying = int(join.qualifying_root_mask(plan, tables).sum())
+        completed.pushdown = {
+            "roots_total": num_roots,
+            "roots_qualifying": roots_qualifying,
+            "chunks_total": len(grid),
+            "chunks_walked": stats["chunks_walked"],
+            "chunks_cached": stats["chunks_cached"],
+            "chunks_skipped": stats["chunks_skipped"],
+            "filters": plan.counts_by_kind(),
+            "residual_filters": len(plan.residual),
+        }
+        return completed
+
     def completed_join(self, model: _CompletionModelBase) -> CompletedJoin:
-        """Run (or reuse) the incompleteness join for a model's full path."""
+        """Run (or reuse) the incompleteness join for a model's full path.
+
+        When a budgeted or pushdown run already left unfiltered chunks in
+        the partial cache, the full join *tops them up* — only the missing
+        chunks are walked — and the assembled result is bitwise identical
+        (up to row order) to a from-scratch run at the same seed.
+        """
         key = self._join_key(model)
         cached = self.join_cache.get(key)
         if cached is not None:
             return cached
-        join = IncompletenessJoin(
-            model,
-            approximate_replacement=self.config.approximate_replacement,
-            seed=self.config.seed,
-            chunk_size=self.config.chunk_size,
-            n_workers=self.config.n_workers,
-            parallel_backend=self.config.parallel_backend,
-        ).run()
-        self.join_cache.put(key, join)
-        return join
+        if len(self.partial_cache):
+            join = self._partial_join(model)
+            tables = join.effective_tables()
+            grid = tuple(join.chunk_tasks(tables))
+            if self.partial_cache.has_entries(key, grid):
+                outputs, _stats = self._gather_chunks(
+                    join, tables, grid, range(len(grid)), None, key
+                )
+                completed = join.assemble(outputs, tables)
+                self.join_cache.put(key, completed)
+                return completed
+        completed = self._make_join(model).run()
+        self.join_cache.put(key, completed)
+        return completed
 
     @property
     def cache_hits(self) -> int:
@@ -467,9 +614,16 @@ class ReStore:
         """Hit/miss/eviction counters of the completed-join cache."""
         return self.join_cache.stats
 
+    @property
+    def partial_cache_stats(self) -> PartialCacheStats:
+        """Hit/miss/subset-hit counters of the partial-completion cache."""
+        return self.partial_cache.stats
+
     def clear_cache(self) -> None:
         self.join_cache.invalidate()
         self.join_cache.reset_stats()
+        self.partial_cache.invalidate()
+        self.partial_cache.reset_stats()
 
     # ------------------------------------------------------------------
     # Serving artifacts (repro.serving)
@@ -515,6 +669,8 @@ class ReStore:
         self.merge_stats = training_savings(unique_paths)
         self.join_cache.invalidate()
         self.join_cache.reset_stats()
+        self.partial_cache.invalidate()
+        self.partial_cache.reset_stats()
         return self
 
     def save_artifact(self, path, scenario: Optional[str] = None,
@@ -599,8 +755,18 @@ class ReStore:
         query: Query,
         suspected_bias: Optional[SuspectedBias] = None,
         model: Optional[_CompletionModelBase] = None,
+        pushdown: bool = False,
     ) -> Answer:
-        """Answer an SPJA query over the (completed) database."""
+        """Answer an SPJA query over the (completed) database.
+
+        With ``pushdown=True``, the query's predicates are pushed into the
+        incompleteness join (:mod:`repro.query.pushdown`): only qualifying
+        root rows are completed, which on selective queries skips most of
+        the model sampling while returning the exact same answer as full
+        materialization.  A full join already sitting in the cache is used
+        instead (it is free); partial chunks are cached and reused across
+        overlapping queries.
+        """
         incomplete_in_query = [
             t for t in query.tables if not self.annotation.is_complete(t)
         ]
@@ -617,16 +783,23 @@ class ReStore:
                                        suspected_bias=suspected_bias)
             model = choice.model
 
-        cached_before = self.join_cache.contains(self._join_key(model))
-        completed = self.completed_join(model)
-
-        path_tables = set(completed.path.tables)
+        path_tables = set(model.layout.path.tables)
         if not set(query.tables) <= path_tables:
             raise ValueError(
-                f"selected completion path {completed.path} does not cover "
+                f"selected completion path {model.layout.path} does not cover "
                 f"query tables {query.tables}; no admissible covering path"
             )
-        if path_tables == set(query.tables):
+
+        cached_before = self.join_cache.contains(self._join_key(model))
+        completed: Optional[CompletedJoin] = None
+        if pushdown and not cached_before:
+            plan = plan_pushdown(self.db, model.layout.path.tables, query)
+            if plan.has_pushdown:
+                completed = self._pushed_completion(model, plan)
+        if completed is None:
+            completed = self.completed_join(model)
+
+        if set(completed.path.tables) == set(query.tables):
             joined = completed.result
         else:
             joined = self.project_to_tables(completed, query.tables)
@@ -638,7 +811,151 @@ class ReStore:
             model=model,
             completed=completed,
             from_cache=cached_before,
+            pushdown=completed.pushdown,
         )
+
+    def answer_progressive(
+        self,
+        query: Query,
+        budget: Optional[SamplingBudget] = None,
+        confidence: float = 0.95,
+        suspected_bias: Optional[SuspectedBias] = None,
+        model: Optional[_CompletionModelBase] = None,
+    ):
+        """Budgeted answering: yield a :class:`Refinement` per schedule step.
+
+        The first refinement answers from the budget's ``initial_chunks``
+        chunks of the (pushdown-pruned) chunk grid and carries a §6
+        :class:`ConfidenceBand` where the aggregate supports one; each
+        subsequent refinement adds chunks per the budget's schedule.  Band
+        widths are non-increasing, and — for an untruncated budget — the
+        final refinement is exactly the budgetless pushdown answer.
+        Completed chunks land in the partial cache, so an interrupted or
+        truncated run is resumed, not repeated, and a later full-join
+        request tops it up.
+        """
+        budget = budget if budget is not None else SamplingBudget()
+        incomplete_in_query = [
+            t for t in query.tables if not self.annotation.is_complete(t)
+        ]
+        if not incomplete_in_query:
+            yield Refinement(
+                result=execute(self.db, query),
+                query=query,
+                band=None,
+                chunks_completed=0,
+                chunks_total=0,
+                index=0,
+                final=True,
+            )
+            return
+
+        target = self._primary_target(incomplete_in_query)
+        if model is None:
+            choice = self.select_model(target, query=query,
+                                       suspected_bias=suspected_bias)
+            model = choice.model
+        path_tables = set(model.layout.path.tables)
+        if not set(query.tables) <= path_tables:
+            raise ValueError(
+                f"selected completion path {model.layout.path} does not cover "
+                f"query tables {query.tables}; no admissible covering path"
+            )
+        plan = plan_pushdown(self.db, model.layout.path.tables, query)
+        join = self._partial_join(model)
+        tables = join.effective_tables()
+        grid = tuple(join.chunk_tasks(tables))
+        signature = self._join_key(model)
+
+        outputs: List = []
+        have = 0
+        previous_width: Optional[float] = None
+        schedule = budget.schedule(len(grid))
+        for index, upto in enumerate(schedule):
+            batch, _stats = self._gather_chunks(
+                join, tables, grid, range(have, upto), plan, signature
+            )
+            outputs.extend(batch)
+            have = upto
+            completed = join.assemble(outputs, tables, plan)
+            if set(completed.path.tables) == set(query.tables):
+                joined = completed.result
+            else:
+                joined = self.project_to_tables(completed, query.tables)
+            result = execute_on_join(joined, query)
+
+            band: Optional[ConfidenceBand] = None
+            if completed.num_rows:
+                estimator = ConfidenceEstimator(model, completed, confidence)
+                band = band_for_query(estimator, query)
+            if band is not None and previous_width is not None \
+                    and band.width > previous_width:
+                # Enforce monotone tightening: more completed chunks never
+                # widen the reported interval.  The raw §6 band can wobble
+                # upward when a new chunk adds uncertain rows; clamp it
+                # symmetrically around the current estimate.
+                half = previous_width / 2.0
+                band = ConfidenceBand(
+                    estimate=band.estimate,
+                    lower=band.estimate - half,
+                    upper=band.estimate + half,
+                    theoretical_min=band.theoretical_min,
+                    theoretical_max=band.theoretical_max,
+                )
+            if band is not None:
+                previous_width = band.width
+
+            yield Refinement(
+                result=result,
+                query=query,
+                band=band,
+                chunks_completed=upto,
+                chunks_total=len(grid),
+                index=index,
+                final=upto == len(grid),
+            )
+
+    def pushdown_profile(
+        self,
+        query: Query,
+        model: Optional[_CompletionModelBase] = None,
+        suspected_bias: Optional[SuspectedBias] = None,
+    ) -> Optional[Dict[str, object]]:
+        """Plan a query's pushdown without running it.
+
+        Returns the scan profile a pushed run would have — how many root
+        evidence rows qualify vs how many full materialization walks —
+        plus the filter classification.  ``None`` when the query needs no
+        completion or the selected path does not cover it.  Cheap: only
+        the pre-walk predicate is evaluated, on real root columns.
+        """
+        incomplete = [
+            t for t in query.tables if not self.annotation.is_complete(t)
+        ]
+        if not incomplete:
+            return None
+        if model is None:
+            choice = self.select_model(
+                self._primary_target(incomplete), query=query,
+                suspected_bias=suspected_bias,
+            )
+            model = choice.model
+        if not set(query.tables) <= set(model.layout.path.tables):
+            return None
+        plan = plan_pushdown(self.db, model.layout.path.tables, query)
+        join = self._partial_join(model)
+        tables = join.effective_tables()
+        num_roots = len(join.db.table(tables[0]))
+        if plan.has_root_filters:
+            qualifying = int(join.qualifying_root_mask(plan, tables).sum())
+        else:
+            qualifying = num_roots
+        return {
+            "roots_total": num_roots,
+            "roots_qualifying": qualifying,
+            "filters": plan.counts_by_kind(),
+            "residual_filters": len(plan.residual),
+        }
 
     def _primary_target(self, incomplete_tables: Sequence[str]) -> str:
         """The incomplete table whose models drive the completion.

@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..query import JoinResult
+from ..query.pushdown import PushdownPlan, conjunction_mask
 from ..relational import MISSING_KEY, CompletionPath
 from ..relational.tuple_factors import TF_UNKNOWN
 from ..runtime import rng as rt_rng
@@ -79,6 +80,9 @@ class CompletedJoin:
     synthesized_mask: Dict[str, np.ndarray] = field(default_factory=dict)
     codes: Optional[np.ndarray] = None
     context: Optional[np.ndarray] = None
+    #: run-level pushdown provenance (roots scanned vs qualifying, chunks
+    #: walked vs total, pushed-filter counts by kind); None for plain runs.
+    pushdown: Optional[Dict[str, object]] = None
 
     @property
     def num_rows(self) -> int:
@@ -126,6 +130,20 @@ class _WalkState:
 
 def _concat_states(a: _WalkState, b: _WalkState) -> _WalkState:
     return _concat_many([a, b])
+
+
+def _materialize_parked(parked: List[_WalkState]) -> _WalkState:
+    """Concatenate parked states into a freshly owned state.
+
+    ``_resolve_dangling`` mutates its input in place; ``_concat_many``
+    returns the input itself for a single non-empty state, which would
+    corrupt chunk outputs held by the partial-completion cache.  Copy in
+    that aliasing case so assembly never writes into cached outputs.
+    """
+    merged = _concat_many(parked)
+    if any(merged is state for state in parked):
+        merged = merged.take(np.arange(merged.num_rows, dtype=np.int64))
+    return merged
 
 
 def _concat_many(states: List[_WalkState]) -> _WalkState:
@@ -194,6 +212,29 @@ class _ChunkOutput:
     acc: _ShardAccumulator
 
 
+def restrict_chunk_output(
+    output: _ChunkOutput, filters: Sequence
+) -> _ChunkOutput:
+    """A chunk output with rows failing the given pushed filters removed.
+
+    Turns a chunk walked under a looser plan into the stricter plan's exact
+    chunk: pruning mid-walk versus filtering the finished rows select the
+    same rows (pure row selection on purely derived rows), and the parked
+    side state is plan-independent, so it is shared unchanged.
+    """
+    state = output.state
+    if not filters or state.num_rows == 0:
+        return output
+    mask = conjunction_mask(
+        state.columns, list(filters), state.num_rows
+    )
+    if mask.all():
+        return output
+    return _ChunkOutput(
+        state=state.take(np.flatnonzero(mask)), acc=output.acc
+    )
+
+
 @dataclass
 class _JoinWorkerSpec:
     """Everything a process worker needs to rebuild this join — picklable.
@@ -208,6 +249,7 @@ class _JoinWorkerSpec:
     replace_synthesized: bool
     seed: int
     tables: Tuple[str, ...]
+    plan: Optional[PushdownPlan] = None
 
 
 def _build_worker_join(spec: _JoinWorkerSpec):
@@ -222,14 +264,14 @@ def _build_worker_join(spec: _JoinWorkerSpec):
         replace_synthesized=spec.replace_synthesized,
         seed=spec.seed,
     )
-    return join, list(spec.tables)
+    return join, list(spec.tables), spec.plan
 
 
 def _walk_chunk_task(state, task: Tuple[int, int]) -> _ChunkOutput:
     """Executor task: walk one chunk of root rows (any backend)."""
-    join, tables = state
+    join, tables, plan = state
     start, stop = task
-    return join._walk_chunk(slice(start, stop), tables)
+    return join._walk_chunk(slice(start, stop), tables, plan)
 
 
 class IncompletenessJoin:
@@ -300,7 +342,11 @@ class IncompletenessJoin:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, stop_table: Optional[str] = None) -> CompletedJoin:
+    def run(
+        self,
+        stop_table: Optional[str] = None,
+        plan: Optional[PushdownPlan] = None,
+    ) -> CompletedJoin:
         """Complete the join along the path, streaming over root-row chunks.
 
         Chunks are dispatched to the configured executor; their outputs are
@@ -308,7 +354,41 @@ class IncompletenessJoin:
         rows (up to order).  ``stop_table`` truncates the walk after that
         table is reached — a merged model trained on a longer path serves
         any prefix sub-path this way (§3.4).
+
+        ``plan`` pushes query predicates into the walk (see
+        :mod:`repro.query.pushdown`): chunks with no qualifying root row are
+        never dispatched, non-qualifying rows are dropped at each filter's
+        prune slot, and surviving rows are bitwise identical to the
+        corresponding rows of a planless run at the same seed.
         """
+        tables = self.effective_tables(stop_table)
+        self._validate_plan(plan, tables)
+        self._num_synth = {}
+        self._synth_masks = {}
+
+        num_roots = len(self.db.table(tables[0]))
+        tasks = self.chunk_tasks(tables)
+        walked = tasks
+        roots_qualifying = num_roots
+        if plan is not None and plan.has_root_filters:
+            mask = self.qualifying_root_mask(plan, tables)
+            roots_qualifying = int(mask.sum())
+            walked = [t for t in tasks if mask[t[0]:t[1]].any()]
+        outputs = self.walk_chunks(walked, tables, plan)
+        completed = self.assemble(outputs, tables, plan)
+        if plan is not None:
+            completed.pushdown = {
+                "roots_total": num_roots,
+                "roots_qualifying": roots_qualifying,
+                "chunks_total": len(tasks),
+                "chunks_walked": len(walked),
+                "filters": plan.counts_by_kind(),
+                "residual_filters": len(plan.residual),
+            }
+        return completed
+
+    def effective_tables(self, stop_table: Optional[str] = None) -> List[str]:
+        """The path's tables, truncated after ``stop_table`` if given."""
         tables = list(self.path.tables)
         if stop_table is not None:
             if stop_table not in tables:
@@ -316,19 +396,68 @@ class IncompletenessJoin:
             tables = tables[: tables.index(stop_table) + 1]
             if len(tables) < 2:
                 raise ValueError("stop_table must leave at least one hop")
+        return tables
 
-        self._num_synth = {}
-        self._synth_masks = {}
+    def chunk_tasks(
+        self, tables: Optional[Sequence[str]] = None
+    ) -> List[Tuple[int, int]]:
+        """The canonical ``(start, stop)`` root-row grid of this join.
 
+        Deterministic for a fixed configuration — the partial-completion
+        cache keys chunk reuse on these bounds.
+        """
+        tables = list(tables) if tables is not None else list(self.path.tables)
         num_roots = len(self.db.table(tables[0]))
         chunk_size = self.chunk_size
         if chunk_size is None and self.n_workers > 1:
             chunk_size = default_chunk_size(num_roots, self.n_workers)
-        tasks = [
-            (s.start, s.stop) for s in chunk_slices(num_roots, chunk_size)
-        ]
-        outputs = self._run_chunks(tasks, tables)
+        return [(s.start, s.stop) for s in chunk_slices(num_roots, chunk_size)]
 
+    def qualifying_root_mask(
+        self, plan: PushdownPlan, tables: Optional[Sequence[str]] = None
+    ) -> np.ndarray:
+        """Boolean mask of root rows passing the plan's pre-walk filters."""
+        tables = list(tables) if tables is not None else list(self.path.tables)
+        self._ensure_root_columns(tables[0])
+        assert self._root_columns is not None
+        num_roots = len(self.db.table(tables[0]))
+        return conjunction_mask(
+            self._root_columns, plan.filters_at(0), num_roots
+        )
+
+    def walk_chunks(
+        self,
+        tasks: List[Tuple[int, int]],
+        tables: Optional[Sequence[str]] = None,
+        plan: Optional[PushdownPlan] = None,
+    ) -> List[_ChunkOutput]:
+        """Walk the given root-row chunks (no assembly) on the executor.
+
+        Each output is a pure function of (seed, chunk bounds, plan) — the
+        progressive engine walks a prefix of :meth:`chunk_tasks` now and
+        tops up later; the partial-completion cache stores outputs keyed by
+        chunk bounds and reuses them across queries.
+        """
+        tables = list(tables) if tables is not None else list(self.path.tables)
+        self._validate_plan(plan, tables)
+        return self._run_chunks(tasks, tables, plan)
+
+    def assemble(
+        self,
+        outputs: List[_ChunkOutput],
+        tables: Optional[Sequence[str]] = None,
+        plan: Optional[PushdownPlan] = None,
+    ) -> CompletedJoin:
+        """Merge chunk outputs into a completed join.
+
+        Resolves dangling-FK parents globally across the given outputs and
+        runs the continuation walks.  Parked states are copied before
+        resolution, so outputs stay reusable — assembling a chunk subset for
+        an early estimate and later re-assembling a superset (top-up) both
+        see pristine chunk outputs.
+        """
+        tables = list(tables) if tables is not None else list(self.path.tables)
+        self._validate_plan(plan, tables)
         acc = _ShardAccumulator()
         chunks: List[_WalkState] = []
         for output in outputs:  # executor order == task order: deterministic
@@ -343,8 +472,18 @@ class IncompletenessJoin:
             parked = acc.parked.pop(slot, None)
             if not parked:
                 continue
-            resolved = self._resolve_dangling(_concat_many(parked), slot, acc)
-            chunks.append(self._walk(resolved, slot + 1, len(tables), acc))
+            resolved = self._resolve_dangling(
+                _materialize_parked(parked), slot, acc
+            )
+            if plan is not None and resolved.num_rows:
+                mask = plan.mask_at(slot, resolved.columns, resolved.num_rows)
+                if mask is not None and not mask.all():
+                    resolved = resolved.take(np.flatnonzero(mask))
+            chunks.append(self._walk(resolved, slot + 1, len(tables), acc, plan))
+        if not chunks:
+            # All chunks were skipped by pre-walk pruning: produce a
+            # correctly shaped empty result by walking zero rows.
+            chunks = [self._walk_chunk(slice(0, 0), tables, plan).state]
         # One concatenation at the end — pairwise accumulation would copy
         # the growing result once per chunk (quadratic in the row count).
         completed = _concat_many(chunks)
@@ -366,8 +505,22 @@ class IncompletenessJoin:
             context=completed.context,
         )
 
+    def _validate_plan(
+        self, plan: Optional[PushdownPlan], tables: Sequence[str]
+    ) -> None:
+        if plan is None:
+            return
+        if tuple(plan.path_tables) != tuple(tables):
+            raise ValueError(
+                f"pushdown plan was built for path {plan.path_tables}, "
+                f"not {tuple(tables)}"
+            )
+
     def _run_chunks(
-        self, tasks: List[Tuple[int, int]], tables: List[str]
+        self,
+        tasks: List[Tuple[int, int]],
+        tables: List[str],
+        plan: Optional[PushdownPlan] = None,
     ) -> List[_ChunkOutput]:
         """Dispatch chunk walks to the executor and collect them in order."""
         use_compiled = getattr(self.model, "use_compiled", True)
@@ -384,22 +537,41 @@ class IncompletenessJoin:
                 self._executor if self._executor.shares_caller_state
                 else SerialExecutor()
             )
-            return executor.map(_walk_chunk_task, tasks, payload=(self, tables))
+            return executor.map(
+                _walk_chunk_task, tasks, payload=(self, tables, plan)
+            )
         spec = _JoinWorkerSpec(
             model=self.model.inference_snapshot(),
             approximate_replacement=self.approximate_replacement,
             replace_synthesized=self.replace_synthesized,
             seed=self.seed,
             tables=tuple(tables),
+            plan=plan,
         )
         return self._executor.map(
             _walk_chunk_task, tasks, payload=spec, init=_build_worker_join
         )
 
-    def _walk_chunk(self, rows_slice: slice, tables: Sequence[str]) -> _ChunkOutput:
+    def _walk_chunk(
+        self,
+        rows_slice: slice,
+        tables: Sequence[str],
+        plan: Optional[PushdownPlan] = None,
+    ) -> _ChunkOutput:
         """Walk one chunk of root rows into a self-contained output."""
         acc = _ShardAccumulator()
-        state = self._walk(self._initial_state(rows_slice), 1, len(tables), acc)
+        rows = np.arange(rows_slice.start, rows_slice.stop, dtype=np.int64)
+        if plan is not None and plan.has_root_filters and len(rows):
+            # Pre-walk pruning: drop non-qualifying roots before any model
+            # sampling.  Only the filters' own columns are sliced here.
+            self._ensure_root_columns(tables[0])
+            assert self._root_columns is not None
+            filters = plan.filters_at(0)
+            cols = {
+                p.column: self._root_columns[p.column][rows] for p in filters
+            }
+            rows = rows[conjunction_mask(cols, filters, len(rows))]
+        state = self._walk(self._initial_state(rows), 1, len(tables), acc, plan)
         return _ChunkOutput(state=state, acc=acc)
 
     def _prepare_shared_caches(self, tables: List[str]) -> None:
@@ -441,10 +613,22 @@ class IncompletenessJoin:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def _initial_state(self, rows_slice: slice) -> _WalkState:
+    def _ensure_root_columns(self, root: str) -> None:
+        if self._root_columns is None:  # materialized once, sliced per chunk
+            table = self.db.table(root)
+            self._root_columns = {
+                f"{root}.{c}": np.asarray(table[c]) for c in table.column_names
+            }
+
+    def _initial_state(self, rows: np.ndarray) -> _WalkState:
+        """Root evidence state for an explicit array of root-row indices.
+
+        Each row's stream is derived from its index alone, so a pruned row
+        set yields streams identical to the same rows of a full run.
+        """
         root = self.path.tables[0]
         table = self.db.table(root)
-        rows = np.arange(rows_slice.start, rows_slice.stop, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.int64)
         codes = np.zeros((len(rows), self.layout.num_variables), dtype=np.int64)
         start, stop = self.layout.slot_range(0)
         encoder = self.layout.encoders[root]
@@ -452,10 +636,8 @@ class IncompletenessJoin:
             if self._root_codes is None:  # encoded once, sliced per chunk
                 self._root_codes = encoder.encode_table(table)
             codes[:, start:stop] = self._root_codes[rows]
-        if self._root_columns is None:  # materialized once, sliced per chunk
-            self._root_columns = {
-                f"{root}.{c}": np.asarray(table[c]) for c in table.column_names
-            }
+        self._ensure_root_columns(root)
+        assert self._root_columns is not None
         # Fancy indexing copies, so chunk states never alias the database.
         columns = {k: v[rows] for k, v in self._root_columns.items()}
         context = self.model.context_for_roots(rows)
@@ -496,9 +678,21 @@ class IncompletenessJoin:
     # Hops
     # ------------------------------------------------------------------
     def _walk(self, state: _WalkState, start_slot: int, num_slots: int,
-              acc: _ShardAccumulator) -> _WalkState:
+              acc: _ShardAccumulator,
+              plan: Optional[PushdownPlan] = None) -> _WalkState:
         for slot in range(start_slot, num_slots):
             state = self._hop(state, slot, acc)
+            if plan is not None and state.num_rows:
+                # Mid-walk pruning: rows failing a predicate decidable at
+                # this slot never sample any downstream hop.  Parked
+                # dangling-FK rows bypass this (they left the state in
+                # _n_to_1_hop) and are filtered after global resolution —
+                # the planner guarantees no filter prunes before the last
+                # dangling-capable slot, so parked sets stay
+                # plan-independent.
+                mask = plan.mask_at(slot, state.columns, state.num_rows)
+                if mask is not None and not mask.all():
+                    state = state.take(np.flatnonzero(mask))
         return state
 
     def _hop(self, state: _WalkState, slot: int, acc: _ShardAccumulator) -> _WalkState:

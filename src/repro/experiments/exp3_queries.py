@@ -11,6 +11,7 @@ are cached (§4.5), so e.g. housing Q1 and Q6 under H1 reuse one completion.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -33,6 +34,12 @@ class Fig8Row:
     removal_correlation: float
     error_incomplete: float
     error_completed: float
+    #: Wall time of the ``engine.answer`` call (join may come from cache).
+    wall_ms: float = 0.0
+    #: Root evidence rows a full materialization walks / a pushed run would
+    #: walk (``None`` when the query needs no completion).
+    roots_total: Optional[int] = None
+    roots_qualifying: Optional[int] = None
 
     @property
     def improvement(self) -> float:
@@ -67,7 +74,10 @@ def run_fig8(
                 for query_name, query in members:
                     truth = execute(db, query)
                     on_incomplete = execute(incomplete.incomplete, query)
+                    started = time.perf_counter()
                     answer = engine.answer(query)
+                    wall_ms = (time.perf_counter() - started) * 1000.0
+                    profile = engine.pushdown_profile(query) or {}
                     rows.append(Fig8Row(
                         dataset=dataset,
                         query=query_name,
@@ -76,6 +86,9 @@ def run_fig8(
                         removal_correlation=corr,
                         error_incomplete=relative_error(on_incomplete, truth),
                         error_completed=relative_error(answer.result, truth),
+                        wall_ms=wall_ms,
+                        roots_total=profile.get("roots_total"),
+                        roots_qualifying=profile.get("roots_qualifying"),
                     ))
     return rows
 
@@ -96,10 +109,18 @@ def print_fig8(rows: Sequence[Fig8Row]) -> None:
     dataset = rows[0].dataset
     print(f"{dataset}: relative error improvement (Eq. 1, higher is better)")
     print(f"{'query':6s} {'setup':6s} {'err(incomplete)':>16s} "
-          f"{'err(completed)':>15s} {'improvement':>12s}")
+          f"{'err(completed)':>15s} {'improvement':>12s} {'wall_ms':>9s} "
+          f"{'scan':>12s}")
     for query in sorted({r.query for r in rows}, key=lambda q: int(q[1:])):
         mine = [r for r in rows if r.query == query]
         inc = float(np.mean([r.error_incomplete for r in mine]))
         comp = float(np.mean([r.error_completed for r in mine]))
+        wall = float(np.mean([r.wall_ms for r in mine]))
+        scanned = [r for r in mine if r.roots_total is not None]
+        if scanned:
+            scan = (f"{sum(r.roots_qualifying for r in scanned)}"
+                    f"/{sum(r.roots_total for r in scanned)}")
+        else:
+            scan = "-"
         print(f"{query:6s} {mine[0].setup:6s} {inc:16.3f} {comp:15.3f} "
-              f"{inc - comp:12.3f}")
+              f"{inc - comp:12.3f} {wall:9.1f} {scan:>12s}")

@@ -17,7 +17,14 @@ from .executor import (
     execute_on_join,
     filter_mask,
     join_tables,
+    predicate_mask,
     validate_query_columns,
+)
+from .pushdown import (
+    PushdownPlan,
+    PushedFilter,
+    dangling_hop_slots,
+    plan_pushdown,
 )
 from .sql import SQLSyntaxError, parse_query
 
@@ -32,7 +39,12 @@ __all__ = [
     "JoinResult",
     "join_tables",
     "filter_mask",
+    "predicate_mask",
     "aggregate",
+    "PushdownPlan",
+    "PushedFilter",
+    "plan_pushdown",
+    "dangling_hop_slots",
     "execute",
     "execute_on_join",
     "available_columns",

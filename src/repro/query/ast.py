@@ -57,6 +57,17 @@ class Filter:
         if self.op is FilterOp.IN and not isinstance(self.value, tuple):
             raise ValueError("IN filters take a tuple of values")
 
+    def fingerprint(self, column: Optional[str] = None) -> Tuple:
+        """Canonical hashable identity of this predicate.
+
+        ``column`` substitutes the fully qualified column name when the
+        caller has resolved it (two spellings of the same predicate —
+        ``price`` vs ``apartment.price`` — then share one fingerprint).
+        The partial-completion cache keys chunk reuse on sets of these.
+        """
+        value = self.value if isinstance(self.value, tuple) else (self.value,)
+        return (column or self.column, self.op.value, tuple(sorted(map(repr, value))))
+
     def __str__(self) -> str:
         return f"{self.column} {self.op.value} {self.value!r}"
 
@@ -88,6 +99,11 @@ class Query:
             raise ValueError("a query needs at least one table")
         if len(set(self.tables)) != len(self.tables):
             raise ValueError("duplicate tables in query (self-joins unsupported)")
+
+    def predicate_fingerprint(self) -> Tuple:
+        """Order-independent identity of the WHERE clause (see
+        :meth:`Filter.fingerprint`)."""
+        return tuple(sorted(f.fingerprint() for f in self.filters))
 
     def columns_referenced(self) -> List[str]:
         cols = [f.column for f in self.filters]

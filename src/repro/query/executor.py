@@ -216,18 +216,26 @@ _OPS = {
 }
 
 
+def predicate_mask(col: np.ndarray, predicate: Filter) -> np.ndarray:
+    """Boolean mask of one predicate over a column array.
+
+    The single evaluation rule shared by post-hoc filtering and the
+    pushdown planner (:mod:`repro.query.pushdown`) — pruning a walk row
+    mid-join and filtering the materialized join must agree bitwise.
+    """
+    if predicate.op is FilterOp.IN:
+        sub = np.zeros(len(col), dtype=bool)
+        for value in predicate.value:  # type: ignore[union-attr]
+            sub |= col == value
+        return sub
+    return np.asarray(_OPS[predicate.op](col, predicate.value), dtype=bool)
+
+
 def filter_mask(joined: JoinResult, filters: Sequence[Filter]) -> np.ndarray:
     """Conjunction of all predicates as a boolean row mask."""
     mask = np.ones(joined.num_rows, dtype=bool)
     for predicate in filters:
-        col = joined.resolve(predicate.column)
-        if predicate.op is FilterOp.IN:
-            sub = np.zeros(joined.num_rows, dtype=bool)
-            for value in predicate.value:  # type: ignore[union-attr]
-                sub |= col == value
-            mask &= sub
-        else:
-            mask &= np.asarray(_OPS[predicate.op](col, predicate.value), dtype=bool)
+        mask &= predicate_mask(joined.resolve(predicate.column), predicate)
     return mask
 
 

@@ -19,7 +19,7 @@ both completion (inference) and ``fit`` (training) execute here instead:
 """
 
 from . import kernels, rng
-from .cache import CacheStats, JoinCache
+from .cache import CacheStats, JoinCache, PartialCacheStats, PartialJoinCache
 from .compiled import (
     TILE,
     CompiledDense,
@@ -49,6 +49,8 @@ __all__ = [
     "rng",
     "CacheStats",
     "JoinCache",
+    "PartialCacheStats",
+    "PartialJoinCache",
     "ParameterBuffer",
     "FusedResidualMADE",
     "FusedTreeEncoder",

@@ -1,4 +1,4 @@
-"""A bounded LRU cache for completed incompleteness joins (paper §4.5).
+"""Bounded LRU caches for completed and partial incompleteness joins (§4.5).
 
 The engine reuses a completed join across every query that selects the same
 model, but completed joins can dwarf the database itself (one row per
@@ -7,6 +7,15 @@ evidence combination).  The seed engine kept them in an unbounded dict;
 supports explicit invalidation on re-``fit`` (the models behind a cached
 join changed), and surfaces hit/miss/eviction counters so operators can size
 the cache against their workload.
+
+:class:`PartialJoinCache` is the budget-aware layer underneath: it caches
+*chunk outputs* of the incompleteness join keyed by ``(join signature,
+predicate fingerprint, chunk bounds)``.  Chunk outputs are pure functions of
+those keys, so overlapping queries reuse each other's completed chunks, a
+budgeted (partial) run leaves chunks behind that a later full-join request
+tops up instead of starting over, and a chunk walked under a *looser*
+predicate set serves a stricter query after post-hoc filtering
+(subset-fingerprint reuse).
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 
 @dataclass
@@ -113,3 +122,153 @@ class JoinCache:
     def reset_stats(self) -> None:
         with self._lock:
             self.stats = CacheStats()
+
+
+@dataclass
+class PartialCacheStats(CacheStats):
+    """Partial-cache counters; ``subset_hits`` are hits served from a chunk
+    walked under a looser predicate set (caller re-filters the rows)."""
+
+    subset_hits: int = 0
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        out["subset_hits"] = self.subset_hits
+        return out
+
+
+class PartialJoinCache:
+    """Chunk-granular LRU cache of partial incompleteness-join results.
+
+    One entry is one chunk output (the walked rows of a root-row range plus
+    its parked dangling-FK side state), keyed by::
+
+        (join signature, chunk grid, chunk bounds, predicate fingerprints)
+
+    * The *join signature* pins everything that changes bitwise content
+      (model identity, path, seed, inference backend) — same key the
+      engine's :class:`JoinCache` uses.
+    * The *chunk grid* (the full task list the bounds came from) guards
+      against mixing chunkings: bounds are only comparable within one grid.
+    * The *predicate fingerprints* (a frozenset of canonical filter
+      identities, see :meth:`repro.query.ast.Filter.fingerprint`) identify
+      which pushed filters pruned the chunk's rows.
+
+    :meth:`lookup` serves an exact fingerprint match first, then falls back
+    to any cached entry whose fingerprints are a **subset** of the request:
+    a chunk walked under fewer filters contains a superset of the rows, and
+    pruning is pure row selection, so the caller obtains the exact stricter
+    chunk by applying the leftover filters post-hoc.  The returned
+    fingerprints tell the caller which filters are still outstanding.
+    Parked side state is plan-independent by planner construction, so it is
+    reusable as-is in both cases.
+
+    Capacity is counted in chunks.  Thread-safe like :class:`JoinCache`;
+    invalidation drops everything (models were re-fitted).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("PartialJoinCache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = PartialCacheStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # base key (signature, grid, bounds) -> fingerprint sets present
+        self._by_base: Dict[Hashable, Set[FrozenSet]] = {}
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def _base_key(signature: Hashable, grid: Tuple, task: Tuple) -> Hashable:
+        return (signature, grid, task)
+
+    def has_entries(self, signature: Hashable, grid: Tuple) -> bool:
+        """Pure probe: any chunk cached for this join signature and grid?
+
+        Lets a full-join request decide whether a top-up from partial
+        chunks is possible without spending per-chunk miss counters.
+        """
+        with self._lock:
+            return any(
+                base[0] == signature and base[1] == grid
+                for base in self._by_base
+            )
+
+    def lookup(
+        self,
+        signature: Hashable,
+        grid: Tuple,
+        task: Tuple,
+        fingerprints: FrozenSet,
+    ) -> Optional[Tuple[Any, FrozenSet]]:
+        """The cached chunk for ``task`` under ``fingerprints``, if any.
+
+        Returns ``(chunk output, cached fingerprints)``; the second element
+        equals ``fingerprints`` on an exact hit and is a proper subset on a
+        looser-plan hit (the caller must apply the missing filters).  Among
+        several subset candidates the largest wins — fewest rows left to
+        re-filter.
+        """
+        base = self._base_key(signature, grid, task)
+        with self._lock:
+            candidates = self._by_base.get(base)
+            if candidates:
+                if fingerprints in candidates:
+                    key = (base, fingerprints)
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return self._entries[key], fingerprints
+                subsets: List[FrozenSet] = [
+                    fps for fps in candidates if fps < fingerprints
+                ]
+                if subsets:
+                    best = max(subsets, key=len)
+                    key = (base, best)
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    self.stats.subset_hits += 1
+                    return self._entries[key], best
+            self.stats.misses += 1
+            return None
+
+    def put(
+        self,
+        signature: Hashable,
+        grid: Tuple,
+        task: Tuple,
+        fingerprints: FrozenSet,
+        output: Any,
+    ) -> None:
+        base = self._base_key(signature, grid, task)
+        key = (base, fingerprints)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = output
+                return
+            self._entries[key] = output
+            self._by_base.setdefault(base, set()).add(fingerprints)
+            while len(self._entries) > self.capacity:
+                old_key, _ = self._entries.popitem(last=False)
+                old_base, old_fps = old_key
+                remaining = self._by_base.get(old_base)
+                if remaining is not None:
+                    remaining.discard(old_fps)
+                    if not remaining:
+                        del self._by_base[old_base]
+                self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (models were re-fitted; cached chunks are stale)."""
+        with self._lock:
+            if self._entries:
+                self.stats.invalidations += 1
+            self._entries.clear()
+            self._by_base.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = PartialCacheStats()

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..core.engine import Answer, ReStore
 from ..core.models import _CompletionModelBase
+from ..core.progressive import Refinement, SamplingBudget
 from ..core.selection import SuspectedBias
 from ..query import Query, parse_query, validate_query_columns
 from .batching import (
@@ -89,6 +90,8 @@ class ServiceStats:
     p50_latency_ms: float
     p95_latency_ms: float
     cache: dict
+    progressive: dict
+    partial_cache: dict
 
     def as_dict(self) -> dict:
         return {
@@ -105,6 +108,8 @@ class ServiceStats:
             "p50_latency_ms": self.p50_latency_ms,
             "p95_latency_ms": self.p95_latency_ms,
             "cache": dict(self.cache),
+            "progressive": dict(self.progressive),
+            "partial_cache": dict(self.partial_cache),
         }
 
 
@@ -117,6 +122,52 @@ class _Counters:
     batches: int = 0
     joins_started: int = 0
     coalesced_requests: int = 0
+    progressive_queries: int = 0
+    progressive_flights: int = 0
+    progressive_coalesced: int = 0
+    refinements_emitted: int = 0
+
+
+_FLIGHT_DONE = object()
+
+
+class _ProgressiveFlight:
+    """One in-flight progressive run shared by coalesced subscribers.
+
+    All bookkeeping runs on the event-loop thread: the worker thread that
+    drives :meth:`ReStore.answer_progressive` hands refinements over via
+    ``loop.call_soon_threadsafe``, so subscription (with history replay for
+    late joiners), publication, and completion never race.
+    """
+
+    def __init__(self) -> None:
+        self.history: List[Refinement] = []
+        self.subscribers: List["asyncio.Queue"] = []
+        self.done = False
+        self.error: Optional[BaseException] = None
+
+    def subscribe(self) -> "asyncio.Queue":
+        queue: "asyncio.Queue" = asyncio.Queue()
+        for refinement in self.history:
+            queue.put_nowait(refinement)
+        if self.done:
+            queue.put_nowait(self.error if self.error is not None else _FLIGHT_DONE)
+        else:
+            self.subscribers.append(queue)
+        return queue
+
+    def publish(self, refinement: Refinement) -> None:
+        self.history.append(refinement)
+        for queue in self.subscribers:
+            queue.put_nowait(refinement)
+
+    def finish(self, error: Optional[BaseException]) -> None:
+        self.done = True
+        self.error = error
+        sentinel = error if error is not None else _FLIGHT_DONE
+        for queue in self.subscribers:
+            queue.put_nowait(sentinel)
+        self.subscribers.clear()
 
 
 class CompletionService:
@@ -147,6 +198,9 @@ class CompletionService:
         self._latencies_ms: deque = deque(maxlen=self.config.latency_window)
         self._batch_sizes: deque = deque(maxlen=self.config.latency_window)
         self._inflight_joins: Dict[Tuple, "asyncio.Future"] = {}
+        self._progressive_flights: Dict[Tuple, _ProgressiveFlight] = {}
+        self._progressive_drivers: set = set()
+        self._utilizations: deque = deque(maxlen=self.config.latency_window)
         self._group_tasks: set = set()
         self._collector: Optional["asyncio.Task"] = None
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -188,6 +242,9 @@ class CompletionService:
             request.fail(ServiceClosedError("service closed before dispatch"))
         if self._group_tasks:
             await asyncio.gather(*list(self._group_tasks), return_exceptions=True)
+        if self._progressive_drivers:
+            await asyncio.gather(*list(self._progressive_drivers),
+                                 return_exceptions=True)
         self._pool.shutdown(wait=True)
 
     async def __aenter__(self) -> "CompletionService":
@@ -244,6 +301,86 @@ class CompletionService:
     async def submit_many(self, queries: Sequence[QueryLike]) -> List[Answer]:
         """Submit queries concurrently (one micro-batch candidate) and await all."""
         return list(await asyncio.gather(*(self.submit(q) for q in queries)))
+
+    async def submit_progressive(
+        self,
+        query: QueryLike,
+        budget: Optional[SamplingBudget] = None,
+        suspected_bias: Optional[SuspectedBias] = None,
+    ):
+        """Submit one query for budgeted answering; iterate the refinements.
+
+        An async iterator over :class:`~repro.core.Refinement`: the first
+        element arrives after the budget's initial chunks complete, later
+        ones as the estimate tightens, the last with ``final=True`` (exact,
+        unless the budget truncates the run)::
+
+            async for refinement in service.submit_progressive(sql):
+                show(refinement.result, refinement.band)
+
+        Identical in-flight queries are coalesced into **one** refinement
+        sequence: subscribers that join mid-run first replay the
+        refinements already emitted, then stream live — every subscriber
+        sees the same sequence, and the engine runs it once.
+        """
+        if not self._running:
+            raise ServiceClosedError("service is not running; use 'async with'")
+        if isinstance(query, str):
+            query = parse_query(query)
+        validate_query_columns(self.engine.db, query)
+        budget = budget if budget is not None else SamplingBudget()
+        loop = asyncio.get_running_loop()
+        self._counters.progressive_queries += 1
+        key = (repr(query), repr(suspected_bias), budget)
+        flight = self._progressive_flights.get(key)
+        if flight is None:
+            flight = _ProgressiveFlight()
+            self._progressive_flights[key] = flight
+            self._counters.progressive_flights += 1
+            driver = loop.run_in_executor(
+                self._pool, self._drive_progressive,
+                loop, flight, key, query, budget, suspected_bias,
+            )
+            self._progressive_drivers.add(driver)
+            driver.add_done_callback(self._progressive_drivers.discard)
+        else:
+            self._counters.progressive_coalesced += 1
+        queue = flight.subscribe()
+        while True:
+            item = await queue.get()
+            if item is _FLIGHT_DONE:
+                return
+            if isinstance(item, BaseException):
+                raise item
+            yield item
+
+    def _drive_progressive(
+        self,
+        loop: "asyncio.AbstractEventLoop",
+        flight: _ProgressiveFlight,
+        key: Tuple,
+        query: Query,
+        budget: SamplingBudget,
+        suspected_bias: Optional[SuspectedBias],
+    ) -> None:
+        """Worker-thread body: run the engine's refinement loop, publish."""
+        last: Optional[Refinement] = None
+        try:
+            for refinement in self.engine.answer_progressive(
+                query, budget=budget, suspected_bias=suspected_bias
+            ):
+                last = refinement
+                self._counters.refinements_emitted += 1
+                loop.call_soon_threadsafe(flight.publish, refinement)
+            error: Optional[BaseException] = None
+        except BaseException as exc:
+            error = exc
+        if last is not None:
+            self._utilizations.append(last.budget_utilization)
+        def _finish() -> None:
+            self._progressive_flights.pop(key, None)
+            flight.finish(error)
+        loop.call_soon_threadsafe(_finish)
 
     # ------------------------------------------------------------------
     # Batch collection and dispatch
@@ -378,9 +515,25 @@ class CompletionService:
     # Observability
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
-        """Latency percentiles, batching and coalescing counters, cache."""
+        """Latency percentiles, batching/coalescing counters, cache and
+        progressive-refinement metrics (refinements per query, budget
+        utilization, partial-cache hit rate)."""
         latencies = np.asarray(self._latencies_ms, dtype=float)
         sizes = list(self._batch_sizes)
+        utilizations = list(self._utilizations)
+        flights = self._counters.progressive_flights
+        progressive = {
+            "queries": self._counters.progressive_queries,
+            "flights": flights,
+            "coalesced_queries": self._counters.progressive_coalesced,
+            "refinements_emitted": self._counters.refinements_emitted,
+            "mean_refinements_per_flight": (
+                self._counters.refinements_emitted / flights if flights else 0.0
+            ),
+            "mean_budget_utilization": (
+                float(np.mean(utilizations)) if utilizations else 0.0
+            ),
+        }
         return ServiceStats(
             requests=self._counters.requests,
             completed=self._counters.completed,
@@ -399,4 +552,6 @@ class CompletionService:
                 float(np.percentile(latencies, 95)) if len(latencies) else 0.0
             ),
             cache=self.engine.cache_stats.as_dict(),
+            progressive=progressive,
+            partial_cache=self.engine.partial_cache_stats.as_dict(),
         )

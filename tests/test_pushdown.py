@@ -1,0 +1,151 @@
+"""Unit tests for the predicate-pushdown planner (:mod:`repro.query.pushdown`).
+
+The planner classifies each query filter against a completion path as
+pre-walk (prunes root evidence rows before chunk scheduling), mid-walk
+(prunes partial walk states after its table's hop) or post-hoc (evaluated on
+the final state), and bumps prune slots past dangling-FK hops so parked-row
+resolution stays plan-independent.  These tests pin the classification, the
+fingerprint algebra the partial cache keys on, and the dangling detection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import HousingConfig, generate_housing
+from repro.query import (
+    Aggregate,
+    AggregateKind,
+    Filter,
+    FilterOp,
+    Query,
+    dangling_hop_slots,
+    plan_pushdown,
+)
+from repro.relational import ColumnKind, Database, ForeignKey, Table
+
+K, C, N = ColumnKind.KEY, ColumnKind.CATEGORICAL, ColumnKind.CONTINUOUS
+
+
+@pytest.fixture(scope="module")
+def housing():
+    return generate_housing(HousingConfig(seed=0, num_neighborhoods=20,
+                                          num_landlords=40,
+                                          apartments_per_neighborhood=5.0))
+
+
+def _query(tables, *filters):
+    return Query(tables=tuple(tables),
+                 aggregate=Aggregate(AggregateKind.COUNT),
+                 filters=tuple(filters))
+
+
+class TestClassification:
+    def test_root_filter_is_pre(self, housing):
+        query = _query(("neighborhood", "apartment"),
+                       Filter("neighborhood.pop_density", FilterOp.GE, 100.0))
+        plan = plan_pushdown(housing, ("neighborhood", "apartment"), query)
+        assert plan.has_pushdown and plan.has_root_filters
+        [pushed] = plan.pushed
+        assert pushed.kind == "pre"
+        assert pushed.slot == 0 and pushed.prune_slot == 0
+        assert plan.counts_by_kind() == {"pre": 1, "mid": 0, "post": 0}
+
+    def test_target_filter_is_post(self, housing):
+        query = _query(("neighborhood", "apartment"),
+                       Filter("apartment.price", FilterOp.GE, 500.0))
+        plan = plan_pushdown(housing, ("neighborhood", "apartment"), query)
+        [pushed] = plan.pushed
+        assert pushed.kind == "post"
+        assert not plan.has_root_filters
+
+    def test_middle_filter_is_mid(self, housing):
+        query = _query(("neighborhood", "apartment", "landlord"),
+                       Filter("apartment.accommodates", FilterOp.LE, 3.0))
+        plan = plan_pushdown(
+            housing, ("neighborhood", "apartment", "landlord"), query
+        )
+        [pushed] = plan.pushed
+        assert pushed.kind == "mid"
+        assert pushed.slot == 1 and pushed.prune_slot == 1
+
+    def test_unqualified_unique_column_resolves(self, housing):
+        query = _query(("neighborhood", "apartment"),
+                       Filter("pop_density", FilterOp.GE, 100.0))
+        plan = plan_pushdown(housing, ("neighborhood", "apartment"), query)
+        [pushed] = plan.pushed
+        assert pushed.table == "neighborhood" and pushed.kind == "pre"
+        assert not plan.residual
+
+    def test_path_must_cover_query(self, housing):
+        query = _query(("neighborhood", "landlord"))
+        with pytest.raises(ValueError, match="cover"):
+            plan_pushdown(housing, ("neighborhood", "apartment"), query)
+
+    def test_no_filters_means_no_pushdown(self, housing):
+        query = _query(("neighborhood", "apartment"))
+        plan = plan_pushdown(housing, ("neighborhood", "apartment"), query)
+        assert not plan.has_pushdown and not plan.has_root_filters
+        assert plan.fingerprint() == ()
+
+
+class TestFingerprints:
+    def test_qualification_spelling_is_canonical(self, housing):
+        path = ("neighborhood", "apartment")
+        bare = plan_pushdown(housing, path, _query(
+            path, Filter("pop_density", FilterOp.GE, 100.0)))
+        qualified = plan_pushdown(housing, path, _query(
+            path, Filter("neighborhood.pop_density", FilterOp.GE, 100.0)))
+        assert bare.fingerprint() == qualified.fingerprint()
+
+    def test_filter_order_is_canonical(self, housing):
+        path = ("neighborhood", "apartment")
+        f1 = Filter("neighborhood.pop_density", FilterOp.GE, 100.0)
+        f2 = Filter("apartment.price", FilterOp.LE, 900.0)
+        a = plan_pushdown(housing, path, _query(path, f1, f2))
+        b = plan_pushdown(housing, path, _query(path, f2, f1))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_subset_algebra(self, housing):
+        path = ("neighborhood", "apartment")
+        f1 = Filter("neighborhood.pop_density", FilterOp.GE, 100.0)
+        f2 = Filter("apartment.price", FilterOp.LE, 900.0)
+        loose = plan_pushdown(housing, path, _query(path, f1))
+        strict = plan_pushdown(housing, path, _query(path, f1, f2))
+        assert loose.fingerprint_set() < strict.fingerprint_set()
+        leftover = strict.filters_not_in(loose.fingerprint_set())
+        assert [p.fingerprint() for p in leftover] == [
+            p.fingerprint() for p in strict.pushed if p.table == "apartment"
+        ]
+
+
+class TestDangling:
+    @pytest.fixture()
+    def dangling_db(self):
+        parent = Table("p", {"id": np.array([0, 1, 2]),
+                             "x": np.array([1.0, 2.0, 3.0])},
+                       {"id": K, "x": N})
+        child = Table("c", {"id": np.array([0, 1, 2, 3]),
+                            "p_id": np.array([0, 1, 5, 5]),
+                            "y": np.array([10.0, 20.0, 30.0, 40.0])},
+                      {"id": K, "p_id": K, "y": N})
+        return Database([parent, child], [ForeignKey("c", "p_id", "p")])
+
+    def test_detects_dangling_hop(self, dangling_db):
+        assert dangling_hop_slots(dangling_db, ("c", "p")) == (1,)
+        # parent -> child is the fan-out direction; nothing dangles
+        assert dangling_hop_slots(dangling_db, ("p", "c")) == ()
+
+    def test_prune_slot_bumped_past_dangling(self, dangling_db):
+        # c.y naturally prunes at slot 0, but slot 1 resolves dangling FKs
+        # against a shared parked state: pruning earlier would change which
+        # parked row becomes the canonical representative.
+        query = _query(("c", "p"), Filter("c.y", FilterOp.GE, 25.0))
+        plan = plan_pushdown(dangling_db, ("c", "p"), query)
+        [pushed] = plan.pushed
+        assert pushed.slot == 0 and pushed.prune_slot == 1
+        assert pushed.kind == "post"
+        assert not plan.has_root_filters
+
+    def test_complete_fk_hop_not_dangling(self, housing):
+        assert dangling_hop_slots(
+            housing, ("apartment", "neighborhood")) == ()
