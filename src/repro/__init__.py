@@ -27,11 +27,16 @@ from .core import (
     ReStoreConfig,
     SuspectedBias,
 )
+from .errors import ReStoreError
 from .query import Query, QueryResult, parse_query
 from .relational import ColumnKind, Database, ForeignKey, SchemaAnnotation, Table
 from .serving import (
     CompletionService,
+    FleetConfig,
+    FleetRouter,
     ServiceConfig,
+    ServiceWorker,
+    ServingCore,
     load_artifact,
     save_artifact,
 )
@@ -42,7 +47,11 @@ from .version import repro_version
 #: value.
 __version__ = repro_version()
 
+#: The public facade, grouped by concern.  Serving internals (protocol,
+#: batchers, admission gate) stay importable from :mod:`repro.serving`;
+#: the error taxonomy's canonical home is :mod:`repro.errors`.
 __all__ = [
+    # engine
     "ReStore",
     "ReStoreConfig",
     "Answer",
@@ -50,17 +59,27 @@ __all__ = [
     "BiasDirection",
     "ConfidenceBand",
     "ConfidenceEstimator",
+    # queries
     "Query",
     "QueryResult",
     "parse_query",
+    # relational model
     "Database",
     "Table",
     "ForeignKey",
     "SchemaAnnotation",
     "ColumnKind",
-    "CompletionService",
+    # serving: core, shells, fleet, artifacts
+    "ServingCore",
     "ServiceConfig",
+    "CompletionService",
+    "ServiceWorker",
+    "FleetRouter",
+    "FleetConfig",
     "save_artifact",
     "load_artifact",
+    # errors
+    "ReStoreError",
+    # meta
     "repro_version",
 ]

@@ -1,0 +1,43 @@
+"""Deprecation shims for moved public names.
+
+When a class moves to a new canonical home (e.g. the error taxonomy
+consolidating in :mod:`repro.errors`), the old module keeps resolving the
+name through a module-level ``__getattr__`` that emits a single
+:class:`DeprecationWarning` per name and returns the *same object* the new
+home exports — old imports keep working, new code gets nudged.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+from typing import Callable, Dict, Set
+
+
+def deprecated_attrs(module_name: str, moved: Dict[str, str]) -> Callable[[str], object]:
+    """Build a module ``__getattr__`` serving ``moved`` = {name: new module}.
+
+    Usage, at the bottom of the old module::
+
+        __getattr__ = deprecated_attrs(__name__, {"Thing": "repro.new_home"})
+    """
+    warned: Set[str] = set()
+
+    def __getattr__(name: str) -> object:
+        try:
+            target = moved[name]
+        except KeyError:
+            raise AttributeError(
+                f"module {module_name!r} has no attribute {name!r}"
+            ) from None
+        if name not in warned:
+            warned.add(name)
+            warnings.warn(
+                f"importing {name} from {module_name} is deprecated; "
+                f"import it from {target} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return getattr(importlib.import_module(target), name)
+
+    return __getattr__

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import QueryValidationError
 from ..relational import Database, join_order
 from .ast import Aggregate, AggregateKind, Filter, FilterOp, GroupKey, Query, QueryResult
 
@@ -81,7 +82,7 @@ def available_columns(db: Database, tables: Sequence[str]) -> List[str]:
     known = set(db.table_names())
     unknown = [t for t in tables if t not in known]
     if unknown:
-        raise ValueError(
+        raise QueryValidationError(
             f"query references unknown table(s) {sorted(unknown)}; "
             f"available tables: {sorted(known)}"
         )
@@ -112,11 +113,11 @@ def validate_query_columns(db: Database, query: Query) -> None:
         if len(matches) == 1:
             continue
         if len(matches) > 1:
-            raise ValueError(
+            raise QueryValidationError(
                 f"column {column!r} is ambiguous across {sorted(matches)}; "
                 f"qualify it as one of them"
             )
-        raise ValueError(
+        raise QueryValidationError(
             f"query references unknown column {column!r}; "
             f"candidate columns: {sorted(candidates)}"
         )

@@ -30,10 +30,12 @@ guarantees rest on three design choices:
 * the database digest in the manifest ties the artifact to its data, so
   loading into a live engine with different data is a clear error.
 
-Failure taxonomy: :class:`ArtifactVersionError` (format mismatch),
-:class:`ArtifactIntegrityError` (corrupted/tampered files),
-:class:`ArtifactSchemaError` (artifact does not fit the target schema),
-all subclasses of :class:`ArtifactError` (a ``ValueError``).
+Failure taxonomy (canonical home :mod:`repro.errors`):
+:class:`~repro.errors.ArtifactVersionError` (format mismatch),
+:class:`~repro.errors.ArtifactIntegrityError` (corrupted/tampered files),
+:class:`~repro.errors.ArtifactSchemaError` (artifact does not fit the
+target schema), all subclasses of :class:`~repro.errors.ArtifactError`
+(a ``ValueError``).
 
 .. warning::
    Artifacts are **trusted inputs**, like pickle/``torch.load`` files:
@@ -54,7 +56,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .._compat import deprecated_attrs
 from ..core.engine import ReStore, ReStoreConfig
+from ..errors import (
+    ArtifactError as _ArtifactError,
+    ArtifactIntegrityError as _ArtifactIntegrityError,
+    ArtifactSchemaError as _ArtifactSchemaError,
+    ArtifactVersionError as _ArtifactVersionError,
+)
 from ..core.forest import EvidenceForest
 from ..core.models import (
     ARCompletionModel,
@@ -101,22 +110,6 @@ _HASHED_FILES = (
 EXECUTION_CONFIG_FIELDS = frozenset(
     {"chunk_size", "n_workers", "parallel_backend", "join_cache_size"}
 )
-
-
-class ArtifactError(ValueError):
-    """Base class for everything that can go wrong with an artifact."""
-
-
-class ArtifactVersionError(ArtifactError):
-    """The artifact was written by an incompatible format version."""
-
-
-class ArtifactIntegrityError(ArtifactError):
-    """A file is missing, corrupted or does not match its recorded hash."""
-
-
-class ArtifactSchemaError(ArtifactError):
-    """The artifact's schema/layout does not match the load target."""
 
 
 # ======================================================================
@@ -166,9 +159,9 @@ def _read_json(path: Path, what: str):
     try:
         return json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError as exc:
-        raise ArtifactIntegrityError(f"artifact is missing {what} ({path.name})") from exc
+        raise _ArtifactIntegrityError(f"artifact is missing {what} ({path.name})") from exc
     except json.JSONDecodeError as exc:
-        raise ArtifactIntegrityError(f"{what} ({path.name}) is not valid JSON: {exc}") from exc
+        raise _ArtifactIntegrityError(f"{what} ({path.name}) is not valid JSON: {exc}") from exc
 
 
 def _write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
@@ -181,9 +174,9 @@ def _read_npz(path: Path, what: str) -> Dict[str, np.ndarray]:
         with np.load(path, allow_pickle=True) as npz:
             return {key: npz[key] for key in npz.files}
     except FileNotFoundError as exc:
-        raise ArtifactIntegrityError(f"artifact is missing {what} ({path.name})") from exc
+        raise _ArtifactIntegrityError(f"artifact is missing {what} ({path.name})") from exc
     except (OSError, ValueError) as exc:
-        raise ArtifactIntegrityError(f"{what} ({path.name}) is unreadable: {exc}") from exc
+        raise _ArtifactIntegrityError(f"{what} ({path.name}) is unreadable: {exc}") from exc
 
 
 def _sha256_file(path: Path) -> str:
@@ -284,7 +277,7 @@ def _database_from_state(schema, arrays) -> Tuple[Database, SchemaAnnotation]:
             },
         )
     except (KeyError, TypeError, ValueError) as exc:
-        raise ArtifactIntegrityError(f"database state is inconsistent: {exc}") from exc
+        raise _ArtifactIntegrityError(f"database state is inconsistent: {exc}") from exc
     return db, annotation
 
 
@@ -308,7 +301,7 @@ def _config_from_dict(data: dict) -> ReStoreConfig:
         )
         return ReStoreConfig(model=model_config, **data)
     except (KeyError, TypeError) as exc:
-        raise ArtifactIntegrityError(f"stored config is inconsistent: {exc}") from exc
+        raise _ArtifactIntegrityError(f"stored config is inconsistent: {exc}") from exc
 
 
 # ======================================================================
@@ -412,7 +405,7 @@ def _verify_layout(layout: PathLayout, entry: dict) -> None:
             f"tuple-factor caps {actual_caps} vs stored {stored_caps}"
         )
     if problems:
-        raise ArtifactSchemaError(
+        raise _ArtifactSchemaError(
             f"layout mismatch for {entry['kind']} model on path "
             f"{tuple(entry['path'])}: {'; '.join(problems)}"
         )
@@ -436,7 +429,7 @@ def _models_from_state(
         elif entry["kind"] == "ssar":
             walks = fan_out_relations(db, annotation, path)
             if not walks:
-                raise ArtifactSchemaError(
+                raise _ArtifactSchemaError(
                     f"stored SSAR model on {path} has no fan-out walks "
                     f"in the loaded schema"
                 )
@@ -446,18 +439,18 @@ def _models_from_state(
             )
             model = SSARCompletionModel(layout, forest, config)
         else:
-            raise ArtifactSchemaError(f"unknown model kind {entry['kind']!r}")
+            raise _ArtifactSchemaError(f"unknown model kind {entry['kind']!r}")
         prefix = f"model/{entry['index']}/"
         try:
             state = {name: arrays[prefix + name] for name in entry["param_names"]}
         except KeyError as exc:
-            raise ArtifactIntegrityError(
+            raise _ArtifactIntegrityError(
                 f"model parameter array missing from {_MODELS_NPZ}: {exc}"
             ) from exc
         try:
             model.load_state_dict(state)
         except ValueError as exc:
-            raise ArtifactSchemaError(
+            raise _ArtifactSchemaError(
                 f"stored weights do not fit the reconstructed "
                 f"{entry['kind']} model on {path}: {exc}"
             ) from exc
@@ -471,7 +464,7 @@ def _models_from_state(
         for score in scores:
             key = (score["kind"], tuple(score["path"]))
             if key not in models:
-                raise ArtifactIntegrityError(
+                raise _ArtifactIntegrityError(
                     f"candidate list references unknown model {key}"
                 )
             rebuilt.append(CandidateScore(
@@ -559,7 +552,7 @@ def read_manifest(path) -> dict:
     manifest = _read_json(Path(path) / _MANIFEST, "manifest")
     version = manifest.get("format_version")
     if version != FORMAT_VERSION:
-        raise ArtifactVersionError(
+        raise _ArtifactVersionError(
             f"artifact format version {version!r} is not supported "
             f"(this build reads version {FORMAT_VERSION})"
         )
@@ -572,16 +565,16 @@ def verify_artifact(path) -> dict:
     manifest = read_manifest(path)
     files = manifest.get("files")
     if not isinstance(files, dict) or set(files) != set(_HASHED_FILES):
-        raise ArtifactIntegrityError(
+        raise _ArtifactIntegrityError(
             "manifest does not list the expected artifact files"
         )
     for name, expected in files.items():
         target = path / name
         if not target.exists():
-            raise ArtifactIntegrityError(f"artifact file {name} is missing")
+            raise _ArtifactIntegrityError(f"artifact file {name} is missing")
         actual = _sha256_file(target)
         if actual != expected:
-            raise ArtifactIntegrityError(
+            raise _ArtifactIntegrityError(
                 f"artifact file {name} is corrupted "
                 f"(sha256 {actual[:12]}… != recorded {expected[:12]}…)"
             )
@@ -597,7 +590,7 @@ def load_artifact(
 
     With ``engine`` given, the fitted state is loaded *into* that live
     engine instead (its database must match the artifact's digest —
-    anything else is an :class:`ArtifactSchemaError`); its join cache is
+    anything else is an :class:`_ArtifactSchemaError`); its join cache is
     invalidated and its cache statistics reset, so ``cache_stats`` stays
     truthful.  ``config_overrides`` (fresh engines only) replaces
     execution settings such as ``chunk_size`` / ``n_workers`` /
@@ -612,7 +605,7 @@ def load_artifact(
     db, annotation = _database_from_state(schema, db_arrays)
     digest = database_digest(db, annotation)
     if digest != manifest.get("database_digest"):
-        raise ArtifactIntegrityError(
+        raise _ArtifactIntegrityError(
             "reconstructed database does not match the manifest digest"
         )
 
@@ -626,14 +619,14 @@ def load_artifact(
             for name, state in encoders_meta.items()
         }
     except (KeyError, ValueError) as exc:
-        raise ArtifactIntegrityError(f"encoder state is inconsistent: {exc}") from exc
+        raise _ArtifactIntegrityError(f"encoder state is inconsistent: {exc}") from exc
 
     if engine is None:
         config = _config_from_dict(_read_json(path / _CONFIG, "config"))
         if config_overrides:
             forbidden = set(config_overrides) - EXECUTION_CONFIG_FIELDS
             if forbidden:
-                raise ArtifactError(
+                raise _ArtifactError(
                     f"config_overrides may only change execution settings "
                     f"{sorted(EXECUTION_CONFIG_FIELDS)}; {sorted(forbidden)} "
                     f"belong to the trained state (re-fit instead)"
@@ -641,15 +634,15 @@ def load_artifact(
             try:
                 config = replace(config, **config_overrides)
             except TypeError as exc:
-                raise ArtifactError(f"invalid config override: {exc}") from exc
+                raise _ArtifactError(f"invalid config override: {exc}") from exc
         engine = ReStore(db, annotation, config)
     else:
         if config_overrides:
-            raise ArtifactError(
+            raise _ArtifactError(
                 "config_overrides only applies when loading a fresh engine"
             )
         if database_digest(engine.db, engine.annotation) != digest:
-            raise ArtifactSchemaError(
+            raise _ArtifactSchemaError(
                 "live engine's database does not match the artifact "
                 "(digest mismatch); load into a fresh engine instead"
             )
@@ -671,3 +664,14 @@ def load_artifact(
     engine.adopt_fitted_state(models, candidates, encoders=encoders)
     engine.scenario_name = manifest.get("scenario")
     return engine
+
+
+#: The error classes moved to :mod:`repro.errors` (one taxonomy, stable
+#: wire codes); the old ``repro.serving.artifacts`` paths keep resolving
+#: with a one-time DeprecationWarning.
+__getattr__ = deprecated_attrs(__name__, {
+    "ArtifactError": "repro.errors",
+    "ArtifactVersionError": "repro.errors",
+    "ArtifactIntegrityError": "repro.errors",
+    "ArtifactSchemaError": "repro.errors",
+})

@@ -1,17 +1,19 @@
-"""Admission control and micro-batch collection for the completion service.
+"""Asyncio front-end adapters: admission queue + micro-batch collection.
 
-The service's front-end is a bounded asyncio queue: submissions beyond
-``max_queue`` either wait (backpressure — the caller's coroutine blocks
-until capacity frees up) or are rejected immediately with
-:class:`ServiceOverloadedError`.  A collector pulls requests off the queue
-in *micro-batches*: the first request opens a batch, and the window stays
-open for ``window_s`` seconds (or until ``max_batch`` requests arrived).
-Batching is what lets the service group concurrent requests by join
-signature so one incompleteness join serves all of them.
+The asyncio shell's transport half: a bounded asyncio queue collected in
+*micro-batches* (the first request opens a batch, which stays open for
+``window_s`` seconds or until ``max_batch`` requests arrived).  The
+batching/admission *policy* — window, sizes, what overload means — lives
+in the transport-agnostic core (:mod:`repro.serving.core`); this module
+only adapts it to an event loop.
 
 The batcher never loses a request: if the collector is cancelled while a
 batch is being assembled, the partial batch is spilled and handed back by
 :meth:`MicroBatcher.drain`, so shutdown can fail those futures explicitly.
+
+The error classes that used to live here (``ServiceOverloadedError``,
+``ServiceClosedError``) moved to :mod:`repro.errors`; the old import paths
+keep resolving with a one-time ``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -20,26 +22,29 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .._compat import deprecated_attrs
 from ..core.selection import SuspectedBias
+from ..errors import (
+    ServiceClosedError as _ServiceClosedError,
+    ServiceOverloadedError as _ServiceOverloadedError,
+)
 from ..query import Query
-
-
-class ServiceOverloadedError(RuntimeError):
-    """The admission queue is full and the caller declined to wait."""
-
-
-class ServiceClosedError(RuntimeError):
-    """The service is not running (never started, or already closed)."""
 
 
 @dataclass
 class ServiceRequest:
-    """One submitted query travelling through the service."""
+    """One submitted query travelling through the asyncio shell.
+
+    Duck-type compatible with :class:`repro.serving.core.CoreRequest`
+    (query / suspected_bias / enqueued_at / tenant), plus the caller's
+    future for transport-side completion.
+    """
 
     query: Query
     future: "asyncio.Future"
     enqueued_at: float
     suspected_bias: Optional[SuspectedBias] = None
+    tenant: str = "default"
 
     def fail(self, exc: BaseException) -> None:
         if not self.future.done():
@@ -52,7 +57,7 @@ class ServiceRequest:
 
 @dataclass
 class MicroBatcher:
-    """Bounded admission queue + windowed batch collection."""
+    """Bounded admission queue + windowed batch collection (asyncio)."""
 
     max_queue: int
     max_batch: int
@@ -74,14 +79,14 @@ class MicroBatcher:
     async def put(self, request: ServiceRequest, wait: bool = True) -> None:
         """Admit a request; full queue ⇒ block (``wait``) or reject."""
         if self._queue is None:
-            raise ServiceClosedError("service is not running")
+            raise _ServiceClosedError("service is not running")
         if wait:
             await self._queue.put(request)
             return
         try:
             self._queue.put_nowait(request)
         except asyncio.QueueFull:
-            raise ServiceOverloadedError(
+            raise _ServiceOverloadedError(
                 f"admission queue is full ({self.max_queue} requests); "
                 f"retry later or submit with wait=True"
             ) from None
@@ -124,3 +129,9 @@ class MicroBatcher:
                 except asyncio.QueueEmpty:
                     break
         return pending
+
+
+__getattr__ = deprecated_attrs(__name__, {
+    "ServiceOverloadedError": "repro.errors",
+    "ServiceClosedError": "repro.errors",
+})

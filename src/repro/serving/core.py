@@ -1,0 +1,689 @@
+"""The transport-agnostic serving core.
+
+:class:`ServingCore` is the synchronous brain every serving shell wraps:
+pure request-in/answer-out over one fitted engine, owning the four
+behaviours that make ReStore's train-once / query-many story scale —
+
+* **admission & backpressure** — :class:`AdmissionGate` bounds the number
+  of in-service requests; waiting is expressed as a *grant callback*, so
+  a thread can block on it, an event loop can await it, and a wire shell
+  can map it to an overload frame, all against one policy object;
+* **micro-batching** — batch accounting plus :class:`SyncMicroBatcher`, a
+  ``queue.Queue``-backed window collector for thread-driven shells (the
+  asyncio shell keeps its own awaitable collector, same policy knobs);
+* **join-signature grouping & single-flight** — a batch is partitioned by
+  the engine's join signature and at most one incompleteness join per
+  signature is ever in flight, fleet-ready because the bookkeeping is
+  plain ``threading`` primitives;
+* **stats** — latency percentiles, batch/coalescing counters, progressive
+  metrics; one truthful :meth:`ServingCore.stats` shared by every shell.
+
+This module imports **no asyncio** (a unit test enforces it).  The thin
+shells live next door: :class:`repro.serving.CompletionService` (asyncio),
+:class:`repro.serving.ServiceWorker` (process + wire protocol) and
+:class:`repro.serving.FleetRouter` (multi-worker fan-out).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.engine import Answer, ReStore
+from ..core.models import _CompletionModelBase
+from ..core.progressive import Refinement, SamplingBudget
+from ..core.selection import SuspectedBias
+from ..errors import (
+    ConfigurationError,
+    ServiceOverloadedError,
+)
+from ..query import Query, parse_query, validate_query_columns
+
+QueryLike = Union[str, Query]
+
+#: Terminal marker a progressive subscriber receives after the last
+#: refinement of a successful flight (errors are delivered as themselves).
+FLIGHT_DONE = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs shared by every serving shell over one core."""
+
+    max_queue: int = 64          #: in-service request bound (backpressure beyond it)
+    max_batch: int = 16          #: requests per micro-batch, at most
+    batch_window_ms: float = 2.0  #: how long a batch stays open to fill up
+    n_workers: int = 2           #: completion worker threads
+    latency_window: int = 2048   #: latency samples kept for the percentiles
+
+    def __post_init__(self) -> None:
+        for name in ("max_queue", "max_batch", "n_workers", "latency_window"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"ServiceConfig.{name} must be an integer, got {value!r}"
+                )
+            if value < 1:
+                raise ConfigurationError(
+                    f"ServiceConfig.{name} must be >= 1, got {value}"
+                )
+        # `not >= 0` (instead of `< 0`) also rejects NaN.
+        if not self.batch_window_ms >= 0:
+            raise ConfigurationError(
+                f"ServiceConfig.batch_window_ms must be a number >= 0, "
+                f"got {self.batch_window_ms!r}"
+            )
+
+    @property
+    def batch_window_s(self) -> float:
+        return self.batch_window_ms / 1000.0
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time snapshot of serving behaviour."""
+
+    requests: int
+    completed: int
+    failed: int
+    rejected: int
+    queued: int
+    batches: int
+    mean_batch_size: float
+    max_batch_size: int
+    joins_started: int
+    coalesced_requests: int
+    p50_latency_ms: float
+    p95_latency_ms: float
+    cache: dict
+    progressive: dict
+    partial_cache: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "queued": self.queued,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "joins_started": self.joins_started,
+            "coalesced_requests": self.coalesced_requests,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "cache": dict(self.cache),
+            "progressive": dict(self.progressive),
+            "partial_cache": dict(self.partial_cache),
+        }
+
+
+@dataclass
+class _Counters:
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    joins_started: int = 0
+    coalesced_requests: int = 0
+    progressive_queries: int = 0
+    progressive_flights: int = 0
+    progressive_coalesced: int = 0
+    refinements_emitted: int = 0
+
+
+@dataclass
+class CoreRequest:
+    """One query travelling through the core (shells add transport state)."""
+
+    query: Query
+    enqueued_at: float
+    suspected_bias: Optional[SuspectedBias] = None
+    tenant: str = "default"
+
+
+class AdmissionGate:
+    """Bounded in-service admission with FIFO slot handoff.
+
+    Transport-agnostic: :meth:`acquire` without a callback blocks the
+    calling thread; with a *grant* callback the slot is handed over
+    asynchronously (possibly immediately, from the caller's own frame, or
+    later from whichever thread releases a slot).  Shells translate the
+    callback into their native waiting primitive.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"AdmissionGate capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._in_service = 0
+        self._waiters: deque = deque()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def in_service(self) -> int:
+        with self._lock:
+            return self._in_service
+
+    def try_acquire(self) -> bool:
+        """Take a slot if one is free right now (never queues)."""
+        with self._lock:
+            if self._in_service < self._capacity and not self._waiters:
+                self._in_service += 1
+                return True
+            return False
+
+    def acquire(self, grant: Optional[Callable[[], None]] = None) -> None:
+        """Take a slot, waiting FIFO behind earlier waiters.
+
+        Without ``grant`` the calling thread blocks until the slot is
+        held.  With ``grant``, the callback fires exactly once when the
+        slot is held — from this frame if a slot is free, else from the
+        releasing thread.
+        """
+        if grant is None:
+            event = threading.Event()
+            self.acquire(event.set)
+            event.wait()
+            return
+        with self._lock:
+            if self._in_service < self._capacity and not self._waiters:
+                self._in_service += 1
+            else:
+                self._waiters.append(grant)
+                grant = None
+        if grant is not None:
+            grant()
+
+    def release(self) -> None:
+        """Free a slot; a queued waiter (FIFO) inherits it directly."""
+        with self._lock:
+            if self._waiters:
+                grant = self._waiters.popleft()
+            else:
+                grant = None
+                self._in_service -= 1
+                if self._in_service < 0:
+                    self._in_service = 0
+        if grant is not None:
+            grant()
+
+
+class SyncMicroBatcher:
+    """Windowed micro-batch collection on a plain ``queue.Queue``.
+
+    The thread-driven twin of the asyncio batcher: the first request opens
+    a batch, which stays open for ``window_s`` seconds or until
+    ``max_batch`` requests arrived.  :meth:`stop` lets the collector drain
+    what is queued and then end (``next_batch`` returns ``None``) — no
+    request is ever dropped.
+    """
+
+    def __init__(self, max_queue: int, max_batch: int, window_s: float):
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self._stopped = threading.Event()
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+    def put(self, request, wait: bool = True) -> None:
+        """Admit a request; full queue ⇒ block (``wait``) or reject."""
+        try:
+            self._queue.put(request, block=wait)
+        except queue.Full:
+            raise ServiceOverloadedError(
+                f"admission queue is full ({self._queue.maxsize} requests); "
+                f"retry later or submit with wait=True"
+            ) from None
+
+    def next_batch(self, poll_s: float = 0.05) -> Optional[List]:
+        """Collect one micro-batch; ``None`` once stopped and drained."""
+        while True:
+            try:
+                first = self._queue.get(timeout=poll_s)
+                break
+            except queue.Empty:
+                if self._stopped.is_set():
+                    return None
+        batch = [first]
+        deadline = time.monotonic() + self.window_s
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+
+class _InflightJoin:
+    """Single-flight record: followers wait on the leader's event."""
+
+    __slots__ = ("event", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.error: Optional[BaseException] = None
+
+
+class ProgressiveFlight:
+    """One in-flight progressive run shared by coalesced subscribers.
+
+    Synchronous and lock-ordered: :meth:`subscribe` replays the
+    refinements already emitted and registers a ``deliver`` callback under
+    the same lock publications take, so every subscriber observes the one
+    true sequence — refinements in order, then :data:`FLIGHT_DONE` (or the
+    flight's exception) exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.history: List[Refinement] = []
+        self._subscribers: List[Callable[[object], None]] = []
+        self.done = False
+        self.error: Optional[BaseException] = None
+
+    def subscribe(self, deliver: Callable[[object], None]) -> None:
+        with self._lock:
+            for refinement in self.history:
+                deliver(refinement)
+            if self.done:
+                deliver(self.error if self.error is not None else FLIGHT_DONE)
+            else:
+                self._subscribers.append(deliver)
+
+    def publish(self, refinement: Refinement) -> None:
+        with self._lock:
+            self.history.append(refinement)
+            for deliver in self._subscribers:
+                deliver(refinement)
+
+    def finish(self, error: Optional[BaseException]) -> None:
+        with self._lock:
+            self.done = True
+            self.error = error
+            sentinel = error if error is not None else FLIGHT_DONE
+            for deliver in self._subscribers:
+                deliver(sentinel)
+            self._subscribers.clear()
+
+
+class ServingCore:
+    """Synchronous, transport-agnostic serving over one fitted engine.
+
+    Pure request-in/answer-out: :meth:`submit` answers one query with
+    admission control; :meth:`serve_batch` answers a whole micro-batch
+    with join-signature grouping and single-flight coalescing.  Shells
+    that bring their own concurrency call the pieces directly —
+    :meth:`prepare` / :meth:`group` on their front-end,
+    :meth:`serve_group` from worker threads — and every path lands in the
+    same counters, so :meth:`stats` is truthful no matter which transport
+    drove the work.
+
+    Thread-safe throughout; contains no event loop and no asyncio.
+    """
+
+    def __init__(
+        self,
+        engine: ReStore,
+        config: Optional[ServiceConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self.clock = clock
+        self.gate = AdmissionGate(self.config.max_queue)
+        self._lock = threading.Lock()
+        self._counters = _Counters()
+        self._latencies_ms: deque = deque(maxlen=self.config.latency_window)
+        self._batch_sizes: deque = deque(maxlen=self.config.latency_window)
+        self._utilizations: deque = deque(maxlen=self.config.latency_window)
+        self._join_lock = threading.Lock()
+        self._inflight_joins: Dict[Tuple, _InflightJoin] = {}
+        self._flight_lock = threading.Lock()
+        self._progressive_flights: Dict[Tuple, ProgressiveFlight] = {}
+
+    # ------------------------------------------------------------------
+    # Front-end pieces (validation, admission, accounting)
+    # ------------------------------------------------------------------
+    def prepare(self, query: QueryLike) -> Query:
+        """Parse (if SQL) and validate one query; errors name candidates."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        validate_query_columns(self.engine.db, query)
+        return query
+
+    def count_request(self) -> None:
+        with self._lock:
+            self._counters.requests += 1
+
+    def count_rejected(self) -> None:
+        with self._lock:
+            self._counters.rejected += 1
+
+    def count_failed(self, n: int = 1) -> None:
+        with self._lock:
+            self._counters.failed += n
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._counters.batches += 1
+            self._batch_sizes.append(size)
+
+    def overloaded_error(self) -> ServiceOverloadedError:
+        return ServiceOverloadedError(
+            f"{self.config.max_queue} requests already in service; "
+            f"retry later or submit with wait=True"
+        )
+
+    # ------------------------------------------------------------------
+    # Routing and grouping
+    # ------------------------------------------------------------------
+    def route(self, request: CoreRequest) -> Tuple[Optional[_CompletionModelBase], Tuple]:
+        """Model selection → (model, join signature) for one request.
+
+        Must stay cheap (shells may call it on their event loop): plain
+        selection is a ranked-list lookup.  *Suspected-bias* selection
+        evaluates candidate aggregates on completed joins — real
+        completion work — so those requests get a private group and the
+        biased selection runs where the group is served.
+        """
+        engine = self.engine
+        incomplete = [
+            t for t in request.query.tables
+            if not engine.annotation.is_complete(t)
+        ]
+        if not incomplete:
+            # Complete-only queries share a per-table-set signature so they
+            # batch together, but they never run an incompleteness join.
+            return None, ("__complete__", tuple(sorted(request.query.tables)))
+        if request.suspected_bias is not None:
+            return None, ("__bias__", id(request))
+        target = engine._primary_target(incomplete)
+        choice = engine.select_model(target, query=request.query)
+        return choice.model, engine.join_signature(choice.model)
+
+    def group(self, batch: List) -> Tuple[Dict[Tuple, Tuple[Optional[_CompletionModelBase], List]], List[Tuple[object, BaseException]]]:
+        """Partition a batch by join signature (selection runs here).
+
+        Returns ``(groups, failures)``: requests whose routing raised are
+        counted failed and returned for the shell to dispose of.
+        """
+        groups: Dict[Tuple, Tuple[Optional[_CompletionModelBase], List]] = {}
+        failures: List[Tuple[object, BaseException]] = []
+        for request in batch:
+            try:
+                model, signature = self.route(request)
+            except BaseException as exc:  # selection errors belong to the caller
+                self.count_failed()
+                failures.append((request, exc))
+                continue
+            groups.setdefault(signature, (model, []))[1].append(request)
+        return groups, failures
+
+    # ------------------------------------------------------------------
+    # Single-flight joins and group serving
+    # ------------------------------------------------------------------
+    def _ensure_join(
+        self, signature: Tuple, model: _CompletionModelBase, group_size: int
+    ) -> None:
+        """Single-flight: one incompleteness join per signature, ever.
+
+        The first arriver becomes the *leader* and computes the join in
+        its own thread; later groups (from any shell thread) wait on the
+        leader's event and share its outcome.  Once the join lands in the
+        engine's cache nobody computes it again.
+        """
+        with self._join_lock:
+            flight = self._inflight_joins.get(signature)
+            if flight is None:
+                if self.engine.join_cache.contains(signature):
+                    # An ordinary cache hit, counted by the cache stats.
+                    return
+                flight = _InflightJoin()
+                self._inflight_joins[signature] = flight
+                leader = True
+                with self._lock:
+                    self._counters.joins_started += 1
+                    self._counters.coalesced_requests += group_size - 1
+            else:
+                leader = False
+                with self._lock:
+                    self._counters.coalesced_requests += group_size
+        if leader:
+            try:
+                self.engine.completed_join(model)
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._join_lock:
+                    self._inflight_joins.pop(signature, None)
+                flight.event.set()
+            return
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+
+    def serve_group(
+        self,
+        model: Optional[_CompletionModelBase],
+        requests: List,
+        signature: Optional[Tuple] = None,
+    ) -> List:
+        """Answer one signature group against its (single-flight) join.
+
+        Returns one entry per request, aligned: an :class:`Answer` or the
+        exception that request failed with.  Counters and latency samples
+        are recorded here, so every shell reports identically.
+        """
+        if model is not None and signature is not None:
+            try:
+                self._ensure_join(signature, model, len(requests))
+            except BaseException as exc:
+                self.count_failed(len(requests))
+                return [exc] * len(requests)
+        results: List = []
+        for request in requests:
+            try:
+                if model is None:
+                    answer = self.engine.answer(
+                        request.query, suspected_bias=request.suspected_bias
+                    )
+                else:
+                    answer = self.engine.answer(request.query, model=model)
+            except BaseException as exc:
+                self.count_failed()
+                results.append(exc)
+            else:
+                now = self.clock()
+                with self._lock:
+                    self._counters.completed += 1
+                    self._latencies_ms.append(
+                        (now - request.enqueued_at) * 1000.0
+                    )
+                results.append(answer)
+        return results
+
+    def serve_batch(self, requests: List) -> List:
+        """Group and answer one micro-batch; results align with ``requests``.
+
+        The fully synchronous path (direct use, tests, simple shells);
+        shells with their own worker pools fan the groups out themselves.
+        """
+        self.record_batch(len(requests))
+        results: List = [None] * len(requests)
+        position = {id(r): i for i, r in enumerate(requests)}
+        groups, failures = self.group(requests)
+        for request, exc in failures:
+            results[position[id(request)]] = exc
+        for signature, (model, members) in groups.items():
+            for request, outcome in zip(
+                members, self.serve_group(model, members, signature)
+            ):
+                results[position[id(request)]] = outcome
+        return results
+
+    def submit(
+        self,
+        query: QueryLike,
+        suspected_bias: Optional[SuspectedBias] = None,
+        wait: bool = True,
+        tenant: str = "default",
+    ) -> Answer:
+        """Pure request-in/answer-out: admit, serve, account, return.
+
+        With ``wait=False`` a full admission gate raises
+        :class:`~repro.errors.ServiceOverloadedError` instead of blocking.
+        """
+        query = self.prepare(query)
+        self.count_request()
+        if not self.gate.try_acquire():
+            if not wait:
+                self.count_rejected()
+                raise self.overloaded_error()
+            self.gate.acquire()
+        try:
+            request = CoreRequest(
+                query=query,
+                enqueued_at=self.clock(),
+                suspected_bias=suspected_bias,
+                tenant=tenant,
+            )
+            [result] = self.serve_batch([request])
+        finally:
+            self.gate.release()
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    # ------------------------------------------------------------------
+    # Progressive flights (single-flight refinement streams)
+    # ------------------------------------------------------------------
+    def progressive_key(
+        self,
+        query: Query,
+        budget: SamplingBudget,
+        suspected_bias: Optional[SuspectedBias],
+    ) -> Tuple:
+        return (repr(query), repr(suspected_bias), budget)
+
+    def open_progressive(self, key: Tuple) -> Tuple[ProgressiveFlight, bool]:
+        """Join (or start) the flight for ``key``; returns (flight, created).
+
+        When ``created`` is true the caller owns driving the flight —
+        typically by running :meth:`drive_progressive` on a worker thread.
+        """
+        with self._flight_lock:
+            flight = self._progressive_flights.get(key)
+            created = flight is None
+            if created:
+                flight = ProgressiveFlight()
+                self._progressive_flights[key] = flight
+        with self._lock:
+            self._counters.progressive_queries += 1
+            if created:
+                self._counters.progressive_flights += 1
+            else:
+                self._counters.progressive_coalesced += 1
+        return flight, created
+
+    def drive_progressive(
+        self,
+        key: Tuple,
+        flight: ProgressiveFlight,
+        query: Query,
+        budget: SamplingBudget,
+        suspected_bias: Optional[SuspectedBias],
+    ) -> None:
+        """Leader body: run the engine's refinement loop and publish.
+
+        Deregisters the flight *before* finishing it, so a subscriber that
+        arrives after the final refinement starts a fresh flight instead
+        of replaying a dead one.
+        """
+        last: Optional[Refinement] = None
+        error: Optional[BaseException] = None
+        try:
+            for refinement in self.engine.answer_progressive(
+                query, budget=budget, suspected_bias=suspected_bias
+            ):
+                last = refinement
+                with self._lock:
+                    self._counters.refinements_emitted += 1
+                flight.publish(refinement)
+        except BaseException as exc:
+            error = exc
+        if last is not None:
+            with self._lock:
+                self._utilizations.append(last.budget_utilization)
+        with self._flight_lock:
+            self._progressive_flights.pop(key, None)
+        flight.finish(error)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self, queued: int = 0) -> ServiceStats:
+        """Latency percentiles, batching/coalescing counters, cache and
+        progressive-refinement metrics; ``queued`` is supplied by the
+        shell that owns the front-end queue."""
+        with self._lock:
+            counters = _Counters(**vars(self._counters))
+            latencies = np.asarray(self._latencies_ms, dtype=float)
+            sizes = list(self._batch_sizes)
+            utilizations = list(self._utilizations)
+        flights = counters.progressive_flights
+        progressive = {
+            "queries": counters.progressive_queries,
+            "flights": flights,
+            "coalesced_queries": counters.progressive_coalesced,
+            "refinements_emitted": counters.refinements_emitted,
+            "mean_refinements_per_flight": (
+                counters.refinements_emitted / flights if flights else 0.0
+            ),
+            "mean_budget_utilization": (
+                float(np.mean(utilizations)) if utilizations else 0.0
+            ),
+        }
+        return ServiceStats(
+            requests=counters.requests,
+            completed=counters.completed,
+            failed=counters.failed,
+            rejected=counters.rejected,
+            queued=queued,
+            batches=counters.batches,
+            mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
+            max_batch_size=max(sizes) if sizes else 0,
+            joins_started=counters.joins_started,
+            coalesced_requests=counters.coalesced_requests,
+            p50_latency_ms=(
+                float(np.percentile(latencies, 50)) if len(latencies) else 0.0
+            ),
+            p95_latency_ms=(
+                float(np.percentile(latencies, 95)) if len(latencies) else 0.0
+            ),
+            cache=self.engine.cache_stats.as_dict(),
+            progressive=progressive,
+            partial_cache=self.engine.partial_cache_stats.as_dict(),
+        )

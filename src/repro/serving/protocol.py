@@ -1,0 +1,177 @@
+"""Length-prefixed, versioned wire protocol between router and workers.
+
+Frame layout, lowest layer first::
+
+    +----------------+---------------------------------------------+
+    | 4 bytes  !I    | payload length N (bounded by MAX_FRAME_BYTES)|
+    +----------------+---------------------------------------------+
+    | N bytes        | pickled payload dict                        |
+    +----------------+---------------------------------------------+
+
+Every payload carries ``{"v": PROTOCOL_VERSION, "kind": <str>, ...}``;
+a version mismatch or malformed frame raises
+:class:`~repro.errors.ProtocolError` instead of guessing.  Message kinds:
+
+=============  =======================================================
+``hello``      handshake: protocol + repro versions, worker pid
+``query``      one request: ``id``, a :class:`~repro.query.Query` AST,
+               optional suspected bias, ``tenant``
+``answer``     success: ``id`` + the :class:`~repro.core.Answer`
+               (heavy provenance — model, completed join — stripped)
+``error``      failure: ``id`` + a stable wire ``code``
+               (:func:`repro.errors.wire_code`), message, error type
+``stats``      request a :meth:`ServingCore.stats` snapshot (``id``)
+``stats_reply``  the snapshot as a plain dict (``id``)
+``shutdown``   drain in-flight work, then reply ``bye`` and exit
+``bye``        final frame: the worker's closing stats snapshot
+=============  =======================================================
+
+Trust model: payloads are **pickle** over a private socket between
+processes of one fleet, exactly as trusted as the artifact files the
+workers load — never expose a worker socket to an untrusted peer.
+
+Helpers come in sans-io (:func:`encode_frame` / :func:`decode_payload`)
+and blocking-socket (:func:`send_frame` / :func:`recv_frame`) flavours;
+asyncio callers pair ``encode_frame`` with ``reader.readexactly``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import socket
+import struct
+from typing import Optional
+
+from ..errors import ProtocolError, error_for_code, wire_code
+
+PROTOCOL_VERSION = 1
+
+#: Hard bound on a single frame; a corrupted length prefix fails loudly
+#: instead of attempting a multi-gigabyte read.
+MAX_FRAME_BYTES = 1 << 30
+
+HEADER = struct.Struct("!I")
+
+
+def encode_frame(kind: str, **fields) -> bytes:
+    """One wire frame: header + versioned, pickled payload."""
+    payload = {"v": PROTOCOL_VERSION, "kind": kind}
+    payload.update(fields)
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return HEADER.pack(len(data)) + data
+
+
+def decode_payload(data: bytes) -> dict:
+    """Payload bytes → message dict, checking shape and version."""
+    try:
+        payload = pickle.loads(data)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ProtocolError(f"malformed frame payload: {payload!r}")
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    return payload
+
+
+def frame_length(header: bytes) -> int:
+    """Validated payload length from a 4-byte header."""
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES}); corrupted stream?"
+        )
+    return length
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket helpers (the worker side)
+# ----------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, kind: str, **fields) -> None:
+    sock.sendall(encode_frame(kind, **fields))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly n bytes; None on clean EOF at a frame boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """One message dict, or ``None`` on clean EOF between frames."""
+    header = _recv_exactly(sock, HEADER.size)
+    if header is None:
+        return None
+    payload = _recv_exactly(sock, frame_length(header))
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    return decode_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Error and answer mapping
+# ----------------------------------------------------------------------
+
+def error_fields(request_id, exc: BaseException) -> dict:
+    """The wire representation of a failure: stable code + context."""
+    return {
+        "id": request_id,
+        "code": wire_code(exc),
+        "message": str(exc) or type(exc).__name__,
+        "error_type": type(exc).__name__,
+    }
+
+
+def raise_wire_error(frame: dict) -> None:
+    """Re-raise an ``error`` frame as its taxonomy class."""
+    message = frame.get("message", "remote error")
+    error_type = frame.get("error_type")
+    if error_type and error_type not in message:
+        message = f"[worker {error_type}] {message}"
+    raise error_for_code(frame.get("code", "internal"), message)
+
+
+def strip_answer(answer):
+    """Shed worker-side provenance (model, completed join) before the wire.
+
+    The query result, completion flags and pushdown profile cross the
+    boundary; megabyte-scale join materializations and model objects stay
+    in the worker, mirroring what a remote client can meaningfully use.
+    """
+    return dataclasses.replace(answer, model=None, completed=None)
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_payload",
+    "frame_length",
+    "send_frame",
+    "recv_frame",
+    "error_fields",
+    "raise_wire_error",
+    "strip_answer",
+]

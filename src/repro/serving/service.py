@@ -1,32 +1,18 @@
-"""A long-lived, micro-batching completion service over one fitted engine.
+"""The asyncio shell over the transport-agnostic serving core.
 
-ReStore answers many OLAP/AQP queries from models trained once (paper
-§4–§6); :class:`CompletionService` is the serving layer that premise asks
-for.  It accepts SQL strings or :class:`~repro.query.Query` ASTs on an
-asyncio front-end and drives them through the engine with three
-throughput levers:
-
-* **micro-batching** — concurrent requests are collected into small
-  batches (:mod:`repro.serving.batching`) and grouped by their *join
-  signature* (the engine's completed-join cache key), so one
-  incompleteness join serves the whole group;
-* **single-flight joins** — at most one incompleteness join per signature
-  is ever in flight: groups from later batches await the same future, and
-  completed joins are reused through the engine's
-  :class:`~repro.runtime.JoinCache`.  N identical concurrent queries
-  trigger exactly one join;
-* **bounded admission** — a full queue makes ``submit`` wait
-  (backpressure) or fail fast with
-  :class:`~repro.serving.batching.ServiceOverloadedError`.
-
-Completion work runs on a small thread pool, so the event loop stays
-responsive while numpy crunches; joins for *different* signatures run
-concurrently (the join cache is thread-safe).  :meth:`stats` reports
-p50/p95 latency, batch-size and coalescing counters, and the cache hit
-rate.
+:class:`CompletionService` is a thin event-loop adapter around
+:class:`~repro.serving.core.ServingCore`: the core owns micro-batching
+policy, join-signature grouping, single-flight coalescing, admission and
+every statistic; this shell contributes only what an event loop must —
+awaitable admission, an asyncio batch collector, futures for callers, and
+a thread pool so numpy crunches off the loop.  Joins for *different*
+signatures run concurrently (the join cache is thread-safe), and the
+observable behaviour — answers, errors, counters, backpressure — is
+exactly the core's, which is also what the process workers of a
+:class:`~repro.serving.FleetRouter` expose over the wire.
 
 Queries are validated on submission: a column that does not exist in the
-queried tables raises ``ValueError`` listing the candidate columns —
+queried tables raises a ``ValueError`` listing the candidate columns —
 never a raw ``KeyError`` from deep inside the executor.
 """
 
@@ -35,139 +21,23 @@ from __future__ import annotations
 import asyncio
 import contextlib
 from concurrent.futures import ThreadPoolExecutor
-from collections import deque
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
-
-import numpy as np
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.engine import Answer, ReStore
 from ..core.models import _CompletionModelBase
-from ..core.progressive import Refinement, SamplingBudget
+from ..core.progressive import SamplingBudget
 from ..core.selection import SuspectedBias
-from ..query import Query, parse_query, validate_query_columns
-from .batching import (
-    MicroBatcher,
-    ServiceClosedError,
-    ServiceOverloadedError,
-    ServiceRequest,
+from ..errors import ServiceClosedError
+from .batching import MicroBatcher, ServiceRequest
+from .core import (
+    FLIGHT_DONE,
+    QueryLike,
+    ServiceConfig,
+    ServiceStats,
+    ServingCore,
 )
 
-QueryLike = Union[str, Query]
-
-
-@dataclass(frozen=True)
-class ServiceConfig:
-    """Tuning knobs of one :class:`CompletionService` instance."""
-
-    max_queue: int = 64          #: in-service request bound (backpressure beyond it)
-    max_batch: int = 16          #: requests per micro-batch, at most
-    batch_window_ms: float = 2.0  #: how long a batch stays open to fill up
-    n_workers: int = 2           #: completion worker threads
-    latency_window: int = 2048   #: latency samples kept for the percentiles
-
-    def __post_init__(self) -> None:
-        if self.max_queue < 1 or self.max_batch < 1 or self.n_workers < 1:
-            raise ValueError("max_queue, max_batch and n_workers must be >= 1")
-        if self.batch_window_ms < 0:
-            raise ValueError("batch_window_ms must be >= 0")
-
-
-@dataclass
-class ServiceStats:
-    """A point-in-time snapshot of service behaviour."""
-
-    requests: int
-    completed: int
-    failed: int
-    rejected: int
-    queued: int
-    batches: int
-    mean_batch_size: float
-    max_batch_size: int
-    joins_started: int
-    coalesced_requests: int
-    p50_latency_ms: float
-    p95_latency_ms: float
-    cache: dict
-    progressive: dict
-    partial_cache: dict
-
-    def as_dict(self) -> dict:
-        return {
-            "requests": self.requests,
-            "completed": self.completed,
-            "failed": self.failed,
-            "rejected": self.rejected,
-            "queued": self.queued,
-            "batches": self.batches,
-            "mean_batch_size": self.mean_batch_size,
-            "max_batch_size": self.max_batch_size,
-            "joins_started": self.joins_started,
-            "coalesced_requests": self.coalesced_requests,
-            "p50_latency_ms": self.p50_latency_ms,
-            "p95_latency_ms": self.p95_latency_ms,
-            "cache": dict(self.cache),
-            "progressive": dict(self.progressive),
-            "partial_cache": dict(self.partial_cache),
-        }
-
-
-@dataclass
-class _Counters:
-    requests: int = 0
-    completed: int = 0
-    failed: int = 0
-    rejected: int = 0
-    batches: int = 0
-    joins_started: int = 0
-    coalesced_requests: int = 0
-    progressive_queries: int = 0
-    progressive_flights: int = 0
-    progressive_coalesced: int = 0
-    refinements_emitted: int = 0
-
-
-_FLIGHT_DONE = object()
-
-
-class _ProgressiveFlight:
-    """One in-flight progressive run shared by coalesced subscribers.
-
-    All bookkeeping runs on the event-loop thread: the worker thread that
-    drives :meth:`ReStore.answer_progressive` hands refinements over via
-    ``loop.call_soon_threadsafe``, so subscription (with history replay for
-    late joiners), publication, and completion never race.
-    """
-
-    def __init__(self) -> None:
-        self.history: List[Refinement] = []
-        self.subscribers: List["asyncio.Queue"] = []
-        self.done = False
-        self.error: Optional[BaseException] = None
-
-    def subscribe(self) -> "asyncio.Queue":
-        queue: "asyncio.Queue" = asyncio.Queue()
-        for refinement in self.history:
-            queue.put_nowait(refinement)
-        if self.done:
-            queue.put_nowait(self.error if self.error is not None else _FLIGHT_DONE)
-        else:
-            self.subscribers.append(queue)
-        return queue
-
-    def publish(self, refinement: Refinement) -> None:
-        self.history.append(refinement)
-        for queue in self.subscribers:
-            queue.put_nowait(refinement)
-
-    def finish(self, error: Optional[BaseException]) -> None:
-        self.done = True
-        self.error = error
-        sentinel = error if error is not None else _FLIGHT_DONE
-        for queue in self.subscribers:
-            queue.put_nowait(sentinel)
-        self.subscribers.clear()
+__all__ = ["CompletionService", "ServiceConfig", "ServiceStats"]
 
 
 class CompletionService:
@@ -184,27 +54,29 @@ class CompletionService:
     All submissions must come from the event loop the service was started
     on.  The engine is shared, not copied: answers are exactly what
     ``engine.answer`` would return, including completed-join provenance.
+
+    A pre-built :class:`~repro.serving.ServingCore` may be passed instead
+    of (engine, config) — e.g. to share one core between shells in tests.
     """
 
-    def __init__(self, engine: ReStore, config: Optional[ServiceConfig] = None):
-        self.engine = engine
-        self.config = config or ServiceConfig()
+    def __init__(
+        self,
+        engine: ReStore,
+        config: Optional[ServiceConfig] = None,
+        core: Optional[ServingCore] = None,
+    ):
+        self.core = core if core is not None else ServingCore(engine, config)
+        self.engine = self.core.engine
+        self.config = self.core.config
         self._batcher = MicroBatcher(
             max_queue=self.config.max_queue,
             max_batch=self.config.max_batch,
-            window_s=self.config.batch_window_ms / 1000.0,
+            window_s=self.config.batch_window_s,
         )
-        self._counters = _Counters()
-        self._latencies_ms: deque = deque(maxlen=self.config.latency_window)
-        self._batch_sizes: deque = deque(maxlen=self.config.latency_window)
-        self._inflight_joins: Dict[Tuple, "asyncio.Future"] = {}
-        self._progressive_flights: Dict[Tuple, _ProgressiveFlight] = {}
         self._progressive_drivers: set = set()
-        self._utilizations: deque = deque(maxlen=self.config.latency_window)
         self._group_tasks: set = set()
         self._collector: Optional["asyncio.Task"] = None
         self._pool: Optional[ThreadPoolExecutor] = None
-        self._slots: Optional["asyncio.Semaphore"] = None
         self._running = False
 
     # ------------------------------------------------------------------
@@ -214,10 +86,6 @@ class CompletionService:
         if self._running:
             return self
         self._batcher.start()
-        # Admission bound over *in-service* requests (queued, being batched
-        # or answering): a bounded queue alone would not apply backpressure,
-        # because the collector drains it into group tasks immediately.
-        self._slots = asyncio.Semaphore(self.config.max_queue)
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.n_workers,
             thread_name_prefix="restore-serve",
@@ -238,7 +106,7 @@ class CompletionService:
         with contextlib.suppress(asyncio.CancelledError):
             await self._collector
         for request in self._batcher.drain():
-            self._counters.failed += 1
+            self.core.count_failed()
             request.fail(ServiceClosedError("service closed before dispatch"))
         if self._group_tasks:
             await asyncio.gather(*list(self._group_tasks), return_exceptions=True)
@@ -254,6 +122,30 @@ class CompletionService:
         await self.close()
 
     # ------------------------------------------------------------------
+    # Admission (awaitable adapter over the core's gate)
+    # ------------------------------------------------------------------
+    async def _acquire_slot(self, wait: bool) -> None:
+        core = self.core
+        if core.gate.try_acquire():
+            return
+        if not wait:
+            core.count_rejected()
+            raise core.overloaded_error()
+        loop = asyncio.get_running_loop()
+        granted: "asyncio.Future" = loop.create_future()
+
+        def _grant_on_loop() -> None:
+            if granted.cancelled():
+                core.gate.release()  # slot arrived after the caller left
+            else:
+                granted.set_result(None)
+
+        core.gate.acquire(
+            lambda: loop.call_soon_threadsafe(_grant_on_loop)
+        )
+        await granted
+
+    # ------------------------------------------------------------------
     # Front-end
     # ------------------------------------------------------------------
     async def submit(
@@ -267,34 +159,26 @@ class CompletionService:
         ``query`` is an SQL string (parsed with the package grammar) or a
         :class:`~repro.query.Query`.  Validation happens up front: unknown
         tables or columns raise ``ValueError`` naming the candidates.
-        With ``wait=False`` a full admission queue raises
-        :class:`ServiceOverloadedError` instead of applying backpressure.
+        With ``wait=False`` a full admission gate raises
+        :class:`~repro.errors.ServiceOverloadedError` instead of applying
+        backpressure.
         """
         if not self._running:
             raise ServiceClosedError("service is not running; use 'async with'")
-        if isinstance(query, str):
-            query = parse_query(query)
-        validate_query_columns(self.engine.db, query)
+        query = self.core.prepare(query)
         loop = asyncio.get_running_loop()
-        assert self._slots is not None
-        self._counters.requests += 1
-        if not wait and self._slots.locked():
-            self._counters.rejected += 1
-            raise ServiceOverloadedError(
-                f"{self.config.max_queue} requests already in service; "
-                f"retry later or submit with wait=True"
-            )
-        await self._slots.acquire()
+        self.core.count_request()
+        await self._acquire_slot(wait)
         if not self._running:  # closed while waiting for admission
-            self._slots.release()
+            self.core.gate.release()
             raise ServiceClosedError("service closed while awaiting admission")
         request = ServiceRequest(
             query=query,
             future=loop.create_future(),
-            enqueued_at=loop.time(),
+            enqueued_at=self.core.clock(),
             suspected_bias=suspected_bias,
         )
-        request.future.add_done_callback(lambda _f: self._slots.release())
+        request.future.add_done_callback(lambda _f: self.core.gate.release())
         await self._batcher.put(request, wait=True)
         return await request.future
 
@@ -319,68 +203,36 @@ class CompletionService:
                 show(refinement.result, refinement.band)
 
         Identical in-flight queries are coalesced into **one** refinement
-        sequence: subscribers that join mid-run first replay the
-        refinements already emitted, then stream live — every subscriber
-        sees the same sequence, and the engine runs it once.
+        sequence (the core's progressive flights): subscribers that join
+        mid-run first replay the refinements already emitted, then stream
+        live — every subscriber sees the same sequence, and the engine
+        runs it once.
         """
         if not self._running:
             raise ServiceClosedError("service is not running; use 'async with'")
-        if isinstance(query, str):
-            query = parse_query(query)
-        validate_query_columns(self.engine.db, query)
+        query = self.core.prepare(query)
         budget = budget if budget is not None else SamplingBudget()
         loop = asyncio.get_running_loop()
-        self._counters.progressive_queries += 1
-        key = (repr(query), repr(suspected_bias), budget)
-        flight = self._progressive_flights.get(key)
-        if flight is None:
-            flight = _ProgressiveFlight()
-            self._progressive_flights[key] = flight
-            self._counters.progressive_flights += 1
+        key = self.core.progressive_key(query, budget, suspected_bias)
+        flight, created = self.core.open_progressive(key)
+        if created:
             driver = loop.run_in_executor(
-                self._pool, self._drive_progressive,
-                loop, flight, key, query, budget, suspected_bias,
+                self._pool, self.core.drive_progressive,
+                key, flight, query, budget, suspected_bias,
             )
             self._progressive_drivers.add(driver)
             driver.add_done_callback(self._progressive_drivers.discard)
-        else:
-            self._counters.progressive_coalesced += 1
-        queue = flight.subscribe()
+        queue: "asyncio.Queue" = asyncio.Queue()
+        flight.subscribe(
+            lambda item: loop.call_soon_threadsafe(queue.put_nowait, item)
+        )
         while True:
             item = await queue.get()
-            if item is _FLIGHT_DONE:
+            if item is FLIGHT_DONE:
                 return
             if isinstance(item, BaseException):
                 raise item
             yield item
-
-    def _drive_progressive(
-        self,
-        loop: "asyncio.AbstractEventLoop",
-        flight: _ProgressiveFlight,
-        key: Tuple,
-        query: Query,
-        budget: SamplingBudget,
-        suspected_bias: Optional[SuspectedBias],
-    ) -> None:
-        """Worker-thread body: run the engine's refinement loop, publish."""
-        last: Optional[Refinement] = None
-        try:
-            for refinement in self.engine.answer_progressive(
-                query, budget=budget, suspected_bias=suspected_bias
-            ):
-                last = refinement
-                self._counters.refinements_emitted += 1
-                loop.call_soon_threadsafe(flight.publish, refinement)
-            error: Optional[BaseException] = None
-        except BaseException as exc:
-            error = exc
-        if last is not None:
-            self._utilizations.append(last.budget_utilization)
-        def _finish() -> None:
-            self._progressive_flights.pop(key, None)
-            flight.finish(error)
-        loop.call_soon_threadsafe(_finish)
 
     # ------------------------------------------------------------------
     # Batch collection and dispatch
@@ -388,52 +240,16 @@ class CompletionService:
     async def _collect_forever(self) -> None:
         while True:
             batch = await self._batcher.next_batch()
-            self._counters.batches += 1
-            self._batch_sizes.append(len(batch))
-            for signature, (model, requests) in self._group(batch).items():
+            self.core.record_batch(len(batch))
+            groups, failures = self.core.group(batch)
+            for request, exc in failures:
+                request.fail(exc)
+            for signature, (model, requests) in groups.items():
                 task = asyncio.get_running_loop().create_task(
                     self._serve_group(signature, model, requests)
                 )
                 self._group_tasks.add(task)
                 task.add_done_callback(self._group_tasks.discard)
-
-    def _group(self, batch: List[ServiceRequest]):
-        """Partition a batch by join signature (selection runs here)."""
-        groups: Dict[Tuple, Tuple[Optional[_CompletionModelBase], List[ServiceRequest]]] = {}
-        for request in batch:
-            try:
-                model, signature = self._route(request)
-            except BaseException as exc:  # selection errors belong to the caller
-                self._counters.failed += 1
-                request.fail(exc)
-                continue
-            groups.setdefault(signature, (model, []))[1].append(request)
-        return groups
-
-    def _route(self, request: ServiceRequest):
-        """Model selection → (model, join signature) for one request.
-
-        Runs on the event loop, so it must stay cheap: plain selection is
-        a ranked-list lookup, but *suspected-bias* selection evaluates
-        candidate aggregates on completed joins — real completion work.
-        Those requests are deferred to the worker thread instead (a
-        private group; ``engine.answer`` performs the biased selection
-        there), keeping the loop responsive for everyone else.
-        """
-        engine = self.engine
-        incomplete = [
-            t for t in request.query.tables
-            if not engine.annotation.is_complete(t)
-        ]
-        if not incomplete:
-            # Complete-only queries share a per-table-set signature so they
-            # batch together, but they never run an incompleteness join.
-            return None, ("__complete__", tuple(sorted(request.query.tables)))
-        if request.suspected_bias is not None:
-            return None, ("__bias__", id(request))
-        target = engine._primary_target(incomplete)
-        choice = engine.select_model(target, query=request.query)
-        return choice.model, engine.join_signature(choice.model)
 
     async def _serve_group(
         self,
@@ -441,75 +257,21 @@ class CompletionService:
         model: Optional[_CompletionModelBase],
         requests: List[ServiceRequest],
     ) -> None:
-        loop = asyncio.get_running_loop()
-        try:
-            if model is not None:
-                await self._ensure_join(signature, model, len(requests))
-        except BaseException as exc:
-            for request in requests:
-                self._counters.failed += 1
-                request.fail(exc)
-            return
-        results = await loop.run_in_executor(
-            self._pool, self._answer_group, model, requests
-        )
-        now = loop.time()
-        for request, result in zip(requests, results):
-            if isinstance(result, BaseException):
-                self._counters.failed += 1
-                request.fail(result)
-            else:
-                self._counters.completed += 1
-                self._latencies_ms.append((now - request.enqueued_at) * 1000.0)
-                request.succeed(result)
+        """One signature group: single-flight join + answers, off the loop.
 
-    async def _ensure_join(
-        self, signature: Tuple, model: _CompletionModelBase, group_size: int
-    ) -> None:
-        """Single-flight: one incompleteness join per signature, ever.
-
-        All inflight bookkeeping happens on the event-loop thread, so two
-        groups can never both start a join for the same signature; later
-        groups (and later batches) await the first join's future, and once
-        it lands in the engine's join cache nobody computes it again.
+        The whole of :meth:`ServingCore.serve_group` runs on a pool
+        thread; the single-flight *leader* computes the join in that same
+        thread, so followers waiting on it can never starve the pool.
         """
         loop = asyncio.get_running_loop()
-        inflight = self._inflight_joins.get(signature)
-        if inflight is None and not self.engine.join_cache.contains(signature):
-            self._counters.joins_started += 1
-            self._counters.coalesced_requests += group_size - 1
-            inflight = asyncio.ensure_future(
-                loop.run_in_executor(self._pool, self.engine.completed_join, model)
-            )
-            self._inflight_joins[signature] = inflight
-            inflight.add_done_callback(
-                lambda _f, s=signature: self._inflight_joins.pop(s, None)
-            )
-        elif inflight is not None:
-            # Riding an in-flight join from an earlier batch is coalescing;
-            # finding the join already cached is an ordinary cache hit and
-            # is counted by the cache statistics, not here.
-            self._counters.coalesced_requests += group_size
-        if inflight is not None:
-            await asyncio.shield(inflight)
-
-    def _answer_group(
-        self, model: Optional[_CompletionModelBase], requests: List[ServiceRequest]
-    ) -> List:
-        """Worker-thread body: answer every request against the shared join."""
-        results: List = []
-        for request in requests:
-            try:
-                if model is None:
-                    answer = self.engine.answer(
-                        request.query, suspected_bias=request.suspected_bias
-                    )
-                else:
-                    answer = self.engine.answer(request.query, model=model)
-                results.append(answer)
-            except BaseException as exc:
-                results.append(exc)
-        return results
+        results = await loop.run_in_executor(
+            self._pool, self.core.serve_group, model, requests, signature
+        )
+        for request, result in zip(requests, results):
+            if isinstance(result, BaseException):
+                request.fail(result)
+            else:
+                request.succeed(result)
 
     # ------------------------------------------------------------------
     # Observability
@@ -517,41 +279,6 @@ class CompletionService:
     def stats(self) -> ServiceStats:
         """Latency percentiles, batching/coalescing counters, cache and
         progressive-refinement metrics (refinements per query, budget
-        utilization, partial-cache hit rate)."""
-        latencies = np.asarray(self._latencies_ms, dtype=float)
-        sizes = list(self._batch_sizes)
-        utilizations = list(self._utilizations)
-        flights = self._counters.progressive_flights
-        progressive = {
-            "queries": self._counters.progressive_queries,
-            "flights": flights,
-            "coalesced_queries": self._counters.progressive_coalesced,
-            "refinements_emitted": self._counters.refinements_emitted,
-            "mean_refinements_per_flight": (
-                self._counters.refinements_emitted / flights if flights else 0.0
-            ),
-            "mean_budget_utilization": (
-                float(np.mean(utilizations)) if utilizations else 0.0
-            ),
-        }
-        return ServiceStats(
-            requests=self._counters.requests,
-            completed=self._counters.completed,
-            failed=self._counters.failed,
-            rejected=self._counters.rejected,
-            queued=self._batcher.qsize(),
-            batches=self._counters.batches,
-            mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
-            max_batch_size=max(sizes) if sizes else 0,
-            joins_started=self._counters.joins_started,
-            coalesced_requests=self._counters.coalesced_requests,
-            p50_latency_ms=(
-                float(np.percentile(latencies, 50)) if len(latencies) else 0.0
-            ),
-            p95_latency_ms=(
-                float(np.percentile(latencies, 95)) if len(latencies) else 0.0
-            ),
-            cache=self.engine.cache_stats.as_dict(),
-            progressive=progressive,
-            partial_cache=self.engine.partial_cache_stats.as_dict(),
-        )
+        utilization, partial-cache hit rate) — the core's one truthful
+        snapshot."""
+        return self.core.stats(queued=self._batcher.qsize())

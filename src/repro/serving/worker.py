@@ -1,0 +1,289 @@
+"""The process shell: one artifact, one :class:`ServingCore`, one socket.
+
+A :class:`ServiceWorker` is what a fleet spawns per process: it loads a
+versioned artifact (:mod:`repro.serving.artifacts`) into a fresh engine,
+wraps it in the transport-agnostic core, and serves the length-prefixed
+wire protocol (:mod:`repro.serving.protocol`) over a single router
+connection.  All serving behaviour — micro-batching, join-signature
+grouping, single-flight coalescing, admission, stats — is the core's;
+this shell only moves frames:
+
+* a **reader** (the calling thread) decodes frames: queries are admitted
+  through the core's gate (overload ⇒ an ``error`` frame with the
+  ``service_overloaded`` wire code) into a :class:`SyncMicroBatcher`;
+  ``stats`` and ``shutdown`` are answered inline;
+* a **collector** thread drains micro-batches, groups them by join
+  signature and fans the groups out over a small thread pool;
+* replies are written under a send lock, one ``answer``/``error`` frame
+  per request id — the router correlates them, so responses may arrive
+  in any order.
+
+Shutdown is drain-clean: on a ``shutdown`` frame (or EOF) the worker
+stops admitting, finishes every in-flight batch, answers everything it
+accepted, then sends a final ``bye`` frame carrying its closing stats —
+zero dropped in-flight requests, which the fleet tests assert.
+
+:func:`worker_main` is the process entry point used by
+:class:`~repro.serving.FleetRouter`; it binds a fresh socket (AF_UNIX
+where available, loopback TCP otherwise), reports the address through a
+``multiprocessing`` pipe, and serves until the router disconnects.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..core.engine import ReStore
+from ..core.selection import SuspectedBias
+from ..errors import ServiceOverloadedError
+from ..query import Query
+from ..version import repro_version
+from .core import ServiceConfig, ServingCore, SyncMicroBatcher
+from .protocol import (
+    PROTOCOL_VERSION,
+    error_fields,
+    recv_frame,
+    send_frame,
+    strip_answer,
+)
+
+__all__ = ["ServiceWorker", "worker_main", "bind_worker_socket"]
+
+
+@dataclass
+class _WireRequest:
+    """One admitted query frame (duck-typed for :meth:`ServingCore.group`)."""
+
+    query: Query
+    enqueued_at: float
+    request_id: object
+    suspected_bias: Optional[SuspectedBias] = None
+    tenant: str = "default"
+
+
+class ServiceWorker:
+    """Serve one fitted engine over the wire protocol (blocking shell)."""
+
+    def __init__(self, engine: ReStore, config: Optional[ServiceConfig] = None):
+        self.core = ServingCore(engine, config)
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact_path,
+        config: Optional[ServiceConfig] = None,
+        config_overrides: Optional[dict] = None,
+    ) -> "ServiceWorker":
+        engine = ReStore.load(Path(artifact_path), config_overrides=config_overrides)
+        return cls(engine, config)
+
+    # ------------------------------------------------------------------
+    # One connection = one serving session
+    # ------------------------------------------------------------------
+    def serve_connection(self, conn: socket.socket) -> bool:
+        """Serve frames until ``shutdown`` or EOF; returns True on ``bye``.
+
+        Blocking; drives the reader loop on the calling thread and
+        completes every admitted request before returning.
+        """
+        config = self.core.config
+        send_lock = threading.Lock()
+        batcher = SyncMicroBatcher(
+            max_queue=config.max_queue,
+            max_batch=config.max_batch,
+            window_s=config.batch_window_s,
+        )
+        pool = ThreadPoolExecutor(
+            max_workers=config.n_workers, thread_name_prefix="restore-worker"
+        )
+        group_futures: list = []
+        futures_lock = threading.Lock()
+
+        def reply(kind: str, **fields) -> None:
+            with send_lock:
+                try:
+                    send_frame(conn, kind, **fields)
+                except OSError:
+                    pass  # router vanished; draining continues regardless
+
+        def serve_and_reply(model, members, signature) -> None:
+            results = self.core.serve_group(model, members, signature)
+            for request, result in zip(members, results):
+                if isinstance(result, BaseException):
+                    reply("error", **error_fields(request.request_id, result))
+                else:
+                    reply("answer", id=request.request_id,
+                          answer=strip_answer(result))
+                self.core.gate.release()
+
+        def collect() -> None:
+            while True:
+                batch = batcher.next_batch()
+                if batch is None:
+                    return
+                self.core.record_batch(len(batch))
+                groups, failures = self.core.group(batch)
+                for request, exc in failures:
+                    reply("error", **error_fields(request.request_id, exc))
+                    self.core.gate.release()
+                for signature, (model, members) in groups.items():
+                    future = pool.submit(
+                        serve_and_reply, model, members, signature
+                    )
+                    with futures_lock:
+                        group_futures.append(future)
+
+        collector = threading.Thread(
+            target=collect, name="restore-worker-collect", daemon=True
+        )
+        collector.start()
+        saw_shutdown = False
+        try:
+            while True:
+                frame = recv_frame(conn)
+                if frame is None:
+                    break
+                kind = frame["kind"]
+                if kind == "hello":
+                    reply(
+                        "hello",
+                        protocol=PROTOCOL_VERSION,
+                        repro=repro_version(),
+                        pid=os.getpid(),
+                    )
+                elif kind == "query":
+                    self._admit(frame, batcher, reply)
+                elif kind == "stats":
+                    reply(
+                        "stats_reply",
+                        id=frame.get("id"),
+                        stats=self.core.stats(queued=batcher.qsize()).as_dict(),
+                    )
+                elif kind == "shutdown":
+                    saw_shutdown = True
+                    break
+                # unknown kinds are ignored: a newer router may probe
+        finally:
+            batcher.stop()
+            collector.join()
+            with futures_lock:
+                pending = list(group_futures)
+            for future in pending:
+                future.result()
+            pool.shutdown(wait=True)
+            if saw_shutdown:
+                reply(
+                    "bye",
+                    stats=self.core.stats(queued=0).as_dict(),
+                )
+        return saw_shutdown
+
+    def _admit(self, frame: dict, batcher: SyncMicroBatcher, reply) -> None:
+        """Validate + admit one query frame (reader thread, must stay cheap)."""
+        request_id = frame.get("id")
+        try:
+            query = self.core.prepare(frame["query"])
+        except BaseException as exc:
+            reply("error", **error_fields(request_id, exc))
+            return
+        self.core.count_request()
+        if not self.core.gate.try_acquire():
+            self.core.count_rejected()
+            reply("error", **error_fields(
+                request_id,
+                ServiceOverloadedError(
+                    f"worker admission full "
+                    f"({self.core.config.max_queue} in service)"
+                ),
+            ))
+            return
+        request = _WireRequest(
+            query=query,
+            enqueued_at=self.core.clock(),
+            request_id=request_id,
+            suspected_bias=frame.get("suspected_bias"),
+            tenant=frame.get("tenant", "default"),
+        )
+        # The gate bounds in-service requests at max_queue, so the batcher
+        # queue (same capacity) can never be full here.
+        batcher.put(request, wait=True)
+
+
+# ----------------------------------------------------------------------
+# Process entry point
+# ----------------------------------------------------------------------
+
+def bind_worker_socket() -> socket.socket:
+    """A fresh listening socket: abstract-free AF_UNIX, else loopback TCP."""
+    if hasattr(socket, "AF_UNIX"):
+        import tempfile
+
+        path = os.path.join(
+            tempfile.mkdtemp(prefix="restore-wk-"), "worker.sock"
+        )
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(path)
+    else:  # pragma: no cover - exercised only on platforms without AF_UNIX
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    return listener
+
+
+def listener_address(listener: socket.socket):
+    """The connectable (family, address) pair for :func:`bind_worker_socket`."""
+    if listener.family == getattr(socket, "AF_UNIX", object()):
+        return ("unix", listener.getsockname())
+    host, port = listener.getsockname()[:2]
+    return ("tcp", (host, port))
+
+
+def worker_main(
+    artifact_path: str,
+    ready_conn,
+    config_kwargs: Optional[dict] = None,
+    config_overrides: Optional[dict] = None,
+) -> None:
+    """Fleet worker process body: load, bind, report, serve, exit.
+
+    ``ready_conn`` is the child end of a ``multiprocessing.Pipe``; the
+    worker sends ``("ok", (family, address))`` once it is accepting (or
+    ``("error", repr)`` if startup failed, so the router can report the
+    real cause instead of a connect timeout).
+    """
+    listener = None
+    try:
+        config = ServiceConfig(**(config_kwargs or {}))
+        worker = ServiceWorker.from_artifact(
+            artifact_path, config=config, config_overrides=config_overrides
+        )
+        listener = bind_worker_socket()
+        ready_conn.send(("ok", listener_address(listener)))
+    except BaseException as exc:
+        try:
+            ready_conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            ready_conn.close()
+        if listener is not None:
+            listener.close()
+        return
+    ready_conn.close()
+    try:
+        conn, _peer = listener.accept()
+        try:
+            worker.serve_connection(conn)
+        finally:
+            conn.close()
+    finally:
+        listener.close()
+        if listener.family == getattr(socket, "AF_UNIX", object()):
+            try:
+                os.unlink(listener.getsockname())
+            except OSError:
+                pass

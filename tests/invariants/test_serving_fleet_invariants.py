@@ -1,0 +1,111 @@
+"""Fleet-level serving invariants (slow: training + worker processes).
+
+The properties every future serving PR is validated against, across
+scenarios with genuinely different schemas:
+
+* **transport transparency** — a multi-process fleet returns exactly the
+  answers the underlying engine returns, for completion and
+  complete-only queries alike;
+* **fleet-wide single flight** — N identical concurrent queries cause
+  exactly one incompleteness join, on exactly one worker;
+* **conservation of requests** — everything the fleet admits is
+  answered: sum(worker completed) + failures == admitted, with zero
+  requests dropped at shutdown.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import ModelConfig, ReStore, ReStoreConfig
+from repro.incomplete import registry
+from repro.nn import TrainConfig
+from repro.query import parse_query
+from repro.serving import (
+    FleetConfig,
+    FleetRouter,
+    ServiceConfig,
+    save_artifact,
+)
+
+from harness_utils import HARNESS_SEED
+
+pytestmark = pytest.mark.slow
+
+#: scenario → (a completion query, a complete-only query) on its schema.
+FLEET_SCENARIOS = {
+    "synthetic/biased": (
+        "SELECT COUNT(*) FROM ta NATURAL JOIN tb WHERE b = 'v1';",
+        "SELECT COUNT(*) FROM ta;",
+    ),
+    "housing/H1": (
+        "SELECT AVG(price) FROM apartment;",
+        "SELECT COUNT(*) FROM neighborhood;",
+    ),
+}
+
+
+def _fit(name, complete_databases):
+    entry = registry.get(name)
+    db = complete_databases(entry.dataset)
+    dataset = registry.make_scenario_dataset(name, db=db, seed=HARNESS_SEED)
+    config = ReStoreConfig(
+        model=ModelConfig(
+            hidden=(24, 24),
+            train=TrainConfig(epochs=5, batch_size=128, lr=1e-2, patience=3,
+                              seed=HARNESS_SEED),
+        ),
+        seed=HARNESS_SEED,
+    )
+    return ReStore.from_dataset(dataset, config).fit()
+
+
+@pytest.fixture(scope="module", params=sorted(FLEET_SCENARIOS))
+def scenario_artifact(request, complete_databases, tmp_path_factory):
+    engine = _fit(request.param, complete_databases)
+    path = tmp_path_factory.mktemp("fleet-inv") / "artifact"
+    save_artifact(engine, path, scenario=request.param)
+    return request.param, path
+
+
+def test_fleet_transport_transparency_and_single_flight(scenario_artifact):
+    scenario, artifact = scenario_artifact
+    completion_sql, complete_sql = FLEET_SCENARIOS[scenario]
+    engine = ReStore.load(artifact)
+    expected_completion = sorted(
+        engine.answer(parse_query(completion_sql)).result.values
+    )
+    expected_complete = sorted(
+        engine.answer(parse_query(complete_sql)).result.values
+    )
+
+    async def main():
+        config = FleetConfig(
+            n_workers=2, worker=ServiceConfig(max_queue=32, n_workers=2)
+        )
+        async with FleetRouter(artifact, config) as fleet:
+            answers = await asyncio.gather(
+                *(fleet.submit(completion_sql) for _ in range(8)),
+                fleet.submit(complete_sql),
+            )
+            stats = await fleet.stats()
+        return answers, stats, fleet.final_worker_stats
+
+    answers, stats, final = asyncio.run(main())
+
+    # Transport transparency: wire answers == direct engine answers.
+    for answer in answers[:-1]:
+        assert sorted(answer.result.values) == expected_completion
+    assert sorted(answers[-1].result.values) == expected_complete
+
+    # Fleet-wide single flight: one join, on exactly one worker.
+    per_worker_joins = [w.get("joins_started", 0) for w in stats.per_worker]
+    assert sum(per_worker_joins) == 1
+    assert sorted(per_worker_joins) == [0, 1]
+
+    # Conservation: everything admitted was answered, nothing dropped.
+    assert stats.requests == 9
+    assert stats.completed == 9
+    assert stats.failed == 0
+    assert sum(s["completed"] for s in final) == 9
+    assert all(s["queued"] == 0 for s in final)

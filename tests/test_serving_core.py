@@ -1,0 +1,368 @@
+"""Tests for :mod:`repro.serving.core` — the transport-agnostic core.
+
+The core is the synchronous brain every shell wraps, so it must be fully
+exercisable without an event loop: config validation, FIFO admission,
+micro-batch grouping, single-flight join coalescing (including the
+threaded race), progressive flight replay, and the stats surface — all
+with plain threads.  A source-level test pins the headline invariant:
+``serving/core.py`` imports no asyncio.
+"""
+
+import threading
+
+import pytest
+
+from repro import ReStore, ReStoreConfig, parse_query
+from repro.core import ModelConfig
+from repro.errors import ConfigurationError, ServiceOverloadedError
+from repro.incomplete.registry import make_scenario_dataset
+from repro.nn import TrainConfig
+from repro.serving import (
+    AdmissionGate,
+    CoreRequest,
+    ProgressiveFlight,
+    ServiceConfig,
+    ServingCore,
+    SyncMicroBatcher,
+)
+from repro.serving.core import FLIGHT_DONE
+
+FAST = TrainConfig(epochs=3, batch_size=128, lr=1e-2, patience=2)
+
+COMPLETION_SQL = "SELECT COUNT(*) FROM ta NATURAL JOIN tb WHERE b = 'v1';"
+COMPLETE_ONLY_SQL = "SELECT COUNT(*) FROM ta;"
+GROUPED_SQL = "SELECT COUNT(*) FROM ta NATURAL JOIN tb GROUP BY a;"
+
+
+@pytest.fixture(scope="module")
+def engine() -> ReStore:
+    dataset = make_scenario_dataset(
+        "synthetic/biased", keep_rate=0.5, seed=1, scale=0.2
+    )
+    config = ReStoreConfig(model=ModelConfig(train=FAST), seed=3)
+    return ReStore.from_dataset(dataset, config).fit()
+
+
+@pytest.fixture()
+def core(engine) -> ServingCore:
+    engine.clear_cache()
+    return ServingCore(engine)
+
+
+def _request(core: ServingCore, sql: str, **kwargs) -> CoreRequest:
+    return CoreRequest(
+        query=core.prepare(sql), enqueued_at=core.clock(), **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# The headline invariant: no asyncio in the core
+# ----------------------------------------------------------------------
+
+
+class TestTransportAgnostic:
+    def test_core_module_imports_no_asyncio(self):
+        import ast
+
+        import repro.serving.core as core_module
+
+        tree = ast.parse(open(core_module.__file__).read())
+        imported = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                imported.update(alias.name.split(".")[0] for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                imported.add(node.module.split(".")[0])
+        assert "asyncio" not in imported
+        assert "asyncio" not in {
+            name.split(".")[0] for name in list(vars(core_module))
+        }
+
+    def test_core_usable_without_event_loop(self, core):
+        # Plain call stack, no loop anywhere: submit answers directly.
+        answer = core.submit(COMPLETION_SQL)
+        assert answer.used_completion is True
+        assert core.stats().completed == 1
+
+
+# ----------------------------------------------------------------------
+# ServiceConfig validation
+# ----------------------------------------------------------------------
+
+
+class TestServiceConfigValidation:
+    @pytest.mark.parametrize(
+        "field", ["max_queue", "max_batch", "n_workers", "latency_window"]
+    )
+    def test_rejects_non_positive_ints_naming_the_field(self, field):
+        with pytest.raises(ConfigurationError, match=f"ServiceConfig.{field}"):
+            ServiceConfig(**{field: 0})
+        with pytest.raises(ConfigurationError, match=f"ServiceConfig.{field}"):
+            ServiceConfig(**{field: -3})
+
+    @pytest.mark.parametrize(
+        "field", ["max_queue", "max_batch", "n_workers", "latency_window"]
+    )
+    def test_rejects_non_integers(self, field):
+        with pytest.raises(ConfigurationError, match=f"ServiceConfig.{field}"):
+            ServiceConfig(**{field: 2.5})
+        with pytest.raises(ConfigurationError, match=f"ServiceConfig.{field}"):
+            ServiceConfig(**{field: True})
+
+    def test_rejects_negative_and_nan_window(self):
+        with pytest.raises(
+            ConfigurationError, match="ServiceConfig.batch_window_ms"
+        ):
+            ServiceConfig(batch_window_ms=-1.0)
+        with pytest.raises(
+            ConfigurationError, match="ServiceConfig.batch_window_ms"
+        ):
+            ServiceConfig(batch_window_ms=float("nan"))
+
+    def test_configuration_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_batch=0)
+
+    def test_valid_config_passes(self):
+        config = ServiceConfig(max_queue=8, max_batch=4, batch_window_ms=0.0)
+        assert config.batch_window_s == 0.0
+
+
+# ----------------------------------------------------------------------
+# AdmissionGate
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionGate:
+    def test_try_acquire_bounded_by_capacity(self):
+        gate = AdmissionGate(2)
+        assert gate.try_acquire() and gate.try_acquire()
+        assert not gate.try_acquire()
+        gate.release()
+        assert gate.try_acquire()
+
+    def test_grant_callbacks_fire_fifo(self):
+        gate = AdmissionGate(1)
+        assert gate.try_acquire()
+        order = []
+        gate.acquire(lambda: order.append("first"))
+        gate.acquire(lambda: order.append("second"))
+        assert order == []  # both queued behind the held slot
+        gate.release()
+        assert order == ["first"]
+        gate.release()
+        assert order == ["first", "second"]
+        assert gate.in_service() == 1  # second's slot is still held
+
+    def test_try_acquire_never_jumps_the_queue(self):
+        gate = AdmissionGate(1)
+        assert gate.try_acquire()
+        gate.acquire(lambda: None)  # a FIFO waiter is parked
+        gate.release()  # waiter inherits the slot...
+        assert not gate.try_acquire() or gate.in_service() <= 1
+
+    def test_blocking_acquire_wakes_on_release(self):
+        gate = AdmissionGate(1)
+        assert gate.try_acquire()
+        acquired = threading.Event()
+
+        def blocker():
+            gate.acquire()
+            acquired.set()
+
+        thread = threading.Thread(target=blocker, daemon=True)
+        thread.start()
+        assert not acquired.wait(0.1)
+        gate.release()
+        assert acquired.wait(2.0)
+        thread.join()
+
+    def test_rejects_capacity_below_one(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionGate(0)
+
+
+# ----------------------------------------------------------------------
+# SyncMicroBatcher
+# ----------------------------------------------------------------------
+
+
+class TestSyncMicroBatcher:
+    def test_collects_up_to_max_batch(self):
+        batcher = SyncMicroBatcher(max_queue=16, max_batch=3, window_s=0.2)
+        for i in range(5):
+            batcher.put(i)
+        assert batcher.next_batch() == [0, 1, 2]
+        assert batcher.next_batch() == [3, 4]
+
+    def test_stop_drains_then_signals_none(self):
+        batcher = SyncMicroBatcher(max_queue=16, max_batch=8, window_s=0.0)
+        batcher.put("x")
+        batcher.stop()
+        assert batcher.next_batch(poll_s=0.01) == ["x"]
+        assert batcher.next_batch(poll_s=0.01) is None
+
+    def test_full_queue_rejects_without_wait(self):
+        batcher = SyncMicroBatcher(max_queue=1, max_batch=8, window_s=0.0)
+        batcher.put("x")
+        with pytest.raises(ServiceOverloadedError):
+            batcher.put("y", wait=False)
+
+
+# ----------------------------------------------------------------------
+# Synchronous serving: submit / serve_batch
+# ----------------------------------------------------------------------
+
+
+class TestCoreServing:
+    def test_submit_matches_direct_engine(self, core):
+        direct = core.engine.answer(parse_query(COMPLETION_SQL))
+        core.engine.clear_cache()
+        served = core.submit(COMPLETION_SQL)
+        assert served.result.values == direct.result.values
+
+    def test_serve_batch_aligns_results_with_requests(self, core):
+        batch = [
+            _request(core, COMPLETION_SQL),
+            _request(core, COMPLETE_ONLY_SQL),
+            _request(core, GROUPED_SQL),
+        ]
+        results = core.serve_batch(batch)
+        assert len(results) == 3
+        assert results[1].used_completion is False  # ta is complete
+        assert results[0].used_completion and results[2].used_completion
+
+    def test_one_batch_of_identical_queries_starts_one_join(self, core):
+        batch = [_request(core, COMPLETION_SQL) for _ in range(6)]
+        results = core.serve_batch(batch)
+        assert all(not isinstance(r, BaseException) for r in results)
+        stats = core.stats()
+        assert stats.joins_started == 1
+        assert stats.coalesced_requests == 5
+        assert stats.cache["misses"] == 1
+
+    def test_submit_wait_false_rejects_when_full(self, core):
+        small = ServingCore(core.engine, ServiceConfig(max_queue=1))
+        assert small.gate.try_acquire()  # hold the only slot
+        with pytest.raises(ServiceOverloadedError):
+            small.submit(COMPLETE_ONLY_SQL, wait=False)
+        small.gate.release()
+        assert small.stats().rejected == 1
+
+    def test_unknown_column_raises_naming_candidates(self, core):
+        # Validation happens in prepare(), before admission: the request
+        # is never counted (same observable behaviour as the asyncio shell).
+        with pytest.raises(ValueError, match="nonexistent"):
+            core.submit("SELECT AVG(nonexistent) FROM ta;")
+        assert core.stats().requests == 0
+
+    def test_threaded_single_flight_across_groups(self, core):
+        """Concurrent serve_group calls for one signature run one join."""
+        n_threads = 4
+        batchers = [
+            [_request(core, COMPLETION_SQL) for _ in range(2)]
+            for _ in range(n_threads)
+        ]
+        groups = [core.group(b)[0] for b in batchers]
+        barrier = threading.Barrier(n_threads)
+        outcomes = [None] * n_threads
+
+        def worker(i):
+            barrier.wait()
+            [(signature, (model, members))] = list(groups[i].items())
+            outcomes[i] = core.serve_group(model, members, signature)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for result_list in outcomes:
+            assert all(not isinstance(r, BaseException) for r in result_list)
+        stats = core.stats()
+        assert stats.joins_started == 1
+        assert stats.cache["misses"] == 1
+        # 8 requests total, 1 leader computed the join: 7 shared it (some
+        # via the in-flight wait, some via the cache — both are coalescing
+        # or plain hits; the flight-level counter stays bounded).
+        assert 0 < stats.coalesced_requests <= 7
+
+
+# ----------------------------------------------------------------------
+# Progressive flights
+# ----------------------------------------------------------------------
+
+
+class TestProgressiveFlight:
+    def test_subscribe_replays_history_then_streams(self):
+        flight = ProgressiveFlight()
+        flight.publish("r1")
+        flight.publish("r2")
+        seen = []
+        flight.subscribe(seen.append)
+        assert seen == ["r1", "r2"]
+        flight.publish("r3")
+        flight.finish(None)
+        assert seen == ["r1", "r2", "r3", FLIGHT_DONE]
+
+    def test_late_subscriber_gets_terminal_sentinel(self):
+        flight = ProgressiveFlight()
+        flight.publish("r1")
+        flight.finish(None)
+        seen = []
+        flight.subscribe(seen.append)
+        assert seen == ["r1", FLIGHT_DONE]
+
+    def test_error_delivered_instead_of_done(self):
+        flight = ProgressiveFlight()
+        boom = RuntimeError("boom")
+        seen = []
+        flight.subscribe(seen.append)
+        flight.finish(boom)
+        assert seen == [boom]
+
+    def test_open_progressive_coalesces_by_key(self, core):
+        key = ("q", "None", None)
+        first, created_first = core.open_progressive(key)
+        second, created_second = core.open_progressive(key)
+        assert first is second
+        assert created_first and not created_second
+        stats = core.stats()
+        assert stats.progressive["flights"] == 1
+        assert stats.progressive["coalesced_queries"] == 1
+        # Finished flights deregister: the next opener starts fresh.
+        core._progressive_flights.pop(key, None)
+        third, created_third = core.open_progressive(key)
+        assert created_third and third is not first
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+
+
+class TestCoreStats:
+    def test_stats_round_trip_as_dict(self, core):
+        core.submit(COMPLETION_SQL)
+        stats = core.stats(queued=7)
+        payload = stats.as_dict()
+        assert payload["queued"] == 7
+        assert payload["requests"] == 1
+        assert payload["completed"] == 1
+        assert payload["p50_latency_ms"] >= 0.0
+        assert set(payload["progressive"]) >= {
+            "queries", "flights", "coalesced_queries",
+        }
+
+    def test_latency_percentiles_use_injected_clock(self, engine):
+        engine.clear_cache()
+        fake_now = [0.0]
+        core = ServingCore(engine, clock=lambda: fake_now[0])
+        request = _request(core, COMPLETE_ONLY_SQL)
+        fake_now[0] = 0.25  # the request "waited" 250 ms
+        [answer] = core.serve_batch([request])
+        assert not isinstance(answer, BaseException)
+        stats = core.stats()
+        assert stats.p50_latency_ms == pytest.approx(250.0)
