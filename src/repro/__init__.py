@@ -28,6 +28,14 @@ from .core import (
     SuspectedBias,
 )
 from .errors import ReStoreError
+from .incremental import (
+    DriftReport,
+    DriftThresholds,
+    MutationDelta,
+    TableDelta,
+    apply_mutations,
+    detect_drift,
+)
 from .query import Query, QueryResult, parse_query
 from .relational import ColumnKind, Database, ForeignKey, SchemaAnnotation, Table
 from .serving import (
@@ -78,6 +86,13 @@ __all__ = [
     "FleetConfig",
     "save_artifact",
     "load_artifact",
+    # incremental completion (live databases)
+    "MutationDelta",
+    "TableDelta",
+    "apply_mutations",
+    "DriftReport",
+    "DriftThresholds",
+    "detect_drift",
     # errors
     "ReStoreError",
     # meta

@@ -182,6 +182,11 @@ class ReStore:
         #: Optional provenance: the registry scenario this engine's dataset
         #: came from; stamped into saved artifacts (repro.serving).
         self.scenario_name: Optional[str] = None
+        #: Fit-time anchors for the incremental layer: the database digest
+        #: gates warm-start fine-tuning (unchanged data = exact no-op) and
+        #: the encoded-distribution summary is the drift baseline.
+        self._fitted_digest: Optional[str] = None
+        self._drift_baseline: Optional[Dict] = None
 
     @classmethod
     def from_dataset(
@@ -245,6 +250,7 @@ class ReStore:
         for target in targets:
             self._candidates[target] = score_candidates(by_target[target])
         self.merge_stats = training_savings(all_paths)
+        self._stash_fit_anchors()
         return self
 
     def _run_training(self, tasks: List[Tuple[str, Tuple[str, ...], int]]):
@@ -492,11 +498,15 @@ class ReStore:
         otherwise the root table splits into about ``progressive_chunks``
         chunks so budgeted runs have a schedule to stream over.
         """
+        return self._make_join(model, chunk_size=self._canonical_chunk_size(model))
+
+    def _canonical_chunk_size(self, model: _CompletionModelBase) -> int:
+        """The chunk size of the canonical partial grid for ``model``."""
         chunk_size = self.config.chunk_size
         if chunk_size is None:
             num_roots = len(self.db.table(model.layout.path.tables[0]))
             chunk_size = max(1, -(-num_roots // self.config.progressive_chunks))
-        return self._make_join(model, chunk_size=chunk_size)
+        return chunk_size
 
     def _gather_chunks(
         self,
@@ -626,6 +636,209 @@ class ReStore:
         self.partial_cache.reset_stats()
 
     # ------------------------------------------------------------------
+    # Incremental completion (repro.incremental)
+    # ------------------------------------------------------------------
+    def apply_mutations(
+        self,
+        *,
+        inserts: Optional[Dict] = None,
+        updates: Optional[Dict] = None,
+        deletes: Optional[Dict] = None,
+        cascade: bool = True,
+    ) -> "MutationDelta":
+        """Mutate the base database in place and invalidate precisely.
+
+        Applies the batch via :func:`repro.incremental.apply_mutations`,
+        re-anchors every fitted model on the mutated rows (layouts and
+        evidence forests keep their fit-time structure — codecs, variable
+        vocabularies and trained parameters are untouched), and evicts
+        exactly the cached joins/chunks the delta made stale: untouched
+        chunks keep serving from the partial cache, so a following
+        :meth:`recomplete` re-walks only affected chunks.
+        """
+        from ..incremental.mutations import apply_mutations as apply_to_db
+
+        new_db, new_annotation, delta = apply_to_db(
+            self.db, self.annotation,
+            inserts=inserts, updates=updates, deletes=deletes, cascade=cascade,
+        )
+        self.db = new_db
+        if new_annotation is not None:
+            self.annotation = new_annotation
+        self._rebind_models()
+        self._invalidate_for_delta(delta)
+        return delta
+
+    def recomplete(
+        self,
+        delta: Optional["MutationDelta"] = None,
+        model: Optional[_CompletionModelBase] = None,
+    ) -> CompletedJoin:
+        """Re-run a model's completion after mutations, reusing chunks.
+
+        The result is bitwise-identical (up to row order) to a
+        from-scratch :meth:`completed_join` on the mutated database at
+        the same seed — the counter-based per-row RNG keys every draw to
+        the root row index, so untouched chunks coming from the partial
+        cache are exactly what a fresh walk would produce.  Passing the
+        ``delta`` re-applies its (idempotent) invalidation, making the
+        call safe even if the caller evicted nothing beforehand.
+
+        Chunk-level provenance is attached as ``completed.recompletion``
+        (``chunks_total`` / ``chunks_walked`` / ``chunks_cached``).
+        """
+        if model is None:
+            model = self._default_model()
+        if delta is not None:
+            self._invalidate_for_delta(delta)
+        key = self._join_key(model)
+        cached = self.join_cache.get(key)
+        if cached is not None:
+            # Re-stamp provenance for *this* call: the whole assembled join
+            # was served, nothing walked (the stale dict would otherwise
+            # replay the stats of whichever call built it).
+            total = getattr(cached, "recompletion", {}).get("chunks_total", 0)
+            cached.recompletion = {
+                "chunks_total": total,
+                "chunks_walked": 0,
+                "chunks_cached": total,
+            }
+            return cached
+        join = self._partial_join(model)
+        tables = join.effective_tables()
+        grid = tuple(join.chunk_tasks(tables))
+        outputs, stats = self._gather_chunks(
+            join, tables, grid, range(len(grid)), None, key
+        )
+        completed = join.assemble(outputs, tables)
+        completed.recompletion = {
+            "chunks_total": len(grid),
+            "chunks_walked": stats["chunks_walked"],
+            "chunks_cached": stats["chunks_cached"],
+        }
+        self.join_cache.put(key, completed)
+        return completed
+
+    def check_drift(self, thresholds=None) -> "DriftReport":
+        """Compare today's encoded distributions against the fit baseline.
+
+        Returns a :class:`~repro.incremental.DriftReport` recommending
+        ``skip`` / ``fine_tune`` / ``refit`` (see
+        :class:`~repro.incremental.DriftThresholds`).
+        """
+        from ..incremental.drift import (
+            DriftThresholds,
+            detect_drift,
+            distribution_summary,
+        )
+
+        if self._drift_baseline is None:
+            raise RuntimeError(
+                "call fit() (or load an artifact) before check_drift()"
+            )
+        current = distribution_summary(self.db, self.encoders)
+        return detect_drift(
+            self._drift_baseline, current,
+            thresholds if thresholds is not None else DriftThresholds(),
+        )
+
+    def fine_tune(self) -> Dict[str, object]:
+        """Warm-start re-training of every fitted model, digest-gated.
+
+        When the database digest still matches the last fit, nothing runs
+        at all — an *exact* no-op (parameters bitwise unchanged).  When
+        the data moved, every model re-trains from its current parameters
+        (:meth:`~repro.core.models._CompletionModelBase.fit` with
+        ``warm_start=True``: the output-bias re-initialization is skipped
+        and training starts at the fitted weights), candidates are
+        re-scored, and caches invalidate.
+        """
+        digest = self._database_digest()
+        if digest == self._fitted_digest:
+            return {"skipped": True, "digest": digest, "models_tuned": 0}
+        self.join_cache.invalidate()
+        self.partial_cache.invalidate()
+        for model in self._models.values():
+            model.fit(warm_start=True)
+        for target, scores in self._candidates.items():
+            self._candidates[target] = score_candidates(
+                [score.model for score in scores]
+            )
+        self._stash_fit_anchors()
+        return {
+            "skipped": False,
+            "digest": self._fitted_digest,
+            "models_tuned": len(self._models),
+        }
+
+    def _default_model(self) -> _CompletionModelBase:
+        for scores in self._candidates.values():
+            if scores:
+                return scores[0].model
+        raise RuntimeError("call fit() first (no fitted models)")
+
+    def _model_closure(self, model: _CompletionModelBase) -> set:
+        """Tables whose rows influence the model's completed join."""
+        closure = set(model.layout.path.tables)
+        forest = getattr(model, "forest", None)
+        if forest is not None:
+            closure.update(forest.walk_tables())
+        return closure
+
+    def _rebind_models(self) -> None:
+        """Point fitted models at the engine's current database.
+
+        Layouts swap their data references in place (the variable layout,
+        codecs and trained parameters are fit-time state and must not
+        change); evidence forests rebuild their precomputed child indexes
+        and encoded evidence against the new rows.
+        """
+        rebound_forests: set = set()
+        for model in self._models.values():
+            model.layout.db = self.db
+            model.layout.annotation = self.annotation
+            forest = getattr(model, "forest", None)
+            if forest is not None and id(forest) not in rebound_forests:
+                forest.rebind(self.db, self.encoders)
+                rebound_forests.add(id(forest))
+
+    def _invalidate_for_delta(self, delta: "MutationDelta") -> Dict[str, int]:
+        """Evict exactly the cached state ``delta`` made stale."""
+        from ..incremental.invalidation import plan_invalidation
+
+        evicted = {"chunks": 0, "joins": 0}
+        for model in self._models.values():
+            root = model.layout.path.tables[0]
+            plan = plan_invalidation(
+                delta,
+                root_table=root,
+                closure_tables=self._model_closure(model),
+                num_roots=len(self.db.table(root)),
+                chunk_size=self._canonical_chunk_size(model),
+            )
+            if not plan.touches_cache:
+                continue
+            signature = self._join_key(model)
+            tasks = None if plan.kind == "all" else plan.tasks
+            evicted["chunks"] += self.partial_cache.invalidate_delta(
+                signature, tasks
+            )
+            if self.join_cache.evict(signature):
+                evicted["joins"] += 1
+        return evicted
+
+    def _database_digest(self) -> str:
+        from ..serving.artifacts import database_digest
+
+        return database_digest(self.db, self.annotation)
+
+    def _stash_fit_anchors(self) -> None:
+        from ..incremental.drift import distribution_summary
+
+        self._fitted_digest = self._database_digest()
+        self._drift_baseline = distribution_summary(self.db, self.encoders)
+
+    # ------------------------------------------------------------------
     # Serving artifacts (repro.serving)
     # ------------------------------------------------------------------
     def join_signature(self, model: _CompletionModelBase) -> Tuple:
@@ -667,25 +880,28 @@ class ReStore:
             if model.layout.path not in unique_paths:
                 unique_paths.append(model.layout.path)
         self.merge_stats = training_savings(unique_paths)
+        self._rebind_models()
         self.join_cache.invalidate()
         self.join_cache.reset_stats()
         self.partial_cache.invalidate()
         self.partial_cache.reset_stats()
+        self._stash_fit_anchors()
         return self
 
     def save_artifact(self, path, scenario: Optional[str] = None,
-                      overwrite: bool = False):
+                      overwrite: bool = False, parent=None, delta=None):
         """Persist this fitted engine to an artifact directory.
 
         See :func:`repro.serving.artifacts.save_artifact`; ``scenario``
-        defaults to :attr:`scenario_name`.
+        defaults to :attr:`scenario_name`.  ``parent``/``delta`` record
+        incremental lineage (parent artifact path + mutation counts).
         """
         from ..serving.artifacts import save_artifact
 
         return save_artifact(
             self, path,
             scenario=scenario if scenario is not None else self.scenario_name,
-            overwrite=overwrite,
+            overwrite=overwrite, parent=parent, delta=delta,
         )
 
     @classmethod

@@ -161,6 +161,32 @@ class EvidenceForest:
     def has_walks(self) -> bool:
         return bool(self.level1)
 
+    def walk_tables(self) -> List[str]:
+        """Every table any walk touches (root first, deduplicated)."""
+        seen: List[str] = [self.root_table]
+        for walk in self.level1 + [w for exts in self.level2.values() for w in exts]:
+            for table in walk:
+                if table not in seen:
+                    seen.append(table)
+        return seen
+
+    def rebind(self, db: Database, encoders: Dict[str, TableEncoder]) -> None:
+        """Re-anchor the forest on a (possibly mutated) database.
+
+        Child indexes and encoded evidence are precomputed from the
+        database at construction, so a plain attribute swap would leave
+        them stale; this rebuilds them against the new rows while keeping
+        the walk structure (and therefore the model's input layout).
+        """
+        self.db = db
+        self.encoders = encoders
+        self._indexes = {}
+        self._encoded = {}
+        for walk in self.level1:
+            self._prepare_edge(walk[0], walk[1])
+            for ext in self.level2.get(walk[1], []):
+                self._prepare_edge(ext[1], ext[2])
+
     # ------------------------------------------------------------------
     # Batch materialization
     # ------------------------------------------------------------------

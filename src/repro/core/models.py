@@ -332,7 +332,7 @@ class _CompletionModelBase(_HopSamplingAPI, Module):
         return None if context is None else Tensor(context)
 
     # -- training -------------------------------------------------------
-    def fit(self) -> TrainResult:
+    def fit(self, warm_start: bool = False) -> TrainResult:
         """Assemble training data from the incomplete database and train.
 
         The training backend comes from ``config.train.backend``:
@@ -340,6 +340,12 @@ class _CompletionModelBase(_HopSamplingAPI, Module):
         :mod:`repro.runtime.training`; ``"autograd"`` keeps the float64
         reference engine.  Both produce models with identical parameter
         names and shapes.
+
+        With ``warm_start=True`` training continues from the current
+        parameters (incremental fine-tuning after a database mutation):
+        the log-marginal output-bias re-initialization is skipped — it
+        would clobber the fitted heads — and the result records
+        ``warm_start=True``.
         """
         data = assemble_training_data(self.layout)
         if data.num_rows < 8:
@@ -349,7 +355,8 @@ class _CompletionModelBase(_HopSamplingAPI, Module):
         self.training_data = data
         matrix = data.matrix
         var_weights = self._debias_weights(data)
-        self._init_output_bias(matrix, var_weights)
+        if not warm_start:
+            self._init_output_bias(matrix, var_weights)
 
         cfg = self.config.train
         if cfg.backend == "fused":
@@ -372,6 +379,7 @@ class _CompletionModelBase(_HopSamplingAPI, Module):
                 )
 
             result = train(self, data.num_rows, loss_fn, eval_fn, cfg)
+        result.warm_start = warm_start
         self.train_result = result
         self._val_indices = result.val_indices
         self.invalidate_compiled()

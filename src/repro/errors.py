@@ -69,6 +69,12 @@ class WorkerError(ReStoreError, RuntimeError):
     code = "internal"
 
 
+class MutationError(ReStoreError, ValueError):
+    """A mutation batch names unknown tables/rows/columns or breaks integrity."""
+
+    code = "mutation_invalid"
+
+
 class ArtifactError(ReStoreError, ValueError):
     """Base class for everything that can go wrong with an artifact."""
 
@@ -93,6 +99,12 @@ class ArtifactSchemaError(ArtifactError):
     code = "artifact_schema"
 
 
+class ArtifactLineageError(ArtifactError):
+    """An artifact's recorded lineage (parent digest / delta) does not match."""
+
+    code = "artifact_lineage"
+
+
 #: code → class, for re-raising wire errors as their original taxonomy
 #: class on the client side of the protocol.
 WIRE_CODES: Dict[str, Type[ReStoreError]] = {
@@ -105,10 +117,12 @@ WIRE_CODES: Dict[str, Type[ReStoreError]] = {
         ServiceClosedError,
         ProtocolError,
         WorkerError,
+        MutationError,
         ArtifactError,
         ArtifactVersionError,
         ArtifactIntegrityError,
         ArtifactSchemaError,
+        ArtifactLineageError,
     )
 }
 
@@ -137,10 +151,12 @@ __all__ = [
     "ServiceClosedError",
     "ProtocolError",
     "WorkerError",
+    "MutationError",
     "ArtifactError",
     "ArtifactVersionError",
     "ArtifactIntegrityError",
     "ArtifactSchemaError",
+    "ArtifactLineageError",
     "WIRE_CODES",
     "wire_code",
     "error_for_code",

@@ -1,0 +1,152 @@
+"""Distribution drift over the encoded code space of each table.
+
+A drift summary is cheap and model-free: for every table, encode the
+current rows with the engine's *fit-time* encoders and histogram each
+encoded column over its fixed vocabulary.  Comparing summaries with
+total-variation distance then answers "how far has the data moved in
+the space the models were trained on" — exactly the quantity that
+decides whether cached models are still usable.
+
+:func:`detect_drift` maps the worst per-column distance onto a
+recommendation: ``skip`` (below the fine-tune threshold), ``fine_tune``
+(warm-start a few epochs from the fitted parameters), or ``refit``
+(the code-space distribution moved too far for a warm start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..encoding import TableEncoder
+from ..relational import Database
+
+__all__ = [
+    "DriftThresholds",
+    "DriftReport",
+    "distribution_summary",
+    "total_variation",
+    "detect_drift",
+]
+
+#: One drift summary: ``{table: {column: normalized histogram}}``.
+Summary = Mapping[str, Mapping[str, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """TV-distance cut points mapping drift to an action."""
+
+    fine_tune: float = 0.02
+    refit: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.fine_tune <= self.refit <= 1.0):
+            raise ValueError(
+                "thresholds must satisfy 0 <= fine_tune <= refit <= 1"
+            )
+
+    def recommend(self, drift: float) -> str:
+        if drift < self.fine_tune:
+            return "skip"
+        if drift < self.refit:
+            return "fine_tune"
+        return "refit"
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Per-table drift distances and the resulting recommendation."""
+
+    per_table: Mapping[str, float] = field(default_factory=dict)
+    max_drift: float = 0.0
+    recommendation: str = "skip"
+    thresholds: DriftThresholds = DriftThresholds()
+
+    def drifted_tables(self) -> Dict[str, float]:
+        """Tables at or above the fine-tune threshold, worst first."""
+        return dict(
+            sorted(
+                ((t, d) for t, d in self.per_table.items()
+                 if d >= self.thresholds.fine_tune),
+                key=lambda item: -item[1],
+            )
+        )
+
+
+def distribution_summary(
+    db: Database, encoders: Mapping[str, TableEncoder]
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Per-table, per-column normalized histograms of encoded codes.
+
+    Histograms span each codec's full vocabulary, so summaries built
+    with the same encoders are always comparable bin-for-bin.  Tables
+    without modelable columns (or absent from the encoder map) summarize
+    to an empty dict; empty tables yield all-zero histograms.
+    """
+    summaries: Dict[str, Dict[str, np.ndarray]] = {}
+    for name in db.table_names():
+        encoder = encoders.get(name)
+        if encoder is None or not encoder.columns:
+            summaries[name] = {}
+            continue
+        codes = encoder.encode_table(db.table(name))
+        rows = codes.shape[0]
+        hists: Dict[str, np.ndarray] = {}
+        for i, (column, vocab) in enumerate(
+            zip(encoder.columns, encoder.vocab_sizes())
+        ):
+            counts = np.bincount(codes[:, i], minlength=vocab).astype(np.float64)
+            hists[column] = counts / rows if rows else counts
+        summaries[name] = hists
+    return summaries
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """TV distance between two histograms over the same vocabulary."""
+    if p.shape != q.shape:
+        raise ValueError(
+            f"histogram shapes differ ({p.shape} vs {q.shape}); "
+            "summaries must be built with the same encoders"
+        )
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def detect_drift(
+    baseline: Summary,
+    current: Summary,
+    thresholds: DriftThresholds = DriftThresholds(),
+) -> DriftReport:
+    """Compare two summaries table-by-table and recommend an action.
+
+    A table's distance is the worst TV distance over its columns; the
+    report's ``max_drift`` is the worst table.  Tables or columns
+    present in only one summary (or with mismatched vocabularies) count
+    as fully drifted (1.0) — a schema change is always a refit.
+    """
+    per_table: Dict[str, float] = {}
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline or name not in current:
+            per_table[name] = 1.0
+            continue
+        p_cols, q_cols = baseline[name], current[name]
+        if set(p_cols) != set(q_cols):
+            per_table[name] = 1.0
+            continue
+        worst = 0.0
+        for column, p in p_cols.items():
+            q = q_cols[column]
+            if p.shape != q.shape:
+                worst = 1.0
+                break
+            worst = max(worst, total_variation(p, q))
+        per_table[name] = worst
+    max_drift = max(per_table.values(), default=0.0)
+    return DriftReport(
+        per_table=per_table,
+        max_drift=max_drift,
+        recommendation=thresholds.recommend(max_drift),
+        thresholds=thresholds,
+    )

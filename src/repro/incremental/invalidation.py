@@ -1,0 +1,91 @@
+"""Map a :class:`~repro.incremental.mutations.MutationDelta` onto caches.
+
+Soundness argument (why chunk-granular invalidation is safe at all):
+chunk walks in :class:`~repro.core.IncompletenessJoin` slice root-table
+state strictly per row (codes, raw columns and RNG streams are functions
+of the root row index), while every whole-table structure a walk consults
+— child indexes, key orders, nearest-neighbour replacers, orphan weights
+— derives from *non-root* path tables only, and dangling-FK resolution
+happens at assembly time over all parked states.  Hence:
+
+* root-table **updates** invalidate exactly the chunks whose ``[start,
+  stop)`` covers an updated row position;
+* root-table **inserts/deletes** change the canonical chunk grid itself
+  (and shift row→stream assignments), so every entry under the signature
+  is stale;
+* a mutation to any **non-root table inside the model's closure** (path
+  tables plus SSAR evidence walks) changes whole-table state every chunk
+  consults, so every entry under the signature is stale;
+* tables **outside the closure** require no eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from ..runtime.rng import chunk_slices
+from .mutations import MutationDelta
+
+__all__ = ["Invalidation", "affected_tasks", "plan_invalidation"]
+
+
+@dataclass(frozen=True)
+class Invalidation:
+    """What one delta means for one join signature's cached state.
+
+    ``kind`` is ``"none"`` (no eviction), ``"chunks"`` (evict only
+    ``tasks`` from the partial cache, plus any full join built from
+    them), or ``"all"`` (every entry under the signature is stale).
+    """
+
+    kind: str
+    tasks: FrozenSet[Tuple[int, int]] = frozenset()
+
+    @property
+    def touches_cache(self) -> bool:
+        return self.kind != "none"
+
+
+def affected_tasks(
+    positions: Iterable[int], num_roots: int, chunk_size: int
+) -> FrozenSet[Tuple[int, int]]:
+    """Chunk-grid tasks whose row range covers any of ``positions``."""
+    slices = [(s.start, s.stop) for s in chunk_slices(num_roots, chunk_size)]
+    hit = set()
+    for pos in positions:
+        for start, stop in slices:
+            if start <= pos < stop:
+                hit.add((start, stop))
+                break
+    return frozenset(hit)
+
+
+def plan_invalidation(
+    delta: MutationDelta,
+    *,
+    root_table: str,
+    closure_tables: Iterable[str],
+    num_roots: int,
+    chunk_size: int,
+) -> Invalidation:
+    """Decide the minimal sound eviction for one model's cached joins.
+
+    ``num_roots``/``chunk_size`` describe the canonical grid of the
+    *mutated* database (for update-only deltas it equals the old grid,
+    which is the only case where chunk granularity applies).
+    """
+    closure = set(closure_tables) | {root_table}
+    touched = [t for t in delta.affected_tables() if t in closure]
+    if not touched:
+        return Invalidation("none")
+    non_root = [t for t in touched if t != root_table]
+    if non_root:
+        return Invalidation("all")
+    root_delta = delta.for_table(root_table)
+    if not root_delta.grid_stable:
+        return Invalidation("all")
+    tasks = affected_tasks(root_delta.updated_positions, num_roots, chunk_size)
+    if not tasks:
+        return Invalidation("none")
+    return Invalidation("chunks", tasks)

@@ -79,6 +79,9 @@ class TrainResult:
     val_indices: Optional[np.ndarray] = None
     backend: str = "autograd"
     epoch_wall_times_s: List[float] = field(default_factory=list)
+    #: True when training warm-started from already-fitted parameters
+    #: (incremental fine-tuning) instead of a fresh initialization.
+    warm_start: bool = False
 
     @property
     def final_train_loss(self) -> float:

@@ -119,6 +119,20 @@ class JoinCache:
                 self.stats.invalidations += 1
             self._entries.clear()
 
+    def evict(self, key: Hashable) -> bool:
+        """Drop one entry by key, counting the eviction truthfully.
+
+        Returns whether the key was present.  Counters are monotonic —
+        partial invalidation must never look like a stats reset.
+        """
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.stats.evictions += 1
+            self.stats.invalidations += 1
+            return True
+
     def reset_stats(self) -> None:
         with self._lock:
             self.stats = CacheStats()
@@ -268,6 +282,40 @@ class PartialJoinCache:
                 self.stats.invalidations += 1
             self._entries.clear()
             self._by_base.clear()
+
+    def invalidate_delta(
+        self,
+        signature: Hashable,
+        tasks: Optional[FrozenSet[Tuple[int, int]]] = None,
+    ) -> int:
+        """Evict the chunks a mutation delta made stale; count truthfully.
+
+        Drops every entry under ``signature`` whose chunk bounds are in
+        ``tasks`` — or *all* of the signature's entries when ``tasks`` is
+        ``None`` (grid change / non-root mutation).  Entries for other
+        signatures, and hit/miss history, are untouched: each removal
+        increments ``evictions``, and the call as a whole counts one
+        ``invalidation`` when anything was dropped (the PR 4 regression
+        class was counters silently resetting here).
+
+        Returns the number of chunk entries evicted.
+        """
+        with self._lock:
+            victims = [
+                (base, fps)
+                for base, fp_sets in self._by_base.items()
+                if base[0] == signature
+                and (tasks is None or base[2] in tasks)
+                for fps in fp_sets
+            ]
+            for key in victims:
+                del self._entries[key]
+            for base in {base for base, _ in victims}:
+                del self._by_base[base]
+            if victims:
+                self.stats.evictions += len(victims)
+                self.stats.invalidations += 1
+            return len(victims)
 
     def reset_stats(self) -> None:
         with self._lock:

@@ -25,6 +25,7 @@ as *old homes* of the error classes still resolve via deprecation shims.
 from ..errors import (
     ArtifactError,
     ArtifactIntegrityError,
+    ArtifactLineageError,
     ArtifactSchemaError,
     ArtifactVersionError,
     ConfigurationError,
@@ -36,11 +37,13 @@ from ..errors import (
 )
 from .artifacts import (
     FORMAT_VERSION,
+    artifact_lineage,
     database_digest,
     load_artifact,
     read_manifest,
     save_artifact,
     verify_artifact,
+    verify_lineage,
 )
 from .batching import MicroBatcher, ServiceRequest
 from .core import (
@@ -66,6 +69,8 @@ __all__ = [
     "read_manifest",
     "verify_artifact",
     "database_digest",
+    "artifact_lineage",
+    "verify_lineage",
     # transport-agnostic core
     "ServingCore",
     "ServiceConfig",
@@ -97,4 +102,5 @@ __all__ = [
     "ArtifactVersionError",
     "ArtifactIntegrityError",
     "ArtifactSchemaError",
+    "ArtifactLineageError",
 ]

@@ -61,6 +61,7 @@ from ..core.engine import ReStore, ReStoreConfig
 from ..errors import (
     ArtifactError as _ArtifactError,
     ArtifactIntegrityError as _ArtifactIntegrityError,
+    ArtifactLineageError as _ArtifactLineageError,
     ArtifactSchemaError as _ArtifactSchemaError,
     ArtifactVersionError as _ArtifactVersionError,
 )
@@ -319,6 +320,7 @@ def _train_summary(result: Optional[TrainResult]) -> Optional[dict]:
         "wall_time_s": float(result.wall_time_s),
         "backend": result.backend,
         "epoch_wall_times_s": [float(x) for x in result.epoch_wall_times_s],
+        "warm_start": bool(result.warm_start),
     }
 
 
@@ -338,6 +340,8 @@ def _train_result_from(summary: Optional[dict]) -> Optional[TrainResult]:
         epoch_wall_times_s=[
             float(x) for x in summary.get("epoch_wall_times_s", [])
         ],
+        # Pre-incremental artifacts never warm-started.
+        warm_start=bool(summary.get("warm_start", False)),
     )
 
 
@@ -489,6 +493,8 @@ def save_artifact(
     path,
     scenario: Optional[str] = None,
     overwrite: bool = False,
+    parent=None,
+    delta=None,
 ) -> Path:
     """Serialize a fitted engine to ``path`` (a directory) and return it.
 
@@ -496,11 +502,38 @@ def save_artifact(
     engine's dataset came from (provenance only; defaults to the engine's
     ``scenario_name``).  Refuses to clobber an existing non-empty
     directory unless ``overwrite`` is set.
+
+    ``parent`` (a path to the artifact this one was derived from — e.g.
+    by :meth:`~repro.core.ReStore.fine_tune` after mutations) records
+    lineage in the manifest: the parent's database digest and, when
+    ``delta`` (a :class:`~repro.incremental.MutationDelta`) is given, the
+    per-table mutation counts separating the two.  Lineage of a chain of
+    incremental refreshes is then verifiable offline with
+    :func:`verify_lineage`.
     """
     if not engine.fitted_models():
         raise ValueError("engine has no fitted models; call fit() before saving")
     if scenario is None:
         scenario = engine.scenario_name
+    lineage = None
+    if parent is not None:
+        parent = Path(parent)
+        try:
+            parent_manifest = read_manifest(parent)
+        except _ArtifactError as exc:
+            raise _ArtifactLineageError(
+                f"parent artifact at {parent} is unreadable: {exc}"
+            ) from exc
+        lineage = {
+            "parent_path": str(parent),
+            "parent_digest": parent_manifest.get("database_digest"),
+            "parent_created_unix": parent_manifest.get("created_unix"),
+            "delta": None if delta is None else delta.counts(),
+        }
+    elif delta is not None:
+        raise _ArtifactLineageError(
+            "delta metadata requires a parent artifact to anchor lineage"
+        )
     path = Path(path)
     if path.exists() and any(path.iterdir()) and not overwrite:
         raise FileExistsError(
@@ -543,8 +576,52 @@ def save_artifact(
         "train_backends": train_backends,
         "files": {name: _sha256_file(path / name) for name in _HASHED_FILES},
     }
+    if lineage is not None:
+        manifest["lineage"] = lineage
     _write_json(path / _MANIFEST, manifest)
     return path
+
+
+def artifact_lineage(path) -> Optional[dict]:
+    """The lineage block of an artifact's manifest (``None`` for roots)."""
+    return read_manifest(Path(path)).get("lineage")
+
+
+def verify_lineage(path, parent_path=None) -> dict:
+    """Check an artifact's recorded lineage against its actual parent.
+
+    Reads the child's lineage block and the parent's manifest and
+    verifies the recorded parent digest matches the parent's actual
+    database digest.  ``parent_path`` defaults to the recorded one.
+    Returns the lineage block on success.
+
+    Raises
+    ------
+    ArtifactLineageError
+        When the child records no lineage, the parent is unreadable, or
+        the digests disagree (the recorded parent is not this parent).
+    """
+    path = Path(path)
+    lineage = artifact_lineage(path)
+    if lineage is None:
+        raise _ArtifactLineageError(f"artifact at {path} records no lineage")
+    parent = Path(parent_path) if parent_path is not None else Path(
+        lineage.get("parent_path", "")
+    )
+    try:
+        parent_manifest = read_manifest(parent)
+    except _ArtifactError as exc:
+        raise _ArtifactLineageError(
+            f"parent artifact at {parent} is unreadable: {exc}"
+        ) from exc
+    actual = parent_manifest.get("database_digest")
+    recorded = lineage.get("parent_digest")
+    if actual != recorded:
+        raise _ArtifactLineageError(
+            f"lineage mismatch: artifact records parent digest "
+            f"{str(recorded)[:12]}… but {parent} has {str(actual)[:12]}…"
+        )
+    return lineage
 
 
 def read_manifest(path) -> dict:

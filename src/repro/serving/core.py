@@ -104,6 +104,7 @@ class ServiceStats:
     cache: dict
     progressive: dict
     partial_cache: dict
+    swaps: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -122,6 +123,7 @@ class ServiceStats:
             "cache": dict(self.cache),
             "progressive": dict(self.progressive),
             "partial_cache": dict(self.partial_cache),
+            "swaps": self.swaps,
         }
 
 
@@ -138,6 +140,7 @@ class _Counters:
     progressive_flights: int = 0
     progressive_coalesced: int = 0
     refinements_emitted: int = 0
+    swaps: int = 0
 
 
 @dataclass
@@ -362,6 +365,7 @@ class ServingCore:
         self._inflight_joins: Dict[Tuple, _InflightJoin] = {}
         self._flight_lock = threading.Lock()
         self._progressive_flights: Dict[Tuple, ProgressiveFlight] = {}
+        self._swap_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Front-end pieces (validation, admission, accounting)
@@ -445,19 +449,26 @@ class ServingCore:
     # Single-flight joins and group serving
     # ------------------------------------------------------------------
     def _ensure_join(
-        self, signature: Tuple, model: _CompletionModelBase, group_size: int
+        self,
+        signature: Tuple,
+        model: _CompletionModelBase,
+        group_size: int,
+        engine: Optional[ReStore] = None,
     ) -> None:
         """Single-flight: one incompleteness join per signature, ever.
 
         The first arriver becomes the *leader* and computes the join in
         its own thread; later groups (from any shell thread) wait on the
         leader's event and share its outcome.  Once the join lands in the
-        engine's cache nobody computes it again.
+        engine's cache nobody computes it again.  ``engine`` pins the
+        engine the caller routed against (hot-swap consistency).
         """
+        if engine is None:
+            engine = self.engine
         with self._join_lock:
             flight = self._inflight_joins.get(signature)
             if flight is None:
-                if self.engine.join_cache.contains(signature):
+                if engine.join_cache.contains(signature):
                     # An ordinary cache hit, counted by the cache stats.
                     return
                 flight = _InflightJoin()
@@ -472,7 +483,7 @@ class ServingCore:
                     self._counters.coalesced_requests += group_size
         if leader:
             try:
-                self.engine.completed_join(model)
+                engine.completed_join(model)
             except BaseException as exc:
                 flight.error = exc
                 raise
@@ -496,10 +507,14 @@ class ServingCore:
         Returns one entry per request, aligned: an :class:`Answer` or the
         exception that request failed with.  Counters and latency samples
         are recorded here, so every shell reports identically.
+
+        The engine reference is snapshotted once on entry: a concurrent
+        :meth:`hot_swap` never splits one group across two engines.
         """
+        engine = self.engine
         if model is not None and signature is not None:
             try:
-                self._ensure_join(signature, model, len(requests))
+                self._ensure_join(signature, model, len(requests), engine)
             except BaseException as exc:
                 self.count_failed(len(requests))
                 return [exc] * len(requests)
@@ -507,11 +522,11 @@ class ServingCore:
         for request in requests:
             try:
                 if model is None:
-                    answer = self.engine.answer(
+                    answer = engine.answer(
                         request.query, suspected_bias=request.suspected_bias
                     )
                 else:
-                    answer = self.engine.answer(request.query, model=model)
+                    answer = engine.answer(request.query, model=model)
             except BaseException as exc:
                 self.count_failed()
                 results.append(exc)
@@ -576,6 +591,42 @@ class ServingCore:
         if isinstance(result, BaseException):
             raise result
         return result
+
+    # ------------------------------------------------------------------
+    # Hot swap (zero-downtime engine replacement)
+    # ------------------------------------------------------------------
+    def hot_swap(self, artifact_path) -> dict:
+        """Replace the serving engine with one loaded from ``artifact_path``.
+
+        The replacement is fully loaded and validated *before* anything is
+        swapped, so a corrupt or incompatible artifact raises its taxonomy
+        error (:class:`~repro.errors.ArtifactError` and friends) and the
+        old engine keeps serving untouched.  The swap itself is one
+        reference assignment: requests already routed against the old
+        engine finish on it (its caches and models stay alive as long as
+        any group holds them), while every request prepared after the swap
+        sees the new engine.  Serialized under a lock so concurrent swaps
+        cannot interleave.
+        """
+        from .artifacts import read_manifest
+
+        new_engine = ReStore.load(artifact_path)
+        manifest = read_manifest(artifact_path)
+        with self._swap_lock:
+            old_engine = self.engine
+            self.engine = new_engine
+            with self._lock:
+                self._counters.swaps += 1
+        return {
+            "artifact_path": str(artifact_path),
+            "database_digest": manifest.get("database_digest"),
+            "scenario": manifest.get("scenario"),
+            "num_models": sum(
+                len(scores) for scores in new_engine._candidates.values()
+            ),
+            "previous_scenario": getattr(old_engine, "scenario_name", None),
+            "lineage": manifest.get("lineage"),
+        }
 
     # ------------------------------------------------------------------
     # Progressive flights (single-flight refinement streams)
@@ -686,4 +737,5 @@ class ServingCore:
             cache=self.engine.cache_stats.as_dict(),
             progressive=progressive,
             partial_cache=self.engine.partial_cache_stats.as_dict(),
+            swaps=counters.swaps,
         )

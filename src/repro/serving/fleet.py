@@ -222,6 +222,7 @@ class _WorkerClient:
         self.queue: deque = deque()          # routed, not yet on the wire
         self.inflight: Dict[int, _Pending] = {}
         self.stats_waiters: Dict[int, "asyncio.Future"] = {}
+        self.swap_waiters: Dict[int, "asyncio.Future"] = {}
         self.bye_future: Optional["asyncio.Future"] = None
         self.final_stats: Optional[dict] = None
         self.alive = False
@@ -415,7 +416,9 @@ class FleetRouter:
                 await asyncio.wait_for(
                     client.bye_future, timeout=self.config.connect_timeout_s
                 )
-            except (OSError, asyncio.TimeoutError):
+            except (OSError, asyncio.TimeoutError, WorkerError):
+                # A worker dying during drain fails its own bye; the other
+                # workers still deserve a clean shutdown.
                 pass
         for client in self._workers:
             if client.reader_task is not None:
@@ -652,6 +655,10 @@ class FleetRouter:
                 waiter = client.stats_waiters.pop(frame.get("id"), None)
                 if waiter is not None and not waiter.done():
                     waiter.set_result(frame.get("stats", {}))
+            elif kind == "swap_reply":
+                waiter = client.swap_waiters.pop(frame.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(frame)
             elif kind == "bye":
                 client.final_stats = frame.get("stats")
                 client.alive = False
@@ -676,8 +683,90 @@ class FleetRouter:
             if not waiter.done():
                 waiter.set_exception(error)
         client.stats_waiters.clear()
+        for waiter in client.swap_waiters.values():
+            if not waiter.done():
+                waiter.set_exception(error)
+        client.swap_waiters.clear()
         if client.bye_future is not None and not client.bye_future.done():
             client.bye_future.set_exception(error)
+            # A dead worker's bye is never awaited (close() skips workers
+            # that are not alive), so mark the exception retrieved to keep
+            # loop teardown from warning about it.
+            client.bye_future.exception()
+
+    # ------------------------------------------------------------------
+    # Zero-downtime rolling swap
+    # ------------------------------------------------------------------
+    async def rolling_swap(self, artifact_path) -> dict:
+        """Upgrade the fleet to ``artifact_path``, one worker at a time.
+
+        Each live worker receives a ``swap`` frame and loads the new
+        artifact between micro-batches: its reader thread blocks while
+        loading (new queries buffer on the socket, nothing is rejected)
+        and groups already dispatched finish on the old engine — zero
+        dropped in-flight requests, which the fault-injection tests
+        assert.  The rest of the fleet keeps serving the old version
+        until its own turn.
+
+        A worker that dies mid-rollout is skipped (its stranded requests
+        fail with the stable ``worker`` wire code, exactly as any other
+        death) and the rollout continues on the survivors.  A worker that
+        *rejects* the swap — corrupt or lineage-mismatched artifact —
+        aborts the rollout by re-raising the taxonomy error; since
+        workers validate before swapping, every worker (including the
+        rejecting one) keeps serving the version it already has.
+
+        After at least one successful swap the router reloads its own
+        routing replica from the new artifact and forgets warm-signature
+        affinity (the workers' join caches restarted cold).
+        """
+        if not self._running:
+            raise ServiceClosedError("fleet is not running; use 'async with'")
+        artifact_path = Path(artifact_path)
+        loop = asyncio.get_running_loop()
+        swapped: List[int] = []
+        skipped: List[int] = []
+        info: Optional[dict] = None
+        for client in list(self._workers):
+            if not client.alive:
+                skipped.append(client.index)
+                continue
+            self._next_id += 1
+            request_id = self._next_id
+            waiter = loop.create_future()
+            client.swap_waiters[request_id] = waiter
+            try:
+                client.writer.write(encode_frame(
+                    "swap", id=request_id, path=str(artifact_path)
+                ))
+                await client.writer.drain()
+                frame = await asyncio.wait_for(
+                    waiter, timeout=self.config.connect_timeout_s
+                )
+            except (OSError, ConnectionError, asyncio.TimeoutError,
+                    WorkerError):
+                # Worker died mid-swap: _fail_worker already stranded its
+                # backlog with WorkerError; finish the rollout on survivors.
+                client.swap_waiters.pop(request_id, None)
+                skipped.append(client.index)
+                continue
+            if not frame.get("ok"):
+                raise_wire_error(frame)
+            swapped.append(client.index)
+            info = frame.get("info")
+        if swapped:
+            self._routing_engine = await loop.run_in_executor(
+                None, ReStore.load, artifact_path
+            )
+            self._warm_signatures.clear()
+            self.artifact_path = artifact_path
+        return {
+            "artifact_path": str(artifact_path),
+            "swapped": swapped,
+            "skipped": skipped,
+            "workers": len(self._workers),
+            "info": info,
+        }
 
     # ------------------------------------------------------------------
     # Observability

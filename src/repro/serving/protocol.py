@@ -22,6 +22,9 @@ a version mismatch or malformed frame raises
                (:func:`repro.errors.wire_code`), message, error type
 ``stats``      request a :meth:`ServingCore.stats` snapshot (``id``)
 ``stats_reply``  the snapshot as a plain dict (``id``)
+``swap``       hot-swap the worker's engine: ``id`` + artifact ``path``
+``swap_reply``  swap outcome: ``id``, ``ok``; on success the core's swap
+               info dict, on failure a stable wire ``code`` + message
 ``shutdown``   drain in-flight work, then reply ``bye`` and exit
 ``bye``        final frame: the worker's closing stats snapshot
 =============  =======================================================

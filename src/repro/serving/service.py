@@ -274,6 +274,28 @@ class CompletionService:
                 request.succeed(result)
 
     # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    async def hot_swap(self, artifact_path) -> dict:
+        """Swap to the engine stored at ``artifact_path`` without downtime.
+
+        Loading and validation run on the worker pool (no event-loop
+        stall); the core performs the swap only after the replacement
+        loaded cleanly, so a corrupt artifact raises here and the old
+        engine keeps serving.  Groups already dispatched finish on the
+        engine they were routed against; later batches use the new one.
+        """
+        if self._running and self._pool is not None:
+            loop = asyncio.get_running_loop()
+            info = await loop.run_in_executor(
+                self._pool, self.core.hot_swap, artifact_path
+            )
+        else:
+            info = self.core.hot_swap(artifact_path)
+        self.engine = self.core.engine
+        return info
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:

@@ -165,6 +165,22 @@ class ServiceWorker:
                         id=frame.get("id"),
                         stats=self.core.stats(queued=batcher.qsize()).as_dict(),
                     )
+                elif kind == "swap":
+                    # Hot swap runs inline on the reader thread: no new
+                    # queries are admitted while the replacement loads,
+                    # but groups already dispatched keep draining on the
+                    # pool against the engine they were routed to —
+                    # nothing in flight is dropped.  A failed load leaves
+                    # the old engine serving and reports the taxonomy
+                    # code back to the router.
+                    try:
+                        info = self.core.hot_swap(frame["path"])
+                    except BaseException as exc:
+                        fields = error_fields(frame.get("id"), exc)
+                        reply("swap_reply", ok=False, **fields)
+                    else:
+                        reply("swap_reply", ok=True, id=frame.get("id"),
+                              info=info)
                 elif kind == "shutdown":
                     saw_shutdown = True
                     break

@@ -10,7 +10,12 @@ scenarios with genuinely different schemas:
   exactly one incompleteness join, on exactly one worker;
 * **conservation of requests** — everything the fleet admits is
   answered: sum(worker completed) + failures == admitted, with zero
-  requests dropped at shutdown.
+  requests dropped at shutdown;
+* **rolling swap under faults** — killing a worker mid-rollout leaves
+  the swap to complete on the survivors, strands nothing silently (every
+  admitted request either completes or fails with the stable
+  ``WorkerError`` wire semantics), and post-swap answers come from the
+  new artifact.
 """
 
 import asyncio
@@ -18,6 +23,7 @@ import asyncio
 import pytest
 
 from repro.core import ModelConfig, ReStore, ReStoreConfig
+from repro.errors import WorkerError
 from repro.incomplete import registry
 from repro.nn import TrainConfig
 from repro.query import parse_query
@@ -109,3 +115,80 @@ def test_fleet_transport_transparency_and_single_flight(scenario_artifact):
     assert stats.failed == 0
     assert sum(s["completed"] for s in final) == 9
     assert all(s["queued"] == 0 for s in final)
+
+
+# ----------------------------------------------------------------------
+# Fault injection: worker death during a rolling swap
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def swap_artifacts(complete_databases, tmp_path_factory):
+    """A v1 artifact plus an upgrade built by mutating + fine-tuning it."""
+    engine = _fit("synthetic/biased", complete_databases)
+    root = tmp_path_factory.mktemp("fleet-swap")
+    base = root / "v1"
+    save_artifact(engine, base, scenario="synthetic/biased")
+    twin = ReStore.load(base)
+    table = twin.db.table("ta")
+    delta = twin.apply_mutations(
+        deletes={"ta": [int(k) for k in table["id"][:5]]}
+    )
+    twin.fine_tune()
+    upgraded = root / "v2"
+    save_artifact(twin, upgraded, scenario="synthetic/biased",
+                  parent=base, delta=delta)
+    return base, upgraded
+
+
+def test_rolling_swap_completes_on_survivors_after_worker_death(
+    swap_artifacts,
+):
+    base, upgraded = swap_artifacts
+    completion_sql, complete_sql = FLEET_SCENARIOS["synthetic/biased"]
+    expected_new = dict(
+        ReStore.load(upgraded).answer(parse_query(complete_sql)).result.values
+    )
+
+    async def main():
+        config = FleetConfig(
+            n_workers=2, worker=ServiceConfig(max_queue=32, n_workers=2)
+        )
+        async with FleetRouter(base, config) as fleet:
+            # put real load in flight, then kill the worker carrying it
+            load = [
+                asyncio.create_task(fleet.submit(completion_sql))
+                for _ in range(12)
+            ]
+            await asyncio.sleep(0)  # let the router route the burst
+            victim = max(fleet._workers, key=lambda c: c.backlog())
+            victim.process.kill()
+            outcomes = await asyncio.gather(*load, return_exceptions=True)
+            # wait until the router has observed the death so the rollout
+            # deterministically sees one dead worker
+            for _ in range(200):
+                if not victim.alive:
+                    break
+                await asyncio.sleep(0.05)
+            assert not victim.alive
+            result = await fleet.rolling_swap(upgraded)
+            post = await fleet.submit(complete_sql)
+        return victim.index, outcomes, result, post
+
+    victim_index, outcomes, result, post = asyncio.run(main())
+    survivor_index = 1 - victim_index
+
+    # nothing is silently dropped: every admitted request either completed
+    # or failed loudly with the stable worker-death semantics
+    failures = [o for o in outcomes if isinstance(o, BaseException)]
+    successes = [o for o in outcomes if not isinstance(o, BaseException)]
+    assert len(failures) + len(successes) == 12
+    assert all(isinstance(f, WorkerError) for f in failures)
+    assert failures, "the killed worker should have stranded its backlog"
+
+    # the rollout completed on the survivor and skipped the corpse
+    assert result["swapped"] == [survivor_index]
+    assert result["skipped"] == [victim_index]
+
+    # post-swap answers come from the new artifact
+    assert dict(post.result.values) == expected_new

@@ -366,3 +366,63 @@ class TestCoreStats:
         assert not isinstance(answer, BaseException)
         stats = core.stats()
         assert stats.p50_latency_ms == pytest.approx(250.0)
+
+
+# ----------------------------------------------------------------------
+# Hot swap
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def swap_artifacts(engine, tmp_path_factory):
+    """A v1 artifact of the module engine plus a mutated v2 upgrade."""
+    from repro.serving import save_artifact
+
+    root = tmp_path_factory.mktemp("core-swap")
+    v1 = root / "v1"
+    save_artifact(engine, v1, scenario="synthetic/biased")
+    twin = ReStore.load(v1)
+    table = twin.db.table("ta")
+    delta = twin.apply_mutations(
+        deletes={"ta": [int(k) for k in table["id"][:5]]}
+    )
+    v2 = root / "v2"
+    save_artifact(twin, v2, scenario="synthetic/biased", parent=v1,
+                  delta=delta)
+    return v1, v2
+
+
+class TestHotSwap:
+    def test_swap_switches_answers_and_counts(self, swap_artifacts):
+        v1, v2 = swap_artifacts
+        core = ServingCore(ReStore.load(v1))
+        before = core.submit(COMPLETE_ONLY_SQL).result.values
+        info = core.hot_swap(v2)
+        assert info["scenario"] == "synthetic/biased"
+        assert info["lineage"]["parent_path"] == str(v1)
+        after = core.submit(COMPLETE_ONLY_SQL).result.values
+        assert after != before
+        assert after == ReStore.load(v2).answer(
+            parse_query(COMPLETE_ONLY_SQL)
+        ).result.values
+        stats = core.stats()
+        assert stats.swaps == 1
+        assert stats.as_dict()["swaps"] == 1
+
+    def test_corrupt_artifact_rejected_and_old_engine_keeps_serving(
+        self, swap_artifacts, tmp_path
+    ):
+        from repro.errors import ArtifactError
+
+        v1, _ = swap_artifacts
+        core = ServingCore(ReStore.load(v1))
+        engine_before = core.engine
+        before = core.submit(COMPLETE_ONLY_SQL).result.values
+        corrupt = tmp_path / "corrupt"
+        corrupt.mkdir()
+        with pytest.raises(ArtifactError):
+            core.hot_swap(corrupt)
+        # validate-before-swap: the reference never moved
+        assert core.engine is engine_before
+        assert core.stats().swaps == 0
+        assert core.submit(COMPLETE_ONLY_SQL).result.values == before

@@ -463,3 +463,166 @@ class TestFleetRouterEndToEnd:
         # bare connect timeout.
         message = str(excinfo.value)
         assert "manifest" in message or "worker 0" in message
+
+
+# ----------------------------------------------------------------------
+# Zero-downtime hot swap (slow)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fleet_artifact_v2(fleet_artifact, tmp_path_factory) -> Path:
+    """The upgrade target: same schema, mutated rows, warm-started models.
+
+    Built by mutating a twin of the v1 engine and fine-tuning, so swap
+    tests can tell the versions apart by their answers (row counts
+    change) while both serve the same queries.
+    """
+    engine = ReStore.load(fleet_artifact)
+    table = engine.db.table("ta")
+    doomed = [int(k) for k in table["id"][:5]]
+    delta = engine.apply_mutations(deletes={"ta": doomed})
+    engine.fine_tune()
+    path = tmp_path_factory.mktemp("fleet") / "artifact-v2"
+    save_artifact(engine, path, scenario="synthetic/biased",
+                  parent=fleet_artifact, delta=delta)
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference_engine_v2(fleet_artifact_v2) -> ReStore:
+    return ReStore.load(fleet_artifact_v2)
+
+
+def _values(engine, sql):
+    return dict(engine.answer(parse_query(sql)).result.values)
+
+
+@pytest.mark.slow
+class TestWorkerHotSwap:
+    def test_swap_frame_switches_engine_and_corrupt_swap_is_rejected(
+        self, fleet_artifact, fleet_artifact_v2,
+        reference_engine, reference_engine_v2, tmp_path,
+    ):
+        old = _values(reference_engine, COMPLETE_ONLY_SQL)
+        new = _values(reference_engine_v2, COMPLETE_ONLY_SQL)
+        assert old != new, "v2 artifact must be distinguishable by answers"
+
+        worker = ServiceWorker.from_artifact(
+            fleet_artifact, ServiceConfig(max_queue=16, n_workers=2)
+        )
+        ours, theirs = socket.socketpair()
+        server = threading.Thread(
+            target=worker.serve_connection, args=(theirs,), daemon=True
+        )
+        server.start()
+        query = parse_query(COMPLETE_ONLY_SQL)
+
+        def ask(request_id):
+            send_frame(ours, "query", id=request_id, query=query)
+            frame = recv_frame(ours)
+            assert frame["kind"] == "answer" and frame["id"] == request_id
+            return dict(frame["answer"].result.values)
+
+        try:
+            assert ask(1) == old
+
+            send_frame(ours, "swap", id=2, path=str(fleet_artifact_v2))
+            frame = recv_frame(ours)
+            assert frame["kind"] == "swap_reply" and frame["id"] == 2
+            assert frame["ok"] is True
+            assert frame["info"]["scenario"] == "synthetic/biased"
+            assert frame["info"]["lineage"]["parent_path"] == str(fleet_artifact)
+
+            # post-swap answers come from the new artifact
+            assert ask(3) == new
+
+            # a corrupt artifact is rejected with a taxonomy code and the
+            # worker keeps serving the version it already has
+            corrupt = tmp_path / "corrupt"
+            corrupt.mkdir()
+            send_frame(ours, "swap", id=4, path=str(corrupt))
+            frame = recv_frame(ours)
+            assert frame["kind"] == "swap_reply" and frame["id"] == 4
+            assert frame["ok"] is False
+            assert frame["code"].startswith("artifact")
+            assert ask(5) == new
+
+            send_frame(ours, "shutdown")
+            assert recv_frame(ours)["kind"] == "bye"
+        finally:
+            ours.close()
+            server.join(timeout=10)
+            assert not server.is_alive()
+
+
+@pytest.mark.slow
+class TestFleetRollingSwap:
+    def test_rolling_swap_under_load_drops_nothing(
+        self, fleet_artifact, fleet_artifact_v2,
+        reference_engine, reference_engine_v2,
+    ):
+        old = _values(reference_engine, COMPLETION_SQL)
+        new = _values(reference_engine_v2, COMPLETION_SQL)
+        new_count = _values(reference_engine_v2, COMPLETE_ONLY_SQL)
+
+        async def main():
+            config = FleetConfig(
+                n_workers=2, worker=ServiceConfig(max_queue=32, n_workers=2)
+            )
+            async with FleetRouter(fleet_artifact, config) as fleet:
+                # keep queries in flight while the rollout runs
+                load = [
+                    asyncio.create_task(fleet.submit(COMPLETION_SQL))
+                    for _ in range(16)
+                ]
+                result = await fleet.rolling_swap(fleet_artifact_v2)
+                answers = await asyncio.gather(*load)
+                post = [
+                    await fleet.submit(COMPLETION_SQL),
+                    await fleet.submit(COMPLETE_ONLY_SQL),
+                ]
+                stats = await fleet.stats()
+            return result, answers, post, stats
+
+        result, answers, post, stats = asyncio.run(main())
+        # every worker upgraded, none skipped
+        assert result["swapped"] == [0, 1]
+        assert result["skipped"] == []
+        assert result["info"]["scenario"] == "synthetic/biased"
+        # zero dropped in-flight requests: each concurrent answer is a
+        # coherent old- or new-version answer (never an error, never mixed)
+        for answer in answers:
+            assert dict(answer.result.values) in (old, new)
+        # after the rollout, the fleet serves the new artifact only
+        assert dict(post[0].result.values) == new
+        assert dict(post[1].result.values) == new_count
+        assert stats.completed == 18
+        assert stats.failed == 0
+
+    def test_rolling_swap_to_corrupt_artifact_keeps_old_version(
+        self, fleet_artifact, reference_engine, tmp_path,
+    ):
+        from repro.errors import ArtifactError
+
+        old = _values(reference_engine, COMPLETE_ONLY_SQL)
+        corrupt = tmp_path / "corrupt"
+        corrupt.mkdir()
+
+        async def main():
+            config = FleetConfig(
+                n_workers=2, worker=ServiceConfig(max_queue=32, n_workers=2)
+            )
+            async with FleetRouter(fleet_artifact, config) as fleet:
+                before = await fleet.submit(COMPLETE_ONLY_SQL)
+                with pytest.raises(ArtifactError):
+                    await fleet.rolling_swap(corrupt)
+                # the rejecting worker validated before swapping: the whole
+                # fleet keeps serving the old version
+                after = await fleet.submit(COMPLETE_ONLY_SQL)
+                assert str(fleet.artifact_path) == str(fleet_artifact)
+            return before, after
+
+        before, after = asyncio.run(main())
+        assert dict(before.result.values) == old
+        assert dict(after.result.values) == old

@@ -381,3 +381,40 @@ class TestMicroBatcher:
             return batcher.drain()
 
         assert run(main()) == ["x"]
+
+
+class TestServiceHotSwap:
+    def test_hot_swap_while_running_switches_answers(
+        self, engine, tmp_path_factory
+    ):
+        from repro.serving import save_artifact
+
+        root = tmp_path_factory.mktemp("service-swap")
+        v1, v2 = root / "v1", root / "v2"
+        save_artifact(engine, v1, scenario="synthetic/biased")
+        twin = ReStore.load(v1)
+        delta = twin.apply_mutations(
+            deletes={"ta": [int(k) for k in twin.db.table("ta")["id"][:5]]}
+        )
+        save_artifact(twin, v2, scenario="synthetic/biased", parent=v1,
+                      delta=delta)
+        expected_new = ReStore.load(v2).answer(
+            parse_query(COMPLETE_ONLY_SQL)
+        ).result.values
+
+        async def main():
+            service = CompletionService(ReStore.load(v1))
+            async with service:
+                before = await service.submit(COMPLETE_ONLY_SQL)
+                info = await service.hot_swap(v2)
+                after = await service.submit(COMPLETE_ONLY_SQL)
+                stats = service.core.stats()
+            return before, info, after, stats, service
+
+        before, info, after, stats, service = run(main())
+        assert info["lineage"]["parent_path"] == str(v1)
+        assert after.result.values == expected_new
+        assert after.result.values != before.result.values
+        assert stats.swaps == 1
+        # the shell's engine reference follows the core's
+        assert service.engine is service.core.engine

@@ -521,3 +521,123 @@ class TestBackendPlumbing:
         for model in engine.fitted_models().values():
             losses = model.train_result.train_losses
             assert losses[-1] < losses[0]
+
+
+# ----------------------------------------------------------------------
+# Warm-start fine-tuning (incremental re-training)
+# ----------------------------------------------------------------------
+
+
+def _mutate_root(engine):
+    """Overwrite one non-key root column so the database digest moves.
+
+    Deterministic: twin engines built from the same dataset at the same
+    seed receive the identical mutation.
+    """
+    from repro.relational import ColumnKind
+
+    root = engine._default_model().layout.path.tables[0]
+    table = engine.db.table(root)
+    pk = table.primary_key
+    column = next(
+        c for c in table.column_names
+        if c != pk and table.meta(c).kind != ColumnKind.KEY
+    )
+    return engine.apply_mutations(
+        updates={root: [{pk: int(table[pk][0]), column: table[column][1]}]}
+    )
+
+
+class TestWarmStartFineTune:
+    def test_fine_tune_on_unchanged_database_is_exact_noop(self):
+        """The digest gate makes the no-op *exact*, not just approximate:
+        parameters stay bitwise identical and the stamped TrainResult is
+        the very same object."""
+        engine = _engine()
+        before = {
+            key: {n: v.copy() for n, v in model.state_dict().items()}
+            for key, model in engine.fitted_models().items()
+        }
+        results = {
+            key: model.train_result
+            for key, model in engine.fitted_models().items()
+        }
+        outcome = engine.fine_tune()
+        assert outcome["skipped"] is True
+        assert outcome["models_tuned"] == 0
+        for key, model in engine.fitted_models().items():
+            assert model.train_result is results[key]
+            assert model.train_result.warm_start is False
+            for name, value in model.state_dict().items():
+                assert np.array_equal(value, before[key][name]), (key, name)
+
+    def test_fine_tune_after_mutation_resumes_from_fitted_weights(self):
+        """Warm start means training continues, not restarts: the first
+        fine-tune epoch already sits below the cold fit's first epoch
+        (which began at random init + bias re-initialization)."""
+        engine = _engine()
+        cold_first = {
+            key: model.train_result.train_losses[0]
+            for key, model in engine.fitted_models().items()
+        }
+        _mutate_root(engine)
+        outcome = engine.fine_tune()
+        assert outcome["skipped"] is False
+        assert outcome["models_tuned"] == len(engine.fitted_models())
+        for key, model in engine.fitted_models().items():
+            assert model.train_result.warm_start is True
+            assert model.train_result.backend == "fused"
+            assert model.train_result.train_losses[0] < cold_first[key], key
+
+    def test_warm_start_parity_across_backends(self):
+        """Fused and autograd fine-tunes of identically mutated twins
+        land on the same losses, mirroring the cold-fit parity suite."""
+        fused = _engine()
+        autograd = _engine(backend="autograd")
+        for engine in (fused, autograd):
+            _mutate_root(engine)
+            assert engine.fine_tune()["skipped"] is False
+        for key, model in fused.fitted_models().items():
+            other = autograd.fitted_models()[key]
+            assert model.train_result.warm_start is True
+            assert other.train_result.warm_start is True
+            assert model.train_result.backend == "fused"
+            assert other.train_result.backend == "autograd"
+            assert model.train_result.final_train_loss == pytest.approx(
+                other.train_result.final_train_loss, abs=0.05
+            )
+
+    def test_warm_started_parameters_stay_within_gradcheck_bounds(self):
+        """The gradcheck contract holds at *trained* parameters too: after
+        a warm-start fine-tune, fused gradients at the tuned weights still
+        match the autograd oracle within the acceptance band."""
+        engine = _engine()
+        _mutate_root(engine)
+        engine.fine_tune()
+        model = next(
+            m for m in engine.fitted_models().values()
+            if m.made.context_dim == 0
+        )
+        made = model.made
+        x = model.training_data.matrix[:16]
+        ref_loss, ref_grads, _ = autograd_reference(made, x, None)
+        buffer = ParameterBuffer(made, dtype=np.float64)
+        fused = FusedResidualMADE(made, buffer)
+        loss, _ = fused.loss_and_grad(x, None, None)
+        assert loss == pytest.approx(ref_loss, rel=1e-9)
+        for name in buffer.names:
+            err = relative_grad_error(buffer.grad_view(name), ref_grads[name])
+            assert err < PARITY_TOL, name
+
+    def test_warm_start_flag_survives_artifact_round_trip(self, tmp_path):
+        engine = _engine()
+        _mutate_root(engine)
+        engine.fine_tune()
+        path = tmp_path / "artifact"
+        engine.save_artifact(path, scenario="synthetic/biased")
+        reloaded = ReStore.load(path)
+        assert reloaded.fitted_models(), "artifact restored no models"
+        for key, model in reloaded.fitted_models().items():
+            assert model.train_result is not None, key
+            assert model.train_result.warm_start is True, key
+            assert model.train_result.backend == "fused", key
