@@ -1,0 +1,189 @@
+"""Observability benchmarks: the disabled-path overhead bound + a traced
+fleet query exported as Chrome-trace JSON.
+
+The hot paths (engine answer, chunk walk, kernels, serving, fleet) are
+*permanently* instrumented, so the cost of instrumentation with telemetry
+**off** is the price every user pays.  Two measurements, both emitted into
+the benchmark JSON (``extra_info``):
+
+* **no-op overhead** — the per-call cost of a disabled ``trace(...)`` and
+  of the kernels' ``ACTIVE is None`` guard, scaled by how many
+  instrumentation sites one cold completion query actually hits (counted
+  by running the same query traced/profiled).  The implied overhead on the
+  measured query time must stay **under 2%** — the bound CI's obs-smoke
+  step asserts.
+* **traced fleet query** — a 2-worker fleet answers one query with
+  tracing on; the spans must stitch into a single cross-process tree and
+  export as valid Chrome-trace JSON (the ``validate_chrome_trace``
+  contract), proving the telemetry a user would actually capture.
+"""
+
+import asyncio
+import time
+
+from repro import ReStore, ReStoreConfig, parse_query
+from repro.core import ModelConfig
+from repro.incomplete.registry import make_scenario_dataset
+from repro.nn import TrainConfig
+from repro.obs import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    export_chrome_trace,
+    profile_kernels,
+    span_tree,
+    trace,
+    tracing_enabled,
+    validate_chrome_trace,
+)
+from repro.obs import profile as profile_module
+from repro.serving import FleetConfig, FleetRouter, ServiceConfig, save_artifact
+
+from conftest import run_once
+
+FAST = TrainConfig(epochs=3, batch_size=128, lr=1e-2, patience=2)
+COMPLETION_SQL = "SELECT COUNT(*) FROM ta NATURAL JOIN tb WHERE b = 'v1';"
+
+#: The acceptance bound: implied disabled-telemetry overhead on one cold
+#: completion query.
+OVERHEAD_BOUND = 0.02
+
+
+def _fitted_engine() -> ReStore:
+    dataset = make_scenario_dataset(
+        "synthetic/biased", keep_rate=0.5, seed=1, scale=0.2
+    )
+    config = ReStoreConfig(model=ModelConfig(train=FAST), seed=3)
+    return ReStore.from_dataset(dataset, config).fit()
+
+
+def _per_call_ns(fn, calls: int) -> float:
+    """Median-of-5 per-call cost of ``fn`` over ``calls`` iterations."""
+    samples = []
+    for _ in range(5):
+        started = time.perf_counter_ns()
+        fn(calls)
+        samples.append((time.perf_counter_ns() - started) / calls)
+    samples.sort()
+    return samples[2]
+
+
+def _noop_trace_loop(calls: int) -> None:
+    for _ in range(calls):
+        with trace("bench.noop", rows=1):
+            pass
+
+
+def _kernel_guard_loop(calls: int) -> None:
+    for _ in range(calls):
+        if profile_module.ACTIVE is not None:  # the kernels' exact check
+            raise AssertionError("profiling must be off here")
+
+
+def test_noop_overhead(benchmark):
+    """Disabled telemetry: implied overhead on a cold query < 2%."""
+    engine = _fitted_engine()
+    query = parse_query(COMPLETION_SQL)
+    disable_tracing()
+    assert not tracing_enabled()
+
+    def cold_answer_seconds() -> float:
+        samples = []
+        for _ in range(5):
+            engine.clear_cache()
+            started = time.perf_counter()
+            engine.answer(query)
+            samples.append(time.perf_counter() - started)
+        samples.sort()
+        return samples[2]
+
+    query_s = run_once(benchmark, cold_answer_seconds)
+
+    # How many instrumentation sites does that query actually hit?
+    tracer = Tracer()
+    enable_tracing(tracer=tracer)
+    try:
+        with profile_kernels() as prof:
+            engine.clear_cache()
+            engine.answer(query)
+    finally:
+        disable_tracing()
+    spans_per_query = len(tracer)
+    kernel_calls = sum(
+        int(entry["calls"]) for entry in prof.snapshot().values()
+    )
+    assert spans_per_query > 0 and kernel_calls > 0
+
+    noop_trace_ns = _per_call_ns(_noop_trace_loop, 200_000)
+    guard_ns = _per_call_ns(_kernel_guard_loop, 200_000)
+    implied_overhead = (
+        spans_per_query * noop_trace_ns + kernel_calls * guard_ns
+    ) / (query_s * 1e9)
+
+    benchmark.extra_info["noop_trace_ns_per_call"] = noop_trace_ns
+    benchmark.extra_info["kernel_guard_ns_per_call"] = guard_ns
+    benchmark.extra_info["spans_per_cold_query"] = spans_per_query
+    benchmark.extra_info["kernel_calls_per_cold_query"] = kernel_calls
+    benchmark.extra_info["cold_query_seconds"] = query_s
+    benchmark.extra_info["implied_overhead"] = implied_overhead
+    benchmark.extra_info["overhead_bound"] = OVERHEAD_BOUND
+    print()
+    print(f"disabled trace(): {noop_trace_ns:8.1f} ns/call")
+    print(f"kernel guard:     {guard_ns:8.1f} ns/call")
+    print(f"sites per query:  {spans_per_query} spans, "
+          f"{kernel_calls} kernel calls")
+    print(f"implied overhead: {implied_overhead * 100:.4f}% "
+          f"(bound {OVERHEAD_BOUND * 100:.0f}%)")
+    assert implied_overhead < OVERHEAD_BOUND, (
+        f"disabled-telemetry overhead {implied_overhead * 100:.3f}% exceeds "
+        f"the {OVERHEAD_BOUND * 100:.0f}% bound"
+    )
+
+
+def test_traced_fleet_query_chrome_trace(benchmark, tmp_path):
+    """One traced 2-worker fleet query ⇒ one stitched, exportable tree."""
+    engine = _fitted_engine()
+    artifact = tmp_path / "artifact"
+    save_artifact(engine, artifact, scenario="synthetic/biased")
+    trace_path = tmp_path / "fleet-trace.json"
+
+    def traced_query():
+        tracer = Tracer()
+        enable_tracing(tracer=tracer)
+        try:
+            async def main():
+                config = FleetConfig(
+                    n_workers=2,
+                    worker=ServiceConfig(max_queue=32, n_workers=2),
+                )
+                async with FleetRouter(artifact, config) as fleet:
+                    return await fleet.submit(COMPLETION_SQL)
+
+            answer = asyncio.run(main())
+        finally:
+            disable_tracing()
+        return answer, tracer
+
+    answer, tracer = run_once(benchmark, traced_query)
+    assert answer.result.values
+
+    spans = tracer.spans()
+    names = {s.name for s in spans}
+    assert {"fleet.submit", "serve.group", "engine.completed_join",
+            "join.chunk"} <= names
+    assert len({s.pid for s in spans}) >= 2       # router + worker
+    forest = span_tree(spans)
+    assert len(forest) == 1                       # one stitched tree
+    assert forest[0]["span"].name == "fleet.submit"
+
+    doc = export_chrome_trace(trace_path, tracer=tracer)
+    problems = validate_chrome_trace(doc)
+    assert problems == [], problems
+
+    benchmark.extra_info["spans"] = len(spans)
+    benchmark.extra_info["span_names"] = sorted(names)
+    benchmark.extra_info["processes"] = len({s.pid for s in spans})
+    benchmark.extra_info["trace_events"] = len(doc["traceEvents"])
+    print()
+    print(f"stitched {len(spans)} spans across "
+          f"{len({s.pid for s in spans})} processes -> {trace_path}")

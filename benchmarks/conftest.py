@@ -10,6 +10,7 @@ paper grid.
 import pytest
 
 from repro.experiments import ExperimentConfig, full_grid
+from repro.obs import bench_envelope, validate_envelope
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +31,17 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp every bench_*.py JSON payload with the common envelope.
+
+    Results from different machines/commits become comparable: repro +
+    git versions, host, python/numpy, and the process's telemetry
+    summary.  The envelope is schema-checked here, so a malformed one
+    fails the benchmark run instead of landing in the archive.
+    """
+    envelope = bench_envelope()
+    problems = validate_envelope(envelope)
+    assert not problems, f"benchmark envelope failed validation: {problems}"
+    output_json["envelope"] = envelope

@@ -1,0 +1,107 @@
+"""Tracing demo: where does one fleet query's latency go?
+
+The full :mod:`repro.obs` loop on a live 2-worker fleet:
+
+1. fit a small housing completion engine and save an artifact,
+2. enable tracing, spawn a :class:`~repro.serving.FleetRouter`, and
+   submit one housing query — the router's submit span rides the wire,
+   the worker's spans (batch formation, single-flight join, engine
+   answer, per-chunk walks) ship back in the answer frame, and the
+   router stitches everything into ONE cross-process trace tree,
+3. print the human latency-breakdown table (:func:`repro.obs.report`),
+4. export Chrome-trace JSON — drag it into https://ui.perfetto.dev (or
+   ``chrome://tracing``) to see the same tree on a timeline, one row
+   per process/thread,
+5. print the metrics-registry snapshot and the fleet's structured
+   lifecycle log lines (spawn → ready → drain).
+
+Run with ``python examples/tracing_demo.py``.
+"""
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+import repro.obs as obs
+from repro import ReStore, ReStoreConfig
+from repro.core import ModelConfig
+from repro.datasets import HousingConfig, generate_housing
+from repro.incomplete import RemovalSpec, make_incomplete
+from repro.nn import TrainConfig
+from repro.serving import FleetConfig, FleetRouter, ServiceConfig
+
+HOUSING_SQL = (
+    "SELECT AVG(price) FROM neighborhood NATURAL JOIN apartment "
+    "GROUP BY state;"
+)
+
+
+def train_and_save(artifact_dir: Path) -> None:
+    db = generate_housing(HousingConfig(seed=0, num_neighborhoods=60,
+                                        num_landlords=350))
+    dataset = make_incomplete(
+        db,
+        [RemovalSpec("apartment", "price", keep_rate=0.5,
+                     removal_correlation=0.5)],
+        tf_keep_rate=0.3, seed=1,
+    )
+    config = ReStoreConfig(model=ModelConfig(
+        train=TrainConfig(epochs=10, batch_size=256, lr=5e-3, patience=3),
+    ))
+    engine = ReStore.from_dataset(dataset, config).fit()
+    engine.save_artifact(artifact_dir)
+    print(f"saved artifact to {artifact_dir}")
+
+
+async def traced_query(artifact_dir: Path, trace_path: Path) -> None:
+    obs.enable_tracing()
+    config = FleetConfig(
+        n_workers=2,
+        worker=ServiceConfig(max_queue=32, max_batch=16, n_workers=2),
+    )
+    async with FleetRouter(artifact_dir, config) as fleet:
+        answer = await fleet.submit(HOUSING_SQL)
+        print(f"\nanswer ({len(answer.result.values)} groups): "
+              f"{dict(list(sorted(answer.result.values.items()))[:3])} ...")
+
+    # --- 1. the latency-breakdown table ------------------------------
+    print("\nwhere did the latency go?\n")
+    print(obs.report())
+
+    # --- 2. Chrome-trace JSON for Perfetto ---------------------------
+    doc = obs.export_chrome_trace(trace_path)
+    problems = obs.validate_chrome_trace(doc)
+    spans = obs.get_tracer().spans()
+    print(f"exported {len(doc['traceEvents'])} trace events "
+          f"({len(spans)} spans across "
+          f"{len({s.pid for s in spans})} processes) -> {trace_path}")
+    print(f"validation problems: {problems or 'none'}")
+    print("open https://ui.perfetto.dev and drag the file in")
+
+    # --- 3. metrics registry snapshot --------------------------------
+    stats = None
+    for span in spans:
+        if span.name == "fleet.submit":
+            stats = span
+    print(f"\nrouter submit span: {stats.duration_us / 1000.0:.1f} ms "
+          f"on worker {stats.attrs.get('worker')}")
+
+    # --- 4. structured lifecycle log ---------------------------------
+    print("\nfleet lifecycle (structured log, JSON lines):")
+    for record in obs.recent_records(logger="serving.fleet"):
+        fields = {k: v for k, v in record.items()
+                  if k not in ("ts", "level", "logger")}
+        print(f"  {record['level']:>7s}  {fields}")
+    obs.disable_tracing()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_dir = Path(tmp) / "housing-artifact"
+        train_and_save(artifact_dir)
+        trace_path = Path("fleet-trace.json")
+        asyncio.run(traced_query(artifact_dir, trace_path))
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..incomplete import IncompleteDataset
 from ..nn.train import TRAIN_BACKENDS
+from ..obs import trace
 from ..runtime import CacheStats, JoinCache, PartialCacheStats, PartialJoinCache
 from ..runtime.parallel import PARALLEL_BACKENDS, get_executor
 from ..query import (
@@ -352,29 +353,34 @@ class ReStore:
     ) -> CandidateScore:
         """§5 selection: query coverage (hard), basic signal filter,
         optional suspected-bias hint."""
-        candidates = self.candidates(target)
+        with trace("engine.select_model", target=target) as span:
+            candidates = self.candidates(target)
 
-        # Coverage is a hard constraint: the completed join must contain
-        # every query table, otherwise the query cannot be evaluated on it.
-        if query is not None:
-            covering = [
-                c for c in candidates
-                if set(query.tables) <= set(c.path.tables)
-            ]
-            if covering:
-                candidates = covering
+            # Coverage is a hard constraint: the completed join must contain
+            # every query table, otherwise the query cannot be evaluated on it.
+            if query is not None:
+                covering = [
+                    c for c in candidates
+                    if set(query.tables) <= set(c.path.tables)
+                ]
+                if covering:
+                    candidates = covering
 
-        candidates = basic_filter(candidates, self.config.min_signal)
+            candidates = basic_filter(candidates, self.config.min_signal)
 
-        if suspected_bias is not None and len(candidates) > 1:
-            incomplete_value = self._aggregate_on_incomplete(target, suspected_bias)
-            candidates = apply_suspected_bias(
-                candidates,
-                suspected_bias,
-                lambda c: self._aggregate_on_completed(c, target, suspected_bias),
-                incomplete_value,
-            )
-        return candidates[0]
+            if suspected_bias is not None and len(candidates) > 1:
+                incomplete_value = self._aggregate_on_incomplete(
+                    target, suspected_bias
+                )
+                candidates = apply_suspected_bias(
+                    candidates,
+                    suspected_bias,
+                    lambda c: self._aggregate_on_completed(c, target, suspected_bias),
+                    incomplete_value,
+                )
+            span.set("candidates", len(candidates))
+            span.set("chosen", "/".join(candidates[0].path.tables))
+            return candidates[0]
 
     def advanced_select(
         self,
@@ -526,55 +532,66 @@ class ReStore:
         Outputs come back in grid order.
         """
         fingerprints = plan.fingerprint_set() if plan is not None else frozenset()
-        mask = None
-        if plan is not None and plan.has_root_filters:
-            mask = join.qualifying_root_mask(plan, tables)
-        outputs: List = []
-        missing: List[Tuple[int, Tuple[int, int]]] = []
-        stats = {"chunks_cached": 0, "chunks_walked": 0, "chunks_skipped": 0}
-        for i in indices:
-            task = grid[i]
-            if mask is not None and not mask[task[0]:task[1]].any():
-                stats["chunks_skipped"] += 1
-                continue
-            hit = self.partial_cache.lookup(signature, grid, task, fingerprints)
-            if hit is not None:
-                output, cached_fps = hit
-                if cached_fps != fingerprints:
-                    output = restrict_chunk_output(
-                        output, plan.filters_not_in(cached_fps)
+        with trace("engine.gather_chunks", chunks=len(indices)) as span:
+            mask = None
+            if plan is not None and plan.has_root_filters:
+                mask = join.qualifying_root_mask(plan, tables)
+            outputs: List = []
+            missing: List[Tuple[int, Tuple[int, int]]] = []
+            stats = {"chunks_cached": 0, "chunks_walked": 0, "chunks_skipped": 0}
+            for i in indices:
+                task = grid[i]
+                if mask is not None and not mask[task[0]:task[1]].any():
+                    stats["chunks_skipped"] += 1
+                    continue
+                hit = self.partial_cache.lookup(signature, grid, task, fingerprints)
+                if hit is not None:
+                    output, cached_fps = hit
+                    if cached_fps != fingerprints:
+                        output = restrict_chunk_output(
+                            output, plan.filters_not_in(cached_fps)
+                        )
+                    outputs.append(output)
+                    stats["chunks_cached"] += 1
+                else:
+                    missing.append((len(outputs), task))
+                    outputs.append(None)
+            if missing:
+                walked = join.walk_chunks([t for _, t in missing], tables, plan)
+                for (pos, task), output in zip(missing, walked):
+                    self.partial_cache.put(
+                        signature, grid, task, fingerprints, output
                     )
-                outputs.append(output)
-                stats["chunks_cached"] += 1
-            else:
-                missing.append((len(outputs), task))
-                outputs.append(None)
-        if missing:
-            walked = join.walk_chunks([t for _, t in missing], tables, plan)
-            for (pos, task), output in zip(missing, walked):
-                self.partial_cache.put(
-                    signature, grid, task, fingerprints, output
-                )
-                outputs[pos] = output
-            stats["chunks_walked"] = len(missing)
-        return outputs, stats
+                    outputs[pos] = output
+                stats["chunks_walked"] = len(missing)
+            span.set("chunks_cached", stats["chunks_cached"])
+            span.set("chunks_walked", stats["chunks_walked"])
+            span.set("chunks_skipped", stats["chunks_skipped"])
+            return outputs, stats
 
     def _pushed_completion(
         self, model: _CompletionModelBase, plan: PushdownPlan
     ) -> CompletedJoin:
         """A pushdown-pruned completion over the canonical partial grid."""
-        join = self._partial_join(model)
-        tables = join.effective_tables()
-        grid = tuple(join.chunk_tasks(tables))
-        signature = self._join_key(model)
-        outputs, stats = self._gather_chunks(
-            join, tables, grid, range(len(grid)), plan, signature
-        )
-        completed = join.assemble(outputs, tables, plan)
-        num_roots = len(self.db.table(tables[0]))
-        roots_qualifying = num_roots
-        if plan.has_root_filters:
-            roots_qualifying = int(join.qualifying_root_mask(plan, tables).sum())
+        with trace(
+            "engine.pushed_completion",
+            tables="/".join(model.layout.path.tables),
+        ) as span:
+            join = self._partial_join(model)
+            tables = join.effective_tables()
+            grid = tuple(join.chunk_tasks(tables))
+            signature = self._join_key(model)
+            outputs, stats = self._gather_chunks(
+                join, tables, grid, range(len(grid)), plan, signature
+            )
+            completed = join.assemble(outputs, tables, plan)
+            num_roots = len(self.db.table(tables[0]))
+            roots_qualifying = num_roots
+            if plan.has_root_filters:
+                roots_qualifying = int(
+                    join.qualifying_root_mask(plan, tables).sum()
+                )
+            span.set("roots_qualifying", roots_qualifying)
         completed.pushdown = {
             "roots_total": num_roots,
             "roots_qualifying": roots_qualifying,
@@ -596,23 +613,29 @@ class ReStore:
         (up to row order) to a from-scratch run at the same seed.
         """
         key = self._join_key(model)
-        cached = self.join_cache.get(key)
-        if cached is not None:
-            return cached
-        if len(self.partial_cache):
-            join = self._partial_join(model)
-            tables = join.effective_tables()
-            grid = tuple(join.chunk_tasks(tables))
-            if self.partial_cache.has_entries(key, grid):
-                outputs, _stats = self._gather_chunks(
-                    join, tables, grid, range(len(grid)), None, key
-                )
-                completed = join.assemble(outputs, tables)
-                self.join_cache.put(key, completed)
-                return completed
-        completed = self._make_join(model).run()
-        self.join_cache.put(key, completed)
-        return completed
+        with trace(
+            "engine.completed_join", tables="/".join(model.layout.path.tables)
+        ) as span:
+            cached = self.join_cache.get(key)
+            if cached is not None:
+                span.set("cache", "hit")
+                return cached
+            if len(self.partial_cache):
+                join = self._partial_join(model)
+                tables = join.effective_tables()
+                grid = tuple(join.chunk_tasks(tables))
+                if self.partial_cache.has_entries(key, grid):
+                    outputs, _stats = self._gather_chunks(
+                        join, tables, grid, range(len(grid)), None, key
+                    )
+                    completed = join.assemble(outputs, tables)
+                    self.join_cache.put(key, completed)
+                    span.set("cache", "topup")
+                    return completed
+            span.set("cache", "miss")
+            completed = self._make_join(model).run()
+            self.join_cache.put(key, completed)
+            return completed
 
     @property
     def cache_hits(self) -> int:
@@ -983,52 +1006,59 @@ class ReStore:
         instead (it is free); partial chunks are cached and reused across
         overlapping queries.
         """
-        incomplete_in_query = [
-            t for t in query.tables if not self.annotation.is_complete(t)
-        ]
-        if not incomplete_in_query:
+        with trace(
+            "engine.answer", tables="/".join(query.tables), pushdown=pushdown
+        ) as span:
+            incomplete_in_query = [
+                t for t in query.tables if not self.annotation.is_complete(t)
+            ]
+            if not incomplete_in_query:
+                span.set("used_completion", False)
+                return Answer(
+                    result=execute(self.db, query),
+                    query=query,
+                    used_completion=False,
+                )
+
+            target = self._primary_target(incomplete_in_query)
+            if model is None:
+                choice = self.select_model(target, query=query,
+                                           suspected_bias=suspected_bias)
+                model = choice.model
+
+            path_tables = set(model.layout.path.tables)
+            if not set(query.tables) <= path_tables:
+                raise ValueError(
+                    f"selected completion path {model.layout.path} does not "
+                    f"cover query tables {query.tables}; no admissible "
+                    f"covering path"
+                )
+
+            cached_before = self.join_cache.contains(self._join_key(model))
+            completed: Optional[CompletedJoin] = None
+            if pushdown and not cached_before:
+                plan = plan_pushdown(self.db, model.layout.path.tables, query)
+                if plan.has_pushdown:
+                    completed = self._pushed_completion(model, plan)
+            if completed is None:
+                completed = self.completed_join(model)
+
+            if set(completed.path.tables) == set(query.tables):
+                joined = completed.result
+            else:
+                joined = self.project_to_tables(completed, query.tables)
+
+            span.set("used_completion", True)
+            span.set("from_cache", cached_before)
             return Answer(
-                result=execute(self.db, query),
+                result=execute_on_join(joined, query),
                 query=query,
-                used_completion=False,
+                used_completion=True,
+                model=model,
+                completed=completed,
+                from_cache=cached_before,
+                pushdown=completed.pushdown,
             )
-
-        target = self._primary_target(incomplete_in_query)
-        if model is None:
-            choice = self.select_model(target, query=query,
-                                       suspected_bias=suspected_bias)
-            model = choice.model
-
-        path_tables = set(model.layout.path.tables)
-        if not set(query.tables) <= path_tables:
-            raise ValueError(
-                f"selected completion path {model.layout.path} does not cover "
-                f"query tables {query.tables}; no admissible covering path"
-            )
-
-        cached_before = self.join_cache.contains(self._join_key(model))
-        completed: Optional[CompletedJoin] = None
-        if pushdown and not cached_before:
-            plan = plan_pushdown(self.db, model.layout.path.tables, query)
-            if plan.has_pushdown:
-                completed = self._pushed_completion(model, plan)
-        if completed is None:
-            completed = self.completed_join(model)
-
-        if set(completed.path.tables) == set(query.tables):
-            joined = completed.result
-        else:
-            joined = self.project_to_tables(completed, query.tables)
-
-        return Answer(
-            result=execute_on_join(joined, query),
-            query=query,
-            used_completion=True,
-            model=model,
-            completed=completed,
-            from_cache=cached_before,
-            pushdown=completed.pushdown,
-        )
 
     def answer_progressive(
         self,

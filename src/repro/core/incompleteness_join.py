@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import activate, current_context, trace, tracing_enabled
 from ..query import JoinResult
 from ..query.pushdown import PushdownPlan, conjunction_mask
 from ..relational import MISSING_KEY, CompletionPath
@@ -264,14 +265,28 @@ def _build_worker_join(spec: _JoinWorkerSpec):
         replace_synthesized=spec.replace_synthesized,
         seed=spec.seed,
     )
-    return join, list(spec.tables), spec.plan
+    return join, list(spec.tables), spec.plan, None
 
 
 def _walk_chunk_task(state, task: Tuple[int, int]) -> _ChunkOutput:
-    """Executor task: walk one chunk of root rows (any backend)."""
-    join, tables, plan = state
+    """Executor task: walk one chunk of root rows (any backend).
+
+    The fourth payload element is the dispatching caller's trace context:
+    contextvars do not flow into pool threads, so the context rides along
+    explicitly and each chunk walk becomes a child span of the dispatch
+    (process workers get ``None`` — their tracer is off by default).
+    """
+    join, tables, plan, ctx = state
     start, stop = task
-    return join._walk_chunk(slice(start, stop), tables, plan)
+    if not tracing_enabled():
+        return join._walk_chunk(slice(start, stop), tables, plan)
+    with activate(ctx):
+        with trace(
+            "join.chunk", chunk=f"{start}:{stop}", rows_scanned=stop - start
+        ) as span:
+            output = join._walk_chunk(slice(start, stop), tables, plan)
+            span.set("rows_out", len(output.state.weights))
+            return output
 
 
 class IncompletenessJoin:
@@ -440,7 +455,13 @@ class IncompletenessJoin:
         """
         tables = list(tables) if tables is not None else list(self.path.tables)
         self._validate_plan(plan, tables)
-        return self._run_chunks(tasks, tables, plan)
+        with trace(
+            "join.walk_chunks",
+            chunks=len(tasks),
+            tables="/".join(tables),
+            backend=self.parallel_backend,
+        ):
+            return self._run_chunks(tasks, tables, plan)
 
     def assemble(
         self,
@@ -538,7 +559,8 @@ class IncompletenessJoin:
                 else SerialExecutor()
             )
             return executor.map(
-                _walk_chunk_task, tasks, payload=(self, tables, plan)
+                _walk_chunk_task, tasks,
+                payload=(self, tables, plan, current_context()),
             )
         spec = _JoinWorkerSpec(
             model=self.model.inference_snapshot(),

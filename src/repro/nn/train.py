@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import trace
 from .layers import Module
 from .optim import Adam, clip_grad_norm
 from .tensor import Tensor
@@ -233,18 +234,22 @@ def train(
 
     for epoch in range(cfg.epochs):
         epoch_started = time.perf_counter()
-        perm = rng.permutation(train_idx)
-        epoch_loss = 0.0
-        batches = 0
-        for start, stop in batch_bounds(len(perm), cfg.batch_size):
-            epoch_loss += stepper.step(perm[start:stop])
-            batches += 1
-        train_loss = epoch_loss / max(batches, 1)
-        result.train_losses.append(train_loss)
-        result.epochs_run = epoch + 1
+        with trace("train.epoch", epoch=epoch, backend=stepper.backend) as span:
+            perm = rng.permutation(train_idx)
+            epoch_loss = 0.0
+            batches = 0
+            for start, stop in batch_bounds(len(perm), cfg.batch_size):
+                epoch_loss += stepper.step(perm[start:stop])
+                batches += 1
+            train_loss = epoch_loss / max(batches, 1)
+            result.train_losses.append(train_loss)
+            result.epochs_run = epoch + 1
 
-        val_loss = stepper.evaluate(val_idx) if num_val else train_loss
-        result.val_losses.append(val_loss)
+            val_loss = stepper.evaluate(val_idx) if num_val else train_loss
+            result.val_losses.append(val_loss)
+            span.set("batches", batches)
+            span.set("train_loss", round(train_loss, 6))
+            span.set("val_loss", round(val_loss, 6))
         result.epoch_wall_times_s.append(time.perf_counter() - epoch_started)
         if cfg.verbose:
             print(f"epoch {epoch + 1:3d}  train {train_loss:.4f}  val {val_loss:.4f}")

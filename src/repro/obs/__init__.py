@@ -1,0 +1,114 @@
+"""``repro.obs`` — zero-dependency telemetry for the whole pipeline.
+
+Three legs, all off by default with asserted near-zero disabled cost:
+
+* **Tracing** (:mod:`~repro.obs.trace`): ``trace(name, **attrs)`` spans
+  with trace/span ids, monotonic clocks and thread/process-safe
+  collection, instrumenting query planning, pushdown pruning, chunk
+  walks, kernel batches, training epochs, cache probes, batch formation,
+  single-flight joins, fleet routing and hot swaps end to end.  Trace
+  context crosses the router↔worker wire, so a fleet query's spans
+  stitch into one tree.
+* **Metrics** (:mod:`~repro.obs.metrics`): a process-wide
+  :class:`MetricsRegistry` of counters/gauges/histograms (p50/p95/p99)
+  that the serving stats surfaces are re-expressed on top of, with
+  ``snapshot()`` / ``to_json()`` export.
+* **Structured logs** (:mod:`~repro.obs.log`): JSON lines with trace ids
+  attached; fleet lifecycle events (spawn, ready, swap, death, drain)
+  flow through it.
+
+Exports land in ``chrome://tracing`` / Perfetto via
+:func:`export_chrome_trace`, or as a human latency-breakdown table via
+:func:`report`.  Typical session::
+
+    import repro.obs as obs
+
+    obs.enable_tracing()
+    answer = engine.answer(query)
+    print(obs.report())                     # where did the latency go?
+    obs.export_chrome_trace("trace.json")   # load in ui.perfetto.dev
+"""
+
+from .envelope import ENVELOPE_VERSION, bench_envelope, obs_summary, validate_envelope
+from .export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    report,
+    span_tree,
+    validate_chrome_trace,
+)
+from .log import clear_records, configure_logging, get_logger, recent_records
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    set_registry,
+)
+from .profile import (
+    KernelProfiler,
+    disable_kernel_profiling,
+    enable_kernel_profiling,
+    kernel_profiler,
+    profile_kernels,
+)
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    activate,
+    current_context,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    # tracing
+    "trace",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "activate",
+    "current_context",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "get_tracer",
+    "set_tracer",
+    "NOOP_SPAN",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "registry",
+    "set_registry",
+    # kernel profiling
+    "KernelProfiler",
+    "profile_kernels",
+    "enable_kernel_profiling",
+    "disable_kernel_profiling",
+    "kernel_profiler",
+    # exporters
+    "export_chrome_trace",
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "report",
+    "span_tree",
+    # structured logging
+    "get_logger",
+    "configure_logging",
+    "recent_records",
+    "clear_records",
+    # envelope
+    "bench_envelope",
+    "validate_envelope",
+    "obs_summary",
+    "ENVELOPE_VERSION",
+]

@@ -1,0 +1,108 @@
+"""The common benchmark-result envelope.
+
+Every ``benchmarks/bench_*.py`` JSON payload is stamped with one envelope
+(via the ``pytest_benchmark_update_json`` hook in ``benchmarks/conftest.py``)
+so BENCH_*.json files from different machines and commits are comparable:
+repro version, git sha, hostname, python/numpy versions, platform, and a
+summary of the process metrics registry.  :func:`validate_envelope` is the
+schema check CI and the benchmarks themselves run — hand-rolled (this
+package takes no dependency on jsonschema), but strict about types.
+"""
+
+from __future__ import annotations
+
+import platform
+import socket
+import subprocess
+import sys
+import time
+from typing import List
+
+from .metrics import registry
+from .trace import get_tracer, tracing_enabled
+
+__all__ = ["bench_envelope", "validate_envelope", "ENVELOPE_VERSION"]
+
+ENVELOPE_VERSION = 1
+
+#: field name -> required python types
+_SCHEMA = {
+    "envelope_version": (int,),
+    "repro_version": (str,),
+    "git_sha": (str,),
+    "hostname": (str,),
+    "platform": (str,),
+    "python_version": (str,),
+    "numpy_version": (str,),
+    "timestamp": (int, float),
+    "obs": (dict,),
+}
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def obs_summary() -> dict:
+    """A compact snapshot of the process's telemetry state."""
+    tracer = get_tracer()
+    return {
+        "tracing_enabled": tracing_enabled(),
+        "spans_collected": len(tracer),
+        "spans_dropped": tracer.dropped,
+        "metrics": registry().snapshot(),
+    }
+
+
+def bench_envelope() -> dict:
+    """The envelope stamped onto every benchmark JSON payload."""
+    import numpy as np
+
+    from ..version import repro_version
+
+    return {
+        "envelope_version": ENVELOPE_VERSION,
+        "repro_version": repro_version(),
+        "git_sha": _git_sha(),
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python_version": sys.version.split()[0],
+        "numpy_version": np.__version__,
+        "timestamp": time.time(),
+        "obs": obs_summary(),
+    }
+
+
+def validate_envelope(envelope: dict) -> List[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(envelope, dict):
+        return [f"envelope must be a dict, got {type(envelope).__name__}"]
+    for field, types in _SCHEMA.items():
+        if field not in envelope:
+            problems.append(f"missing field {field!r}")
+        elif not isinstance(envelope[field], types):
+            problems.append(
+                f"field {field!r} must be {'/'.join(t.__name__ for t in types)}, "
+                f"got {type(envelope[field]).__name__}"
+            )
+    if not problems:
+        if envelope["envelope_version"] != ENVELOPE_VERSION:
+            problems.append(
+                f"envelope_version {envelope['envelope_version']} != "
+                f"{ENVELOPE_VERSION}"
+            )
+        obs = envelope["obs"]
+        for key in ("tracing_enabled", "spans_collected", "metrics"):
+            if key not in obs:
+                problems.append(f"obs summary missing {key!r}")
+    return problems

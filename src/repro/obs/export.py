@@ -1,0 +1,205 @@
+"""Exporters: Chrome-trace JSON and the human latency-breakdown table.
+
+:func:`export_chrome_trace` writes the Trace Event Format that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly — one
+complete (``"ph": "X"``) event per span, rows grouped by process/thread,
+span attributes as event ``args``.  :func:`report` renders the same spans
+as an indented text table answering "where did this query's latency go":
+one line per span, depth-indented, with duration, share of the root, and
+the attributes that matter (rows scanned, cache hits, batch sizes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .trace import Span, Tracer, get_tracer
+
+__all__ = ["chrome_trace_events", "export_chrome_trace", "report",
+           "span_tree", "validate_chrome_trace"]
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
+    """Spans → Chrome Trace Event Format event dicts (plus metadata)."""
+    events: List[dict] = []
+    seen_procs: set = set()
+    for span in spans:
+        if span.pid not in seen_procs:
+            seen_procs.add(span.pid)
+            events.append({
+                "ph": "M", "name": "process_name", "pid": span.pid, "tid": 0,
+                "args": {"name": f"repro pid {span.pid}"},
+            })
+        args = {k: v for k, v in span.attrs.items()}
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "pid": span.pid,
+            "tid": span.thread or "main",
+            "ts": span.start_us,
+            "dur": max(span.duration_us, 1),
+            "args": args,
+        })
+        for event_name, offset_us in span.events:
+            events.append({
+                "ph": "i",
+                "name": event_name,
+                "cat": span.name.split(".", 1)[0],
+                "pid": span.pid,
+                "tid": span.thread or "main",
+                "ts": span.start_us + offset_us,
+                "s": "t",
+            })
+    return events
+
+
+def export_chrome_trace(
+    path,
+    spans: Optional[Sequence[Span]] = None,
+    tracer: Optional[Tracer] = None,
+) -> dict:
+    """Write a ``chrome://tracing`` / Perfetto JSON file; returns the doc.
+
+    With no explicit ``spans``, exports everything the (given or global)
+    tracer collected.
+    """
+    if spans is None:
+        spans = (tracer or get_tracer()).spans()
+    doc = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> List[str]:
+    """Structural validation (the CI obs-smoke contract); returns problems.
+
+    Checks: non-empty, every event well-formed, and spans *nest* — every
+    ``parent_id`` resolves to a span in the document, and no span is its
+    own ancestor.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        problems.append("no complete ('X') span events")
+    ids: Dict[str, dict] = {}
+    for event in spans:
+        for key in ("name", "pid", "tid", "ts", "dur"):
+            if key not in event:
+                problems.append(f"span event missing {key!r}: {event}")
+        span_id = event.get("args", {}).get("span_id")
+        if span_id:
+            ids[span_id] = event
+    for event in spans:
+        args = event.get("args", {})
+        parent_id = args.get("parent_id")
+        if parent_id and parent_id not in ids:
+            problems.append(
+                f"span {args.get('span_id')} ({event.get('name')}) has "
+                f"unresolved parent {parent_id}"
+            )
+    # Cycle check: walk each span to a root, bounded by the span count.
+    for span_id in ids:
+        seen = set()
+        node = span_id
+        while node is not None:
+            if node in seen:
+                problems.append(f"parent cycle through span {span_id}")
+                break
+            seen.add(node)
+            node = ids[node]["args"].get("parent_id") if node in ids else None
+    return problems
+
+
+def span_tree(spans: Sequence[Span]) -> List[dict]:
+    """Roots of the parent/child forest as nested dicts.
+
+    Each node is ``{"span": Span, "children": [...]}``; children sort by
+    start time.  Spans whose parent is absent (sampled out, or produced
+    before tracing was enabled) are treated as roots.
+    """
+    by_id = {span.span_id: {"span": span, "children": []} for span in spans}
+    roots: List[dict] = []
+    for span in spans:
+        node = by_id[span.span_id]
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    def sort(nodes: List[dict]) -> None:
+        nodes.sort(key=lambda n: n["span"].start_us)
+        for node in nodes:
+            sort(node["children"])
+    sort(roots)
+    return roots
+
+
+#: Attributes worth showing in the latency table, in display order.
+_REPORT_ATTRS = (
+    "rows_scanned", "rows", "chunk", "chunks", "chunks_walked",
+    "chunks_cached", "chunks_skipped", "batch_size", "group_size", "role",
+    "cache", "worker", "signature_kind", "epoch", "tables", "error",
+)
+
+
+def _format_attrs(span: Span) -> str:
+    parts = [
+        f"{key}={span.attrs[key]}" for key in _REPORT_ATTRS
+        if key in span.attrs
+    ]
+    return "  ".join(parts)
+
+
+def report(
+    spans: Optional[Sequence[Span]] = None,
+    trace_id: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+) -> str:
+    """A human latency-breakdown table of one or more traces.
+
+    One line per span, indented by depth, with wall duration, the share
+    of its root span, and load-bearing attributes.  Pass ``trace_id`` to
+    restrict to one trace; by default every collected trace renders, one
+    tree after another.
+    """
+    if spans is None:
+        spans = (tracer or get_tracer()).spans(trace_id)
+    elif trace_id is not None:
+        spans = [s for s in spans if s.trace_id == trace_id]
+    if not spans:
+        return "(no spans collected — is tracing enabled?)"
+    lines = [
+        f"{'span':<46} {'wall ms':>10} {'% root':>7}  detail",
+        "-" * 92,
+    ]
+
+    def emit(node: dict, depth: int, root_us: int) -> None:
+        span = node["span"]
+        label = ("  " * depth) + span.name
+        share = 100.0 * span.duration_us / root_us if root_us else 100.0
+        lines.append(
+            f"{label:<46} {span.duration_us / 1000.0:>10.3f} "
+            f"{share:>6.1f}%  {_format_attrs(span)}"
+        )
+        for child in node["children"]:
+            emit(child, depth + 1, root_us)
+
+    for root in span_tree(spans):
+        root_us = max(root["span"].duration_us, 1)
+        emit(root, 0, root_us)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

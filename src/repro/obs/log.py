@@ -1,0 +1,133 @@
+"""Structured JSON-lines logging with trace correlation.
+
+``get_logger(name)`` returns an :class:`ObsLogger` whose ``info`` /
+``warning`` / ``error`` emit one JSON object per line::
+
+    {"ts": 1723111845.123, "level": "info", "logger": "repro.fleet",
+     "event": "worker.ready", "trace_id": "...", "worker": 0, "pid": 4242}
+
+The active :class:`~repro.obs.trace.TraceContext`'s ids are attached
+automatically, so a log line and the span tree it was emitted under join
+on ``trace_id``.  Lifecycle events that used to be silent — worker spawn,
+ready, swap, death, drain — flow through here from the serving fleet.
+
+Sinks: a bounded in-memory ring buffer always records the most recent
+records (tests and ``repro.obs.summary()`` read it); emission to a stream
+is opt-in via :func:`configure_logging` or the ``REPRO_OBS_LOG``
+environment variable (``stderr``, ``stdout``, or a file path).  Keeping
+the default silent preserves the library's no-noise contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, TextIO
+
+from .trace import current_context
+
+__all__ = ["ObsLogger", "get_logger", "configure_logging", "recent_records",
+           "clear_records"]
+
+_lock = threading.Lock()
+_records: deque = deque(maxlen=4096)
+_stream: Optional[TextIO] = None
+_stream_configured = False
+_loggers: Dict[str, "ObsLogger"] = {}
+
+
+def _resolve_stream() -> Optional[TextIO]:
+    global _stream_configured, _stream
+    if _stream_configured:
+        return _stream
+    _stream_configured = True
+    target = os.environ.get("REPRO_OBS_LOG", "")
+    if not target:
+        _stream = None
+    elif target == "stderr":
+        _stream = sys.stderr
+    elif target == "stdout":
+        _stream = sys.stdout
+    else:
+        _stream = open(target, "a", encoding="utf-8")
+    return _stream
+
+
+def configure_logging(stream: Optional[TextIO]) -> None:
+    """Send records to ``stream`` (None silences; ring buffer always on)."""
+    global _stream, _stream_configured
+    with _lock:
+        _stream = stream
+        _stream_configured = True
+
+
+def recent_records(
+    event: Optional[str] = None, logger: Optional[str] = None
+) -> List[dict]:
+    """The ring buffer's records, optionally filtered (oldest first)."""
+    with _lock:
+        records = list(_records)
+    if event is not None:
+        records = [r for r in records if r.get("event") == event]
+    if logger is not None:
+        records = [r for r in records if r.get("logger") == logger]
+    return records
+
+
+def clear_records() -> None:
+    with _lock:
+        _records.clear()
+
+
+class ObsLogger:
+    """One named emitter of structured records."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        record = {
+            "ts": time.time(),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+            "pid": os.getpid(),
+        }
+        ctx = current_context()
+        if ctx is not None:
+            record["trace_id"] = ctx.trace_id
+            if ctx.span_id:
+                record["span_id"] = ctx.span_id
+        record.update(fields)
+        with _lock:
+            _records.append(record)
+            stream = _resolve_stream()
+            if stream is not None:
+                try:
+                    stream.write(json.dumps(record, default=str) + "\n")
+                    stream.flush()
+                except OSError:
+                    pass  # a dead sink must never take serving down
+
+    def info(self, event: str, **fields) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit("error", event, fields)
+
+
+def get_logger(name: str) -> ObsLogger:
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = ObsLogger(name)
+        return logger

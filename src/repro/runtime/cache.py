@@ -137,6 +137,14 @@ class JoinCache:
         with self._lock:
             self.stats = CacheStats()
 
+    def register_metrics(self, reg, name: str = "join_cache") -> None:
+        """Expose the live counters as a collector on a ``MetricsRegistry``.
+
+        The collector closes over ``self`` (not the stats object), so it
+        keeps reporting truthfully after ``reset_stats`` swaps the stats.
+        """
+        reg.register_collector(name, lambda: self.stats.as_dict())
+
 
 @dataclass
 class PartialCacheStats(CacheStats):
@@ -320,3 +328,7 @@ class PartialJoinCache:
     def reset_stats(self) -> None:
         with self._lock:
             self.stats = PartialCacheStats()
+
+    def register_metrics(self, reg, name: str = "partial_cache") -> None:
+        """Expose the live counters as a collector on a ``MetricsRegistry``."""
+        reg.register_collector(name, lambda: self.stats.as_dict())

@@ -21,9 +21,12 @@ Two execution properties matter beyond speed:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+from ..obs import profile as _profile
 
 from ..nn.deepsets import EvidenceTreeEncoder, TreeNodeBatch, _NodeEncoder
 from ..nn.layers import (
@@ -190,6 +193,8 @@ class CompiledMADE:
         ``(batch, stop - start)`` — the chunk-invariant path used by the
         incompleteness join.
         """
+        profiler = _profile.ACTIVE
+        started = time.perf_counter_ns() if profiler is not None else 0
         stop = self.num_variables if stop_variable is None else stop_variable
         if not 0 <= start_variable <= stop <= self.num_variables:
             raise ValueError("sampling range out of bounds")
@@ -229,6 +234,10 @@ class CompiledMADE:
             lo = int(embed_start[variable])
             emb = self.embeddings[variable]
             padded[:n, lo:lo + emb.shape[1]] = emb[x[:, variable]]
+        if profiler is not None:
+            profiler.record(
+                "made.sample", time.perf_counter_ns() - started, rows=n
+            )
         return x
 
 
@@ -288,10 +297,18 @@ class CompiledTreeEncoder:
         self, batches: Dict[str, TreeNodeBatch], batch_size: int
     ) -> np.ndarray:
         """Contexts ``(batch_size, context_dim)`` as a plain float32 array."""
+        profiler = _profile.ACTIVE
+        started = time.perf_counter_ns() if profiler is not None else 0
         parts = [
             node.encode(batches.get(node.name), batch_size) for node in self.encoders
         ]
-        return np.concatenate(parts, axis=-1)
+        out = np.concatenate(parts, axis=-1)
+        if profiler is not None:
+            profiler.record(
+                "tree.encode", time.perf_counter_ns() - started,
+                rows=batch_size,
+            )
+        return out
 
 
 def compile_module(module: Module):

@@ -17,9 +17,12 @@ oracle configuration).
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
+
+from ..obs import profile as _profile
 
 #: Fixed row-tile size of the compiled inference path.  Dense transforms run
 #: over zero-padded tiles of this many rows so a row's activations are
@@ -66,19 +69,34 @@ class DenseKernel:
         self.relu = relu
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
+        # Kernel profiling (repro.obs.profile) accumulates instead of
+        # tracing: one attribute check when off, two clock reads when on.
+        profiler = _profile.ACTIVE
+        started = time.perf_counter_ns() if profiler is not None else 0
         out = x @ self.weight
         if self.bias is not None:
             out += self.bias
         if self.relu:
             np.maximum(out, 0.0, out=out)
+        if profiler is not None:
+            profiler.record(
+                "dense", time.perf_counter_ns() - started, rows=len(x)
+            )
         return out
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
     """Numerically stable softmax along the last axis."""
+    profiler = _profile.ACTIVE
+    started = time.perf_counter_ns() if profiler is not None else 0
     shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
+    out = exp / exp.sum(axis=-1, keepdims=True)
+    if profiler is not None:
+        profiler.record(
+            "softmax", time.perf_counter_ns() - started, rows=len(logits)
+        )
+    return out
 
 
 def log_softmax(logits: np.ndarray) -> np.ndarray:
@@ -201,6 +219,8 @@ class MultiheadNLLKernel:
             each column must sum to that head's weighted-mean normalizer
             (1.0 for a plain mean).
         """
+        profiler = _profile.ACTIVE
+        started = time.perf_counter_ns() if profiler is not None else 0
         maxes = np.maximum.reduceat(logits, self.starts, axis=1)
         logits -= maxes @ self.segments                        # shifted
         rows = np.arange(len(logits))[:, None]
@@ -216,6 +236,11 @@ class MultiheadNLLKernel:
         d_logits[rows, target_cols] -= sums
         scale = (weight_matrix / sums).astype(logits.dtype, copy=False)
         d_logits *= scale @ self.segments
+        if profiler is not None:
+            profiler.record(
+                "multihead_nll", time.perf_counter_ns() - started,
+                rows=len(targets),
+            )
         return loss, d_logits
 
 

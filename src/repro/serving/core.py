@@ -43,6 +43,9 @@ from ..errors import (
     ConfigurationError,
     ServiceOverloadedError,
 )
+from ..obs import activate, current_context, get_logger, trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext
 from ..query import Query, parse_query, validate_query_columns
 
 QueryLike = Union[str, Query]
@@ -151,6 +154,10 @@ class CoreRequest:
     enqueued_at: float
     suspected_bias: Optional[SuspectedBias] = None
     tenant: str = "default"
+    #: trace context of the submitter — contextvars do not flow into pool
+    #: threads, so the context rides on the request and ``serve_group``
+    #: re-activates it around the engine call.
+    trace_ctx: Optional[TraceContext] = None
 
 
 class AdmissionGate:
@@ -358,14 +365,29 @@ class ServingCore:
         self.gate = AdmissionGate(self.config.max_queue)
         self._lock = threading.Lock()
         self._counters = _Counters()
-        self._latencies_ms: deque = deque(maxlen=self.config.latency_window)
-        self._batch_sizes: deque = deque(maxlen=self.config.latency_window)
-        self._utilizations: deque = deque(maxlen=self.config.latency_window)
+        # Per-instance registry: the core's latency/batch/utilization
+        # distributions live here (one percentile implementation for every
+        # stats surface), and the engine's caches report through collectors.
+        window = self.config.latency_window
+        self.metrics = MetricsRegistry()
+        self._latency_hist = self.metrics.histogram("serving.latency_ms", window)
+        self._batch_hist = self.metrics.histogram("serving.batch_size", window)
+        self._utilization_hist = self.metrics.histogram(
+            "serving.budget_utilization", window
+        )
+        self._register_cache_collectors()
+        self._log = get_logger("serving.core")
         self._join_lock = threading.Lock()
         self._inflight_joins: Dict[Tuple, _InflightJoin] = {}
         self._flight_lock = threading.Lock()
         self._progressive_flights: Dict[Tuple, ProgressiveFlight] = {}
         self._swap_lock = threading.Lock()
+
+    def _register_cache_collectors(self) -> None:
+        """(Re-)point the cache collectors at the current engine's caches —
+        called at construction and after every hot swap."""
+        self.engine.join_cache.register_metrics(self.metrics, "join_cache")
+        self.engine.partial_cache.register_metrics(self.metrics, "partial_cache")
 
     # ------------------------------------------------------------------
     # Front-end pieces (validation, admission, accounting)
@@ -392,7 +414,7 @@ class ServingCore:
     def record_batch(self, size: int) -> None:
         with self._lock:
             self._counters.batches += 1
-            self._batch_sizes.append(size)
+        self._batch_hist.observe(size)
 
     def overloaded_error(self) -> ServiceOverloadedError:
         return ServiceOverloadedError(
@@ -482,17 +504,23 @@ class ServingCore:
                 with self._lock:
                     self._counters.coalesced_requests += group_size
         if leader:
-            try:
-                engine.completed_join(model)
-            except BaseException as exc:
-                flight.error = exc
-                raise
-            finally:
-                with self._join_lock:
-                    self._inflight_joins.pop(signature, None)
-                flight.event.set()
+            with trace(
+                "serve.single_flight", role="leader", group_size=group_size
+            ):
+                try:
+                    engine.completed_join(model)
+                except BaseException as exc:
+                    flight.error = exc
+                    raise
+                finally:
+                    with self._join_lock:
+                        self._inflight_joins.pop(signature, None)
+                    flight.event.set()
             return
-        flight.event.wait()
+        with trace(
+            "serve.single_flight", role="follower", group_size=group_size
+        ):
+            flight.event.wait()
         if flight.error is not None:
             raise flight.error
 
@@ -512,33 +540,49 @@ class ServingCore:
         :meth:`hot_swap` never splits one group across two engines.
         """
         engine = self.engine
-        if model is not None and signature is not None:
-            try:
-                self._ensure_join(signature, model, len(requests), engine)
-            except BaseException as exc:
-                self.count_failed(len(requests))
-                return [exc] * len(requests)
-        results: List = []
-        for request in requests:
-            try:
-                if model is None:
-                    answer = engine.answer(
-                        request.query, suspected_bias=request.suspected_bias
-                    )
-                else:
-                    answer = engine.answer(request.query, model=model)
-            except BaseException as exc:
-                self.count_failed()
-                results.append(exc)
-            else:
-                now = self.clock()
-                with self._lock:
-                    self._counters.completed += 1
-                    self._latencies_ms.append(
-                        (now - request.enqueued_at) * 1000.0
-                    )
-                results.append(answer)
-        return results
+        # The group span (and the single-flight span under it) attaches to
+        # the first traced requester — pool threads have no ambient context.
+        group_ctx = next(
+            (r.trace_ctx for r in requests
+             if getattr(r, "trace_ctx", None) is not None),
+            current_context(),
+        )
+        with activate(group_ctx):
+            with trace("serve.group", group_size=len(requests)):
+                if model is not None and signature is not None:
+                    try:
+                        self._ensure_join(signature, model, len(requests), engine)
+                    except BaseException as exc:
+                        self.count_failed(len(requests))
+                        return [exc] * len(requests)
+                results: List = []
+                for request in requests:
+                    try:
+                        answer = self._answer_request(engine, model, request)
+                    except BaseException as exc:
+                        self.count_failed()
+                        results.append(exc)
+                    else:
+                        now = self.clock()
+                        with self._lock:
+                            self._counters.completed += 1
+                        self._latency_hist.observe(
+                            (now - request.enqueued_at) * 1000.0
+                        )
+                        results.append(answer)
+                return results
+
+    def _answer_request(
+        self, engine: ReStore, model: Optional[_CompletionModelBase], request
+    ) -> Answer:
+        """One request's engine call, under the request's own trace context."""
+        ctx = getattr(request, "trace_ctx", None)
+        with activate(ctx if ctx is not None else current_context()):
+            if model is None:
+                return engine.answer(
+                    request.query, suspected_bias=request.suspected_bias
+                )
+            return engine.answer(request.query, model=model)
 
     def serve_batch(self, requests: List) -> List:
         """Group and answer one micro-batch; results align with ``requests``.
@@ -571,26 +615,28 @@ class ServingCore:
         With ``wait=False`` a full admission gate raises
         :class:`~repro.errors.ServiceOverloadedError` instead of blocking.
         """
-        query = self.prepare(query)
-        self.count_request()
-        if not self.gate.try_acquire():
-            if not wait:
-                self.count_rejected()
-                raise self.overloaded_error()
-            self.gate.acquire()
-        try:
-            request = CoreRequest(
-                query=query,
-                enqueued_at=self.clock(),
-                suspected_bias=suspected_bias,
-                tenant=tenant,
-            )
-            [result] = self.serve_batch([request])
-        finally:
-            self.gate.release()
-        if isinstance(result, BaseException):
-            raise result
-        return result
+        with trace("serve.submit", tenant=tenant):
+            query = self.prepare(query)
+            self.count_request()
+            if not self.gate.try_acquire():
+                if not wait:
+                    self.count_rejected()
+                    raise self.overloaded_error()
+                self.gate.acquire()
+            try:
+                request = CoreRequest(
+                    query=query,
+                    enqueued_at=self.clock(),
+                    suspected_bias=suspected_bias,
+                    tenant=tenant,
+                    trace_ctx=current_context(),
+                )
+                [result] = self.serve_batch([request])
+            finally:
+                self.gate.release()
+            if isinstance(result, BaseException):
+                raise result
+            return result
 
     # ------------------------------------------------------------------
     # Hot swap (zero-downtime engine replacement)
@@ -610,13 +656,22 @@ class ServingCore:
         """
         from .artifacts import read_manifest
 
-        new_engine = ReStore.load(artifact_path)
-        manifest = read_manifest(artifact_path)
-        with self._swap_lock:
-            old_engine = self.engine
-            self.engine = new_engine
-            with self._lock:
-                self._counters.swaps += 1
+        with trace("serve.hot_swap") as span:
+            new_engine = ReStore.load(artifact_path)
+            manifest = read_manifest(artifact_path)
+            with self._swap_lock:
+                old_engine = self.engine
+                self.engine = new_engine
+                self._register_cache_collectors()
+                with self._lock:
+                    self._counters.swaps += 1
+            span.set("scenario", manifest.get("scenario"))
+            self._log.info(
+                "core.swap",
+                artifact=str(artifact_path),
+                scenario=manifest.get("scenario"),
+                previous=getattr(old_engine, "scenario_name", None),
+            )
         return {
             "artifact_path": str(artifact_path),
             "database_digest": manifest.get("database_digest"),
@@ -686,8 +741,7 @@ class ServingCore:
         except BaseException as exc:
             error = exc
         if last is not None:
-            with self._lock:
-                self._utilizations.append(last.budget_utilization)
+            self._utilization_hist.observe(last.budget_utilization)
         with self._flight_lock:
             self._progressive_flights.pop(key, None)
         flight.finish(error)
@@ -701,9 +755,7 @@ class ServingCore:
         shell that owns the front-end queue."""
         with self._lock:
             counters = _Counters(**vars(self._counters))
-            latencies = np.asarray(self._latencies_ms, dtype=float)
-            sizes = list(self._batch_sizes)
-            utilizations = list(self._utilizations)
+        sizes = self._batch_hist.values()
         flights = counters.progressive_flights
         progressive = {
             "queries": counters.progressive_queries,
@@ -713,9 +765,7 @@ class ServingCore:
             "mean_refinements_per_flight": (
                 counters.refinements_emitted / flights if flights else 0.0
             ),
-            "mean_budget_utilization": (
-                float(np.mean(utilizations)) if utilizations else 0.0
-            ),
+            "mean_budget_utilization": self._utilization_hist.mean(),
         }
         return ServiceStats(
             requests=counters.requests,
@@ -725,15 +775,11 @@ class ServingCore:
             queued=queued,
             batches=counters.batches,
             mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
-            max_batch_size=max(sizes) if sizes else 0,
+            max_batch_size=int(max(sizes)) if sizes else 0,
             joins_started=counters.joins_started,
             coalesced_requests=counters.coalesced_requests,
-            p50_latency_ms=(
-                float(np.percentile(latencies, 50)) if len(latencies) else 0.0
-            ),
-            p95_latency_ms=(
-                float(np.percentile(latencies, 95)) if len(latencies) else 0.0
-            ),
+            p50_latency_ms=self._latency_hist.percentile(50),
+            p95_latency_ms=self._latency_hist.percentile(95),
             cache=self.engine.cache_stats.as_dict(),
             progressive=progressive,
             partial_cache=self.engine.partial_cache_stats.as_dict(),

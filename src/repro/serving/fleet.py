@@ -41,8 +41,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..core.engine import Answer, ReStore
 from ..core.selection import SuspectedBias
 from ..errors import (
@@ -52,6 +50,9 @@ from ..errors import (
     ServiceOverloadedError,
     WorkerError,
 )
+from ..obs import current_context, get_logger, get_tracer, trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext
 from ..query import Query, parse_query, validate_query_columns
 from ..runtime.parallel import _default_start_method
 from .core import QueryLike, ServiceConfig
@@ -208,6 +209,7 @@ class _Pending:
     enqueued_at: float
     suspected_bias: Optional[SuspectedBias] = None
     signature: Optional[Tuple] = None  #: join signature, for warm-marking
+    trace_ctx: Optional[TraceContext] = None  #: submitter's trace context
 
 
 class _WorkerClient:
@@ -286,7 +288,13 @@ class FleetRouter:
         self._routing_engine: Optional[ReStore] = None
         self._warm_signatures: set = set()
         self._counters = _RouterCounters()
-        self._latencies_ms: deque = deque(maxlen=self.config.latency_window)
+        # Router-side latency distribution on a per-instance registry — the
+        # one percentile implementation every stats surface shares.
+        self.metrics = MetricsRegistry()
+        self._latency_hist = self.metrics.histogram(
+            "fleet.latency_ms", self.config.latency_window
+        )
+        self._log = get_logger("serving.fleet")
         self._tenant_backlog: Dict[str, int] = {}
         self._next_id = 0
         self._running = False
@@ -317,6 +325,10 @@ class FleetRouter:
             )
             client.process.start()
             child_conn.close()
+            self._log.info(
+                "worker.spawn", worker=index, pid=client.process.pid,
+                artifact=str(self.artifact_path),
+            )
             spawned.append((client, parent_conn))
         try:
             # Workers load their engines concurrently; the router loads its
@@ -380,6 +392,10 @@ class FleetRouter:
         client.alive = True
         client.bye_future = loop.create_future()
         client.reader_task = loop.create_task(self._reader(client))
+        self._log.info(
+            "worker.ready", worker=client.index,
+            pid=client.process.pid if client.process else None,
+        )
 
     async def _terminate_all(self, spawned) -> None:
         for client, _conn in spawned:
@@ -400,6 +416,11 @@ class FleetRouter:
         if not self._running:
             return
         self._running = False
+        self._log.info(
+            "fleet.drain",
+            backlog=self._backlog(),
+            workers=sum(1 for c in self._workers if c.alive),
+        )
         outstanding = [
             pending.future
             for client in self._workers
@@ -576,15 +597,21 @@ class FleetRouter:
         """
         if not self._running:
             raise ServiceClosedError("fleet is not running; use 'async with'")
-        if isinstance(query, str):
-            query = parse_query(query)
-        validate_query_columns(self._routing_engine.db, query)
-        loop = asyncio.get_running_loop()
-        pending, client = self._admit(
-            query, suspected_bias, tenant, loop.create_future(), loop.time()
-        )
-        await self._pump(client)
-        return await pending.future
+        with trace("fleet.submit", tenant=tenant) as span:
+            if isinstance(query, str):
+                query = parse_query(query)
+            validate_query_columns(self._routing_engine.db, query)
+            loop = asyncio.get_running_loop()
+            pending, client = self._admit(
+                query, suspected_bias, tenant, loop.create_future(), loop.time()
+            )
+            # The wire carries the submit span's context, so the worker's
+            # spans come back stitched under this trace (contextvars flow
+            # through the await natively).
+            pending.trace_ctx = current_context()
+            span.set("worker", client.index)
+            await self._pump(client)
+            return await pending.future
 
     async def submit_many(self, queries: Sequence[QueryLike]) -> List[Answer]:
         return list(await asyncio.gather(*(self.submit(q) for q in queries)))
@@ -602,6 +629,10 @@ class FleetRouter:
                     query=pending.query,
                     suspected_bias=pending.suspected_bias,
                     tenant=pending.tenant,
+                    trace=(
+                        pending.trace_ctx.as_wire()
+                        if pending.trace_ctx is not None else None
+                    ),
                 ))
                 await client.writer.drain()
             except (OSError, ConnectionError) as exc:
@@ -631,6 +662,12 @@ class FleetRouter:
                 return
             kind = frame.get("kind")
             if kind in ("answer", "error"):
+                spans = frame.get("spans")
+                if spans:
+                    # Worker-side spans of this request's trace, shipped in
+                    # the reply: adopt them so the router tracer holds the
+                    # whole stitched tree.
+                    get_tracer().ingest(spans)
                 pending = client.inflight.pop(frame.get("id"), None)
                 if pending is not None:
                     self._finish(pending)
@@ -638,7 +675,7 @@ class FleetRouter:
                         if pending.signature is not None:
                             self._warm_signatures.add(pending.signature)
                         self._counters.completed += 1
-                        self._latencies_ms.append(
+                        self._latency_hist.observe(
                             (loop.time() - pending.enqueued_at) * 1000.0
                         )
                         if not pending.future.done():
@@ -669,6 +706,10 @@ class FleetRouter:
     def _fail_worker(self, client: _WorkerClient, error: WorkerError) -> None:
         """A worker went away: fail its backlog, take it off the ring."""
         client.alive = False
+        self._log.warning(
+            "worker.death", worker=client.index, error=str(error),
+            stranded=len(client.queue) + len(client.inflight),
+        )
         if self._ring is not None:
             self._ring.remove(client.index)
         stranded = [*client.queue, *client.inflight.values()]
@@ -724,56 +765,63 @@ class FleetRouter:
             raise ServiceClosedError("fleet is not running; use 'async with'")
         artifact_path = Path(artifact_path)
         loop = asyncio.get_running_loop()
-        swapped: List[int] = []
-        skipped: List[int] = []
-        info: Optional[dict] = None
-        for client in list(self._workers):
-            if not client.alive:
-                skipped.append(client.index)
-                continue
-            self._next_id += 1
-            request_id = self._next_id
-            waiter = loop.create_future()
-            client.swap_waiters[request_id] = waiter
-            try:
-                client.writer.write(encode_frame(
-                    "swap", id=request_id, path=str(artifact_path)
-                ))
-                await client.writer.drain()
-                frame = await asyncio.wait_for(
-                    waiter, timeout=self.config.connect_timeout_s
+        with trace("fleet.rolling_swap", artifact=str(artifact_path)) as span:
+            swapped: List[int] = []
+            skipped: List[int] = []
+            info: Optional[dict] = None
+            for client in list(self._workers):
+                if not client.alive:
+                    skipped.append(client.index)
+                    continue
+                self._next_id += 1
+                request_id = self._next_id
+                waiter = loop.create_future()
+                client.swap_waiters[request_id] = waiter
+                try:
+                    client.writer.write(encode_frame(
+                        "swap", id=request_id, path=str(artifact_path)
+                    ))
+                    await client.writer.drain()
+                    frame = await asyncio.wait_for(
+                        waiter, timeout=self.config.connect_timeout_s
+                    )
+                except (OSError, ConnectionError, asyncio.TimeoutError,
+                        WorkerError):
+                    # Worker died mid-swap: _fail_worker already stranded its
+                    # backlog with WorkerError; finish the rollout on
+                    # survivors.
+                    client.swap_waiters.pop(request_id, None)
+                    skipped.append(client.index)
+                    continue
+                if not frame.get("ok"):
+                    raise_wire_error(frame)
+                swapped.append(client.index)
+                info = frame.get("info")
+                self._log.info(
+                    "worker.swap", worker=client.index,
+                    artifact=str(artifact_path),
                 )
-            except (OSError, ConnectionError, asyncio.TimeoutError,
-                    WorkerError):
-                # Worker died mid-swap: _fail_worker already stranded its
-                # backlog with WorkerError; finish the rollout on survivors.
-                client.swap_waiters.pop(request_id, None)
-                skipped.append(client.index)
-                continue
-            if not frame.get("ok"):
-                raise_wire_error(frame)
-            swapped.append(client.index)
-            info = frame.get("info")
-        if swapped:
-            self._routing_engine = await loop.run_in_executor(
-                None, ReStore.load, artifact_path
-            )
-            self._warm_signatures.clear()
-            self.artifact_path = artifact_path
-        return {
-            "artifact_path": str(artifact_path),
-            "swapped": swapped,
-            "skipped": skipped,
-            "workers": len(self._workers),
-            "info": info,
-        }
+            if swapped:
+                self._routing_engine = await loop.run_in_executor(
+                    None, ReStore.load, artifact_path
+                )
+                self._warm_signatures.clear()
+                self.artifact_path = artifact_path
+            span.set("swapped", len(swapped))
+            span.set("skipped", len(skipped))
+            return {
+                "artifact_path": str(artifact_path),
+                "swapped": swapped,
+                "skipped": skipped,
+                "workers": len(self._workers),
+                "info": info,
+            }
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def router_stats(self) -> dict:
         """Router-side counters only (no worker round-trip)."""
-        latencies = np.asarray(self._latencies_ms, dtype=float)
         return {
             "requests": self._counters.requests,
             "completed": self._counters.completed,
@@ -782,12 +830,8 @@ class FleetRouter:
             "rejected": self._counters.rejected,
             "queued": sum(len(c.queue) for c in self._workers),
             "inflight": sum(len(c.inflight) for c in self._workers),
-            "p50_latency_ms": (
-                float(np.percentile(latencies, 50)) if len(latencies) else 0.0
-            ),
-            "p95_latency_ms": (
-                float(np.percentile(latencies, 95)) if len(latencies) else 0.0
-            ),
+            "p50_latency_ms": self._latency_hist.percentile(50),
+            "p95_latency_ms": self._latency_hist.percentile(95),
         }
 
     async def stats(self) -> FleetStats:

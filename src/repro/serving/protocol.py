@@ -15,11 +15,16 @@ a version mismatch or malformed frame raises
 =============  =======================================================
 ``hello``      handshake: protocol + repro versions, worker pid
 ``query``      one request: ``id``, a :class:`~repro.query.Query` AST,
-               optional suspected bias, ``tenant``
+               optional suspected bias, ``tenant``; an optional ``trace``
+               dict (:meth:`repro.obs.TraceContext.as_wire`) propagates
+               the router's trace context into the worker
 ``answer``     success: ``id`` + the :class:`~repro.core.Answer`
-               (heavy provenance — model, completed join — stripped)
+               (heavy provenance — model, completed join — stripped);
+               an optional ``spans`` list carries the worker-side spans
+               of the request's trace back for router-side stitching
 ``error``      failure: ``id`` + a stable wire ``code``
-               (:func:`repro.errors.wire_code`), message, error type
+               (:func:`repro.errors.wire_code`), message, error type;
+               optional ``spans`` as on ``answer``
 ``stats``      request a :meth:`ServingCore.stats` snapshot (``id``)
 ``stats_reply``  the snapshot as a plain dict (``id``)
 ``swap``       hot-swap the worker's engine: ``id`` + artifact ``path``

@@ -42,6 +42,8 @@ from typing import Optional
 from ..core.engine import ReStore
 from ..core.selection import SuspectedBias
 from ..errors import ServiceOverloadedError
+from ..obs import enable_tracing, get_logger, get_tracer, tracing_enabled
+from ..obs.trace import TraceContext
 from ..query import Query
 from ..version import repro_version
 from .core import ServiceConfig, ServingCore, SyncMicroBatcher
@@ -65,6 +67,7 @@ class _WireRequest:
     request_id: object
     suspected_bias: Optional[SuspectedBias] = None
     tenant: str = "default"
+    trace_ctx: Optional[TraceContext] = None  #: router's trace context
 
 
 class ServiceWorker:
@@ -72,6 +75,7 @@ class ServiceWorker:
 
     def __init__(self, engine: ReStore, config: Optional[ServiceConfig] = None):
         self.core = ServingCore(engine, config)
+        self._log = get_logger("serving.worker")
 
     @classmethod
     def from_artifact(
@@ -115,11 +119,17 @@ class ServiceWorker:
         def serve_and_reply(model, members, signature) -> None:
             results = self.core.serve_group(model, members, signature)
             for request, result in zip(members, results):
+                spans = None
+                if request.trace_ctx is not None and tracing_enabled():
+                    # Drain this request's spans into the reply: the router
+                    # ingests them, stitching one cross-process trace tree.
+                    spans = get_tracer().take(request.trace_ctx.trace_id)
                 if isinstance(result, BaseException):
-                    reply("error", **error_fields(request.request_id, result))
+                    reply("error", spans=spans,
+                          **error_fields(request.request_id, result))
                 else:
                     reply("answer", id=request.request_id,
-                          answer=strip_answer(result))
+                          answer=strip_answer(result), spans=spans)
                 self.core.gate.release()
 
         def collect() -> None:
@@ -186,6 +196,10 @@ class ServiceWorker:
                     break
                 # unknown kinds are ignored: a newer router may probe
         finally:
+            self._log.info(
+                "worker.drain", pid=os.getpid(), queued=batcher.qsize(),
+                shutdown=saw_shutdown,
+            )
             batcher.stop()
             collector.join()
             with futures_lock:
@@ -219,12 +233,19 @@ class ServiceWorker:
                 ),
             ))
             return
+        trace_ctx = TraceContext.from_wire(frame.get("trace"))
+        if trace_ctx is not None and trace_ctx.sampled and not tracing_enabled():
+            # The router is tracing; turn on collection lazily so this
+            # request's worker-side spans exist to ship back.  Requests
+            # without a trace field never pay for this.
+            enable_tracing()
         request = _WireRequest(
             query=query,
             enqueued_at=self.core.clock(),
             request_id=request_id,
             suspected_bias=frame.get("suspected_bias"),
             tenant=frame.get("tenant", "default"),
+            trace_ctx=trace_ctx,
         )
         # The gate bounds in-service requests at max_queue, so the batcher
         # queue (same capacity) can never be full here.
@@ -273,6 +294,8 @@ def worker_main(
     ``("error", repr)`` if startup failed, so the router can report the
     real cause instead of a connect timeout).
     """
+    log = get_logger("serving.worker")
+    log.info("worker.spawn", pid=os.getpid(), artifact=str(artifact_path))
     listener = None
     try:
         config = ServiceConfig(**(config_kwargs or {}))
@@ -282,6 +305,8 @@ def worker_main(
         listener = bind_worker_socket()
         ready_conn.send(("ok", listener_address(listener)))
     except BaseException as exc:
+        log.error("worker.death", pid=os.getpid(),
+                  error=f"{type(exc).__name__}: {exc}")
         try:
             ready_conn.send(("error", f"{type(exc).__name__}: {exc}"))
         finally:
@@ -290,6 +315,7 @@ def worker_main(
             listener.close()
         return
     ready_conn.close()
+    log.info("worker.ready", pid=os.getpid())
     try:
         conn, _peer = listener.accept()
         try:
@@ -297,6 +323,7 @@ def worker_main(
         finally:
             conn.close()
     finally:
+        log.info("worker.death", pid=os.getpid(), clean=True)
         listener.close()
         if listener.family == getattr(socket, "AF_UNIX", object()):
             try:

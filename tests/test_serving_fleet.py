@@ -30,6 +30,15 @@ from repro.errors import (
 )
 from repro.incomplete.registry import make_scenario_dataset
 from repro.nn import TrainConfig
+from repro.obs import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    export_chrome_trace,
+    recent_records,
+    span_tree,
+    validate_chrome_trace,
+)
 from repro.serving import (
     ConsistentHashRing,
     FleetConfig,
@@ -448,6 +457,86 @@ class TestFleetRouterEndToEnd:
         # everything the fleet accepted was answered before closing.
         assert all(isinstance(s, dict) for s in final)
         assert sum(s["completed"] for s in final) == 14
+
+    def test_traced_query_stitches_one_cross_process_tree(
+        self, fleet_artifact, tmp_path
+    ):
+        """The telemetry contract, end to end: one traced fleet query's
+        spans — router submit, worker batch/single-flight, engine answer,
+        chunk walk — form a single tree across process boundaries, export
+        as valid Chrome-trace JSON, and the workers' bye-frame counters
+        sum to the router's totals with telemetry enabled throughout."""
+        tracer = Tracer()
+        enable_tracing(tracer=tracer)
+        try:
+
+            async def main():
+                config = FleetConfig(
+                    n_workers=2, worker=ServiceConfig(max_queue=32, n_workers=2)
+                )
+                async with FleetRouter(fleet_artifact, config) as fleet:
+                    first = await fleet.submit(COMPLETION_SQL)
+                    rest = await asyncio.gather(
+                        *(fleet.submit(COMPLETION_SQL) for _ in range(5))
+                    )
+                    router = fleet.router_stats()
+                return first, rest, router, fleet.final_worker_stats
+
+            first, rest, router, final = asyncio.run(main())
+        finally:
+            disable_tracing()
+
+        assert first.result.values == rest[0].result.values
+
+        # --- one stitched tree per traced request ---------------------
+        spans = tracer.spans()
+        by_trace = {}
+        for span in spans:
+            by_trace.setdefault(span.trace_id, []).append(span)
+        roots = {
+            tid: [s for s in group if s.parent_id is None]
+            for tid, group in by_trace.items()
+        }
+        # every trace has exactly one root: the router's submit span
+        assert len(by_trace) == 6
+        assert all(
+            len(r) == 1 and r[0].name == "fleet.submit"
+            for r in roots.values()
+        )
+        # the first (cold, leading) trace reaches worker-side depth
+        first_trace = [
+            tid for tid, group in by_trace.items()
+            if any(s.name == "join.chunk" for s in group)
+        ]
+        assert first_trace, "no trace reached the chunk walk"
+        deep = by_trace[first_trace[0]]
+        names = {s.name for s in deep}
+        assert {"fleet.submit", "serve.group", "serve.single_flight",
+                "engine.completed_join", "join.walk_chunks",
+                "join.chunk"} <= names
+        assert len({s.pid for s in deep}) == 2  # router + worker pids
+        # parents all resolve within the trace (stitching, not orphans)
+        ids = {s.span_id for s in deep}
+        assert all(
+            s.parent_id in ids for s in deep if s.parent_id is not None
+        )
+        forest = span_tree(deep)
+        assert len(forest) == 1
+
+        # --- valid Chrome-trace JSON ----------------------------------
+        doc = export_chrome_trace(tmp_path / "fleet-trace.json", tracer=tracer)
+        assert validate_chrome_trace(doc) == []
+
+        # --- bye-frame stats sum to router totals ---------------------
+        assert router["completed"] == 6
+        assert all(isinstance(s, dict) for s in final)
+        assert sum(s["completed"] for s in final) == router["completed"]
+        assert sum(s["requests"] for s in final) == router["requests"]
+        assert sum(s["failed"] for s in final) == router["failed"]
+
+        # --- lifecycle events flowed through the structured log -------
+        for event in ("worker.spawn", "worker.ready", "fleet.drain"):
+            assert recent_records(event=event), event
 
     def test_startup_failure_reports_cause(self, tmp_path):
         async def main():
