@@ -912,12 +912,15 @@ class ReStore:
         return self
 
     def save_artifact(self, path, scenario: Optional[str] = None,
-                      overwrite: bool = False, parent=None, delta=None):
+                      overwrite: bool = False, parent=None, delta=None,
+                      columnar: bool = False):
         """Persist this fitted engine to an artifact directory.
 
         See :func:`repro.serving.artifacts.save_artifact`; ``scenario``
         defaults to :attr:`scenario_name`.  ``parent``/``delta`` record
-        incremental lineage (parent artifact path + mutation counts).
+        incremental lineage (parent artifact path + mutation counts);
+        ``columnar`` writes the database as a mapped column store so the
+        loaded engine reads it out of core.
         """
         from ..serving.artifacts import save_artifact
 
@@ -925,6 +928,7 @@ class ReStore:
             self, path,
             scenario=scenario if scenario is not None else self.scenario_name,
             overwrite=overwrite, parent=parent, delta=delta,
+            columnar=columnar,
         )
 
     @classmethod

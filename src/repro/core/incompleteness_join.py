@@ -44,9 +44,10 @@ weights, directly consumable by the shared filter/aggregate operators.
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,6 +55,8 @@ from ..obs import activate, current_context, trace, tracing_enabled
 from ..query import JoinResult
 from ..query.pushdown import PushdownPlan, conjunction_mask
 from ..relational import MISSING_KEY, CompletionPath
+from ..relational.column import ColumnKind
+from ..relational.storage import StoreColumns, StoreWriter
 from ..relational.tuple_factors import TF_UNKNOWN
 from ..runtime import rng as rt_rng
 from ..runtime.parallel import SerialExecutor, default_chunk_size, get_executor
@@ -212,6 +215,97 @@ class _ChunkOutput:
     state: _WalkState
     acc: _ShardAccumulator
 
+    @property
+    def num_rows(self) -> int:
+        return self.state.num_rows
+
+
+def _spill_state(state: _WalkState, path: str) -> None:
+    """Write a walk state to one ``.npz`` (object columns via pickle)."""
+    arrays: Dict[str, np.ndarray] = {
+        "codes": state.codes,
+        "weights": state.weights,
+        "synthesized": state.synthesized,
+        "current_rows": state.current_rows,
+        "streams": state.streams,
+        "counters": state.counters,
+    }
+    if state.context is not None:
+        arrays["context"] = state.context
+    for name, values in state.columns.items():
+        arrays[f"col::{name}"] = np.asarray(values)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+def _load_state(path: str) -> _WalkState:
+    with np.load(path, allow_pickle=True) as npz:
+        columns = {
+            key[len("col::"):]: npz[key]
+            for key in npz.files if key.startswith("col::")
+        }
+        return _WalkState(
+            codes=npz["codes"],
+            columns=columns,
+            weights=npz["weights"],
+            synthesized=npz["synthesized"],
+            current_rows=npz["current_rows"],
+            context=npz["context"] if "context" in npz.files else None,
+            streams=npz["streams"],
+            counters=npz["counters"],
+        )
+
+
+@dataclass
+class _SpilledChunkOutput:
+    """A chunk output whose walked rows live on disk, not in RAM.
+
+    Produced when the join runs with a ``spill_dir``: the worker (thread
+    or process) writes the state to ``path`` and ships back only this
+    handle plus the small synthesis side-state, so fan-out result
+    transfer and caller-side residency are O(1) in the chunk's row count.
+    ``cacheable`` is False — the backing file is scoped to one run, so
+    the partial-completion cache must not retain the handle.
+    """
+
+    path: str
+    acc: _ShardAccumulator
+    num_rows: int
+
+    cacheable = False
+
+    def load(self) -> _ChunkOutput:
+        return _ChunkOutput(state=_load_state(self.path), acc=self.acc)
+
+
+AnyChunkOutput = Union[_ChunkOutput, _SpilledChunkOutput]
+
+
+class _ArrayStreamWriter:
+    """Streams blocks into a pre-sized ``.npy`` of known final shape.
+
+    Plain buffered writes after an upfront header — no dirty mapped
+    pages, so writing a result far larger than RAM does not grow RSS.
+    """
+
+    def __init__(self, path: str, dtype, shape: Tuple[int, ...]):
+        self.path = path
+        self.dtype = np.dtype(dtype)
+        self._fh = open(path, "wb")
+        np.lib.format.write_array_header_2_0(
+            self._fh,
+            {"descr": np.lib.format.dtype_to_descr(self.dtype),
+             "fortran_order": False, "shape": tuple(shape)},
+        )
+
+    def append(self, block: np.ndarray) -> None:
+        self._fh.write(np.ascontiguousarray(block, dtype=self.dtype).tobytes())
+
+    def close(self) -> np.ndarray:
+        """Finish the file and reopen it as a read-only memory map."""
+        self._fh.close()
+        return np.load(self.path, mmap_mode="r")
+
 
 def restrict_chunk_output(
     output: _ChunkOutput, filters: Sequence
@@ -251,6 +345,7 @@ class _JoinWorkerSpec:
     seed: int
     tables: Tuple[str, ...]
     plan: Optional[PushdownPlan] = None
+    spill_dir: Optional[str] = None
 
 
 def _build_worker_join(spec: _JoinWorkerSpec):
@@ -265,28 +360,44 @@ def _build_worker_join(spec: _JoinWorkerSpec):
         replace_synthesized=spec.replace_synthesized,
         seed=spec.seed,
     )
-    return join, list(spec.tables), spec.plan, None
+    return join, list(spec.tables), spec.plan, None, spec.spill_dir
 
 
-def _walk_chunk_task(state, task: Tuple[int, int]) -> _ChunkOutput:
+def _walk_chunk_task(state, task: Tuple[int, int]) -> AnyChunkOutput:
     """Executor task: walk one chunk of root rows (any backend).
 
     The fourth payload element is the dispatching caller's trace context:
     contextvars do not flow into pool threads, so the context rides along
     explicitly and each chunk walk becomes a child span of the dispatch
     (process workers get ``None`` — their tracer is off by default).
+    With a spill directory, the walked rows are written to disk *on the
+    worker* and only a small handle travels back.
     """
-    join, tables, plan, ctx = state
+    join, tables, plan, ctx, spill_dir = state
     start, stop = task
     if not tracing_enabled():
-        return join._walk_chunk(slice(start, stop), tables, plan)
+        output = join._walk_chunk(slice(start, stop), tables, plan)
+        return _maybe_spill_output(output, spill_dir, start, stop)
     with activate(ctx):
         with trace(
             "join.chunk", chunk=f"{start}:{stop}", rows_scanned=stop - start
         ) as span:
             output = join._walk_chunk(slice(start, stop), tables, plan)
             span.set("rows_out", len(output.state.weights))
-            return output
+            return _maybe_spill_output(output, spill_dir, start, stop)
+
+
+def _maybe_spill_output(
+    output: _ChunkOutput, spill_dir: Optional[str], start: int, stop: int
+) -> AnyChunkOutput:
+    if spill_dir is None:
+        return output
+    os.makedirs(spill_dir, exist_ok=True)
+    path = os.path.join(spill_dir, f"chunk_{start}_{stop}.npz")
+    _spill_state(output.state, path)
+    return _SpilledChunkOutput(
+        path=path, acc=output.acc, num_rows=output.state.num_rows
+    )
 
 
 class IncompletenessJoin:
@@ -320,6 +431,15 @@ class IncompletenessJoin:
         on the autograd inference backend therefore completes in-process
         (still bitwise-identical to its serial run) rather than silently
         sampling on a different runtime.
+    spill_dir:
+        Stream completed chunks through this directory instead of holding
+        them in RAM: each worker writes its walked rows to disk and ships
+        back an O(1) handle, and :meth:`assemble` concatenates the spilled
+        chunks into a store-backed result without ever materializing the
+        full join.  Combined with a memory-mapped database this bounds the
+        join's peak RSS far below the output size.  The directory is
+        scoped to one run — spilled chunk outputs are excluded from the
+        partial-completion cache.
     """
 
     def __init__(
@@ -331,6 +451,7 @@ class IncompletenessJoin:
         chunk_size: Optional[int] = None,
         n_workers: int = 1,
         parallel_backend: str = "serial",
+        spill_dir: Optional[str] = None,
     ):
         self.model = model
         self.layout = model.layout
@@ -343,6 +464,7 @@ class IncompletenessJoin:
         self.chunk_size = chunk_size
         self.n_workers = int(n_workers)
         self.parallel_backend = parallel_backend
+        self.spill_dir = spill_dir
         self._executor = get_executor(parallel_backend, self.n_workers)
         self._seed64 = rt_rng.fold_seed(self.seed)
         self._replacers: Dict[str, EuclideanReplacer] = {}
@@ -428,17 +550,40 @@ class IncompletenessJoin:
             chunk_size = default_chunk_size(num_roots, self.n_workers)
         return [(s.start, s.stop) for s in chunk_slices(num_roots, chunk_size)]
 
+    #: Root rows per block when streaming a mapped root table's filter
+    #: columns (qualifying-root mask, pre-walk pruning).
+    _ROOT_BLOCK = 1 << 18
+
     def qualifying_root_mask(
         self, plan: PushdownPlan, tables: Optional[Sequence[str]] = None
     ) -> np.ndarray:
-        """Boolean mask of root rows passing the plan's pre-walk filters."""
+        """Boolean mask of root rows passing the plan's pre-walk filters.
+
+        A mapped root table is streamed in blocks — only the filters' own
+        columns are read, one block at a time, so the mask costs O(block)
+        transient memory regardless of table size.
+        """
         tables = list(tables) if tables is not None else list(self.path.tables)
-        self._ensure_root_columns(tables[0])
-        assert self._root_columns is not None
-        num_roots = len(self.db.table(tables[0]))
-        return conjunction_mask(
-            self._root_columns, plan.filters_at(0), num_roots
-        )
+        root = tables[0]
+        table = self.db.table(root)
+        num_roots = len(table)
+        filters = plan.filters_at(0)
+        if not table.is_mapped:
+            self._ensure_root_columns(root)
+            assert self._root_columns is not None
+            return conjunction_mask(self._root_columns, filters, num_roots)
+        mask = np.ones(num_roots, dtype=bool)
+        prefix = f"{root}."
+        for start in range(0, num_roots, self._ROOT_BLOCK):
+            stop = min(start + self._ROOT_BLOCK, num_roots)
+            cols = {
+                p.column: table.column_range(
+                    p.column[len(prefix):], start, stop
+                )
+                for p in filters
+            }
+            mask[start:stop] = conjunction_mask(cols, filters, stop - start)
+        return mask
 
     def walk_chunks(
         self,
@@ -465,7 +610,7 @@ class IncompletenessJoin:
 
     def assemble(
         self,
-        outputs: List[_ChunkOutput],
+        outputs: List[AnyChunkOutput],
         tables: Optional[Sequence[str]] = None,
         plan: Optional[PushdownPlan] = None,
     ) -> CompletedJoin:
@@ -476,19 +621,79 @@ class IncompletenessJoin:
         resolution, so outputs stay reusable — assembling a chunk subset for
         an early estimate and later re-assembling a superset (top-up) both
         see pristine chunk outputs.
+
+        When the run spilled its chunks (``spill_dir``), the merged result
+        is assembled **streaming**: chunk states are loaded from disk one
+        at a time and appended to a store-backed result, so the full join
+        never resides in RAM — the returned columns, codes and context are
+        read-only memory maps.
         """
         tables = list(tables) if tables is not None else list(self.path.tables)
         self._validate_plan(plan, tables)
         acc = _ShardAccumulator()
-        chunks: List[_WalkState] = []
         for output in outputs:  # executor order == task order: deterministic
-            chunks.append(output.state)
             acc.merge(output.acc)
-        # Rows that hit a dangling foreign key were parked rather than
-        # completed: the shared parent of key k is sampled conditioned on a
-        # canonical representative child, which is only known once every
-        # chunk (on every worker) has contributed its children.  Resolving
-        # after the barrier keeps all backends on the identical code path.
+        extras = self._resolve_parked(acc, tables, plan)
+        spilled = any(isinstance(o, _SpilledChunkOutput) for o in outputs)
+        total_rows = (
+            sum(o.num_rows for o in outputs) + sum(s.num_rows for s in extras)
+        )
+        if spilled and self.spill_dir is not None and total_rows > 0:
+            columns, weights, synthesized, codes, context = (
+                self._assemble_spilled(outputs, extras, total_rows)
+            )
+        else:
+            chunks: List[_WalkState] = [
+                o.load().state if isinstance(o, _SpilledChunkOutput)
+                else o.state
+                for o in outputs
+            ]
+            chunks.extend(extras)
+            if not chunks:
+                # All chunks were skipped by pre-walk pruning: produce a
+                # correctly shaped empty result by walking zero rows.
+                chunks = [self._walk_chunk(slice(0, 0), tables, plan).state]
+            # One concatenation at the end — pairwise accumulation would
+            # copy the growing result once per chunk (quadratic in rows).
+            completed = _concat_many(chunks)
+            columns = dict(completed.columns)
+            weights = completed.weights
+            synthesized = completed.synthesized
+            codes = completed.codes
+            context = completed.context
+        self._check_synth_ids(acc.issued_ids)
+        self._num_synth = dict(acc.num_synth)
+
+        # The final state's synthesized flags refer to the last completed
+        # table — exactly what confidence estimation (§6) needs.
+        final_target = tables[-1]
+        self._synth_masks[final_target] = synthesized
+        result = JoinResult(columns, weights=weights)
+        effective_path = CompletionPath(tuple(tables))
+        return CompletedJoin(
+            result=result,
+            path=effective_path,
+            num_synthesized=dict(self._num_synth),
+            synthesized_mask=dict(self._synth_masks),
+            codes=codes,
+            context=context,
+        )
+
+    def _resolve_parked(
+        self,
+        acc: _ShardAccumulator,
+        tables: List[str],
+        plan: Optional[PushdownPlan],
+    ) -> List[_WalkState]:
+        """Resolve parked dangling-FK rows and walk their continuations.
+
+        Rows that hit a dangling foreign key were parked rather than
+        completed: the shared parent of key k is sampled conditioned on a
+        canonical representative child, which is only known once every
+        chunk (on every worker) has contributed its children.  Resolving
+        after the barrier keeps all backends on the identical code path.
+        """
+        extras: List[_WalkState] = []
         for slot in range(1, len(tables)):
             parked = acc.parked.pop(slot, None)
             if not parked:
@@ -500,30 +705,99 @@ class IncompletenessJoin:
                 mask = plan.mask_at(slot, resolved.columns, resolved.num_rows)
                 if mask is not None and not mask.all():
                     resolved = resolved.take(np.flatnonzero(mask))
-            chunks.append(self._walk(resolved, slot + 1, len(tables), acc, plan))
-        if not chunks:
-            # All chunks were skipped by pre-walk pruning: produce a
-            # correctly shaped empty result by walking zero rows.
-            chunks = [self._walk_chunk(slice(0, 0), tables, plan).state]
-        # One concatenation at the end — pairwise accumulation would copy
-        # the growing result once per chunk (quadratic in the row count).
-        completed = _concat_many(chunks)
-        self._check_synth_ids(acc.issued_ids)
-        self._num_synth = dict(acc.num_synth)
+            extras.append(
+                self._walk(resolved, slot + 1, len(tables), acc, plan)
+            )
+        return extras
 
-        # The final state's synthesized flags refer to the last completed
-        # table — exactly what confidence estimation (§6) needs.
-        final_target = tables[-1]
-        self._synth_masks[final_target] = completed.synthesized
-        result = JoinResult(dict(completed.columns), weights=completed.weights)
-        effective_path = CompletionPath(tuple(tables))
-        return CompletedJoin(
-            result=result,
-            path=effective_path,
-            num_synthesized=dict(self._num_synth),
-            synthesized_mask=dict(self._synth_masks),
-            codes=completed.codes,
-            context=completed.context,
+    def _assemble_spilled(
+        self,
+        outputs: List[AnyChunkOutput],
+        extras: List[_WalkState],
+        total_rows: int,
+    ):
+        """Concatenate chunk states into a store-backed result, streaming.
+
+        One spilled chunk is resident at a time: its raw columns append to
+        a :class:`StoreWriter` (strings dictionary-encoded) and its codes /
+        weights / synthesized flags / context stream into pre-sized
+        ``.npy`` files.  Everything reopens as read-only memory maps, so
+        the assembled join's RSS cost is one chunk, not the result.
+        """
+        assert self.spill_dir is not None
+        result_dir = os.path.join(self.spill_dir, "result")
+        os.makedirs(result_dir, exist_ok=True)
+
+        def states():
+            for output in outputs:
+                if isinstance(output, _SpilledChunkOutput):
+                    yield output.load().state
+                else:
+                    yield output.state
+            for extra in extras:
+                yield extra
+
+        writer: Optional[StoreWriter] = None
+        col_names: List[str] = []
+        codes_w = weights_w = synth_w = context_w = None
+        for state in states():
+            if state.num_rows == 0:
+                continue
+            if writer is None:
+                # Result schema comes from the first non-empty chunk; all
+                # chunks walk the same path, so they agree.
+                col_names = list(state.columns.keys())
+                writer = StoreWriter(
+                    result_dir, "completed_join", total_rows,
+                    primary_key=None,
+                )
+                for name in col_names:
+                    values = np.asarray(state.columns[name])
+                    if values.dtype == object:
+                        writer.add_column(name, ColumnKind.CATEGORICAL)
+                    elif np.issubdtype(values.dtype, np.integer):
+                        writer.add_column(
+                            name, ColumnKind.KEY, dtype=values.dtype
+                        )
+                    else:
+                        writer.add_column(
+                            name, ColumnKind.CONTINUOUS, dtype=values.dtype
+                        )
+                codes_w = _ArrayStreamWriter(
+                    os.path.join(result_dir, "join_codes.npy"),
+                    state.codes.dtype,
+                    (total_rows, state.codes.shape[1]),
+                )
+                weights_w = _ArrayStreamWriter(
+                    os.path.join(result_dir, "join_weights.npy"),
+                    state.weights.dtype, (total_rows,),
+                )
+                synth_w = _ArrayStreamWriter(
+                    os.path.join(result_dir, "join_synthesized.npy"),
+                    np.dtype(bool), (total_rows,),
+                )
+                if state.context is not None:
+                    context_w = _ArrayStreamWriter(
+                        os.path.join(result_dir, "join_context.npy"),
+                        state.context.dtype,
+                        (total_rows, state.context.shape[1]),
+                    )
+            for name in col_names:
+                writer.append(name, np.asarray(state.columns[name]))
+            codes_w.append(state.codes)
+            weights_w.append(state.weights)
+            synth_w.append(state.synthesized)
+            if context_w is not None:
+                context_w.append(state.context)
+        assert writer is not None  # total_rows > 0 guarantees a chunk
+        store = writer.finalize()
+        columns = StoreColumns(store, col_names)
+        return (
+            columns,
+            weights_w.close(),
+            synth_w.close(),
+            codes_w.close(),
+            context_w.close() if context_w is not None else None,
         )
 
     def _validate_plan(
@@ -560,7 +834,8 @@ class IncompletenessJoin:
             )
             return executor.map(
                 _walk_chunk_task, tasks,
-                payload=(self, tables, plan, current_context()),
+                payload=(self, tables, plan, current_context(),
+                         self.spill_dir),
             )
         spec = _JoinWorkerSpec(
             model=self.model.inference_snapshot(),
@@ -569,6 +844,7 @@ class IncompletenessJoin:
             seed=self.seed,
             tables=tuple(tables),
             plan=plan,
+            spill_dir=self.spill_dir,
         )
         return self._executor.map(
             _walk_chunk_task, tasks, payload=spec, init=_build_worker_join
@@ -585,13 +861,25 @@ class IncompletenessJoin:
         rows = np.arange(rows_slice.start, rows_slice.stop, dtype=np.int64)
         if plan is not None and plan.has_root_filters and len(rows):
             # Pre-walk pruning: drop non-qualifying roots before any model
-            # sampling.  Only the filters' own columns are sliced here.
-            self._ensure_root_columns(tables[0])
-            assert self._root_columns is not None
+            # sampling.  Only the filters' own columns are sliced here —
+            # gathered straight from a mapped store (nothing cached), or
+            # sliced from the materialized root columns otherwise.
+            root = tables[0]
+            table = self.db.table(root)
             filters = plan.filters_at(0)
-            cols = {
-                p.column: self._root_columns[p.column][rows] for p in filters
-            }
+            if table.is_mapped:
+                prefix = f"{root}."
+                cols = {
+                    p.column: table.gather(p.column[len(prefix):], rows)
+                    for p in filters
+                }
+            else:
+                self._ensure_root_columns(root)
+                assert self._root_columns is not None
+                cols = {
+                    p.column: self._root_columns[p.column][rows]
+                    for p in filters
+                }
             rows = rows[conjunction_mask(cols, filters, len(rows))]
         state = self._walk(self._initial_state(rows), 1, len(tables), acc, plan)
         return _ChunkOutput(state=state, acc=acc)
@@ -606,12 +894,17 @@ class IncompletenessJoin:
         root = tables[0]
         table = self.db.table(root)
         encoder = self.layout.encoders[root]
-        if encoder.columns and self._root_codes is None:
-            self._root_codes = encoder.encode_table(table)
-        if self._root_columns is None:
-            self._root_columns = {
-                f"{root}.{c}": np.asarray(table[c]) for c in table.column_names
-            }
+        # Mapped roots stay on disk: chunks gather and encode their own rows
+        # (see _initial_state), so warming full-table codes/columns here
+        # would defeat the out-of-core memory bound.
+        if not table.is_mapped:
+            if encoder.columns and self._root_codes is None:
+                self._root_codes = encoder.encode_table(table)
+            if self._root_columns is None:
+                self._root_columns = {
+                    f"{root}.{c}": np.asarray(table[c])
+                    for c in table.column_names
+                }
         for slot in range(1, len(tables)):
             prev, new = tables[slot - 1], tables[slot]
             if self.db.is_fan_out_step(prev, new):
@@ -647,6 +940,9 @@ class IncompletenessJoin:
 
         Each row's stream is derived from its index alone, so a pruned row
         set yields streams identical to the same rows of a full run.
+        A mapped root table is never materialized: the chunk gathers and
+        encodes only its own rows, so peak memory scales with the chunk
+        size rather than the table.
         """
         root = self.path.tables[0]
         table = self.db.table(root)
@@ -654,6 +950,14 @@ class IncompletenessJoin:
         codes = np.zeros((len(rows), self.layout.num_variables), dtype=np.int64)
         start, stop = self.layout.slot_range(0)
         encoder = self.layout.encoders[root]
+        if table.is_mapped:
+            gathered = {c: table.gather(c, rows) for c in table.column_names}
+            if encoder.columns:
+                codes[:, start:stop] = encoder.encode_columns(
+                    {c: gathered[c] for c in encoder.columns}
+                )
+            columns = {f"{root}.{c}": v for c, v in gathered.items()}
+            return self._initial_state_from(rows, codes, columns)
         if encoder.columns:
             if self._root_codes is None:  # encoded once, sliced per chunk
                 self._root_codes = encoder.encode_table(table)
@@ -662,6 +966,12 @@ class IncompletenessJoin:
         assert self._root_columns is not None
         # Fancy indexing copies, so chunk states never alias the database.
         columns = {k: v[rows] for k, v in self._root_columns.items()}
+        return self._initial_state_from(rows, codes, columns)
+
+    def _initial_state_from(
+        self, rows: np.ndarray, codes: np.ndarray,
+        columns: Dict[str, np.ndarray],
+    ) -> _WalkState:
         context = self.model.context_for_roots(rows)
         return _WalkState(
             codes=codes,
@@ -935,17 +1245,23 @@ class IncompletenessJoin:
     # ------------------------------------------------------------------
     def _fill_real_table(self, part: _WalkState, slot: int, table_name: str,
                          rows: np.ndarray) -> None:
-        """Attach real tuples of ``table_name`` (by row) to the state part."""
+        """Attach real tuples of ``table_name`` (by row) to the state part.
+
+        Rows are gathered, not sliced from a materialized column: a mapped
+        table reads only the touched rows, and the gathered block is reused
+        for encoding rather than read twice.
+        """
         table = self.db.table(table_name)
-        for column in table.column_names:
-            part.columns[f"{table_name}.{column}"] = table[column][rows]
+        gathered = {c: table.gather(c, rows) for c in table.column_names}
+        for column, values in gathered.items():
+            part.columns[f"{table_name}.{column}"] = values
         start, stop = self.layout.slot_range(slot)
         tf_idx = self.layout.tf_variable_index(slot)
         col_start = start if tf_idx is None else tf_idx + 1
         encoder = self.layout.encoders[table_name]
         if encoder.columns:
             part.codes[:, col_start:stop] = encoder.encode_columns(
-                {c: table[c][rows] for c in encoder.columns}
+                {c: gathered[c] for c in encoder.columns}
             )
         part.synthesized = np.zeros(part.num_rows, dtype=bool)
         part.current_rows = np.asarray(rows, dtype=np.int64)
@@ -1057,16 +1373,15 @@ class IncompletenessJoin:
         if cache_key in self._orphan_weights:
             return self._orphan_weights[cache_key]
         child = self.db.table(fk.child_table)
-        refs = child[fk.child_column]
-        parent_keys = set(self.db.table(fk.parent_table)[fk.parent_column].tolist())
+        refs = np.asarray(child[fk.child_column])
+        parent_keys = np.asarray(
+            self.db.table(fk.parent_table)[fk.parent_column], dtype=np.int64
+        )
         valid = refs[refs >= 0]
         if len(valid) == 0:
             weight = 1.0
         else:
-            dangling = np.fromiter(
-                (v not in parent_keys for v in valid.tolist()), dtype=bool,
-                count=len(valid),
-            ).mean()
+            dangling = (~np.isin(valid, parent_keys)).mean()
             mean_children = self._mean_children_per_parent(fk)
             if dangling > 0:
                 weight = float(dangling) / mean_children

@@ -1,8 +1,15 @@
-"""Dataset generators: synthetic two-table, housing (Airbnb-like), movies (IMDB-like)."""
+"""Dataset generators: synthetic two-table, housing (Airbnb-like), movies
+(IMDB-like), and the counter-based scale tier (SF 1/10/100)."""
 
 from .synthetic import SyntheticConfig, generate_synthetic
 from .housing import HousingConfig, generate_housing
 from .movies import MoviesConfig, generate_movies
+from .scale import (
+    ScaleConfig,
+    generate_scale,
+    generate_scale_incomplete,
+    scale_training_slice,
+)
 
 __all__ = [
     "SyntheticConfig",
@@ -11,4 +18,8 @@ __all__ = [
     "generate_housing",
     "MoviesConfig",
     "generate_movies",
+    "ScaleConfig",
+    "generate_scale",
+    "generate_scale_incomplete",
+    "scale_training_slice",
 ]

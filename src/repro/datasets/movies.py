@@ -46,6 +46,51 @@ class MoviesConfig:
     seed: int = 0
 
 
+def _pick_lead_companies(
+    u_domestic: np.ndarray,
+    u_pick: np.ndarray,
+    m_country: np.ndarray,
+    c_country: np.ndarray,
+    num_companies: int,
+) -> tuple:
+    """Vectorized lead-company assignment from pre-drawn uniforms.
+
+    A movie picks a domestic company with probability 0.8 (uniformly
+    among the companies of its country); otherwise — or when its country
+    has no companies — any company, and the movie's country follows the
+    studio.  All randomness enters through the two uniform arrays, so a
+    per-row evaluation of the same rule is bitwise identical (the
+    regression tests hold the vectorized gather to that reference).
+
+    Returns ``(lead_company, m_country)`` — ``m_country`` is a corrected
+    copy, not mutated in place.
+    """
+    m_country = np.asarray(m_country).copy()
+    num_countries = int(c_country.max(initial=-1)) + 1
+    order = np.argsort(c_country, kind="stable")
+    pool_sizes = np.bincount(c_country, minlength=num_countries)
+    pool_offsets = np.concatenate([[0], np.cumsum(pool_sizes)[:-1]])
+
+    sizes = pool_sizes[m_country]
+    domestic = (u_domestic < 0.8) & (sizes > 0)
+    lead_company = np.empty(len(m_country), dtype=np.int64)
+    if domestic.any():
+        idx = np.flatnonzero(domestic)
+        picks = np.minimum(
+            (u_pick[idx] * sizes[idx]).astype(np.int64), sizes[idx] - 1
+        )
+        lead_company[idx] = order[pool_offsets[m_country[idx]] + picks]
+    foreign = np.flatnonzero(~domestic)
+    if len(foreign):
+        picks = np.minimum(
+            (u_pick[foreign] * num_companies).astype(np.int64),
+            num_companies - 1,
+        )
+        lead_company[foreign] = picks
+        m_country[foreign] = c_country[picks]  # country follows studio
+    return lead_company, m_country
+
+
 def generate_movies(config: MoviesConfig = MoviesConfig()) -> Database:
     """Generate the complete (ground-truth) movie database."""
     rng = np.random.default_rng(config.seed)
@@ -118,16 +163,9 @@ def generate_movies(config: MoviesConfig = MoviesConfig()) -> Database:
     # movie_company links: one lead company per movie (domestic with high
     # probability) plus occasional co-producers.
     # ------------------------------------------------------------------
-    companies_by_country = [np.flatnonzero(c_country == i) for i in range(len(COUNTRY_CODES))]
-    lead_company = np.empty(n_m, dtype=np.int64)
-    for i in range(n_m):
-        domestic = rng.random() < 0.8
-        pool = companies_by_country[m_country[i]] if domestic else None
-        if pool is None or len(pool) == 0:
-            lead_company[i] = rng.integers(0, n_c)
-            m_country[i] = c_country[lead_company[i]]  # country follows studio
-        else:
-            lead_company[i] = rng.choice(pool)
+    lead_company, m_country = _pick_lead_companies(
+        rng.random(n_m), rng.random(n_m), m_country, c_country, n_c
+    )
     extra_counts = rng.poisson(0.8, size=n_m)
     mc_movie = np.concatenate([np.arange(n_m), np.repeat(np.arange(n_m), extra_counts)])
     mc_company = np.concatenate([
@@ -162,22 +200,19 @@ def generate_movies(config: MoviesConfig = MoviesConfig()) -> Database:
     # ------------------------------------------------------------------
     director_order = np.argsort(generation)
     sorted_gen = generation[director_order]
-    md_movie: list = []
-    md_director: list = []
-    for i in range(n_m):
-        num_dirs = 1 + (rng.random() < 0.12)
-        center = np.searchsorted(sorted_gen, era[i])
-        for _ in range(num_dirs):
-            offset = int(rng.normal(0, max(2, n_d // 20)))
-            pos = int(np.clip(center + offset, 0, n_d - 1))
-            md_movie.append(i)
-            md_director.append(int(director_order[pos]))
+    num_dirs = 1 + (rng.random(n_m) < 0.12)
+    md_movie = np.repeat(np.arange(n_m), num_dirs)
+    md_centers = np.searchsorted(sorted_gen, era)[md_movie]
+    md_offsets = rng.normal(
+        0, max(2, n_d // 20), size=len(md_movie)
+    ).astype(int)
+    md_director = director_order[np.clip(md_centers + md_offsets, 0, n_d - 1)]
     movie_director = Table(
         "movie_director",
         {
             "id": np.arange(len(md_movie), dtype=np.int64),
-            "movie_id": np.array(md_movie, dtype=np.int64),
-            "director_id": np.array(md_director, dtype=np.int64),
+            "movie_id": md_movie.astype(np.int64),
+            "director_id": md_director.astype(np.int64),
         },
         {"id": K, "movie_id": K, "director_id": K},
     )

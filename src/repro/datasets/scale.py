@@ -1,0 +1,405 @@
+"""Scale-tier dataset: a parameterized, counter-based two-table generator.
+
+``SF 1 ≈ 100k`` root rows (``SF 10 ≈ 1M``, ``SF 100 ≈ 10M``), each root
+fanning out to ``~fan_out_mean`` children.  Unlike the paper-sized
+generators, nothing here owns a ``np.random.Generator``: every value is a
+pure function of ``(seed, row lineage)`` through the same splitmix64
+machinery the incompleteness join uses (:mod:`repro.runtime.rng`), so
+
+* any scale factor is deterministic,
+* any **subset** of rows is regenerable without materializing the rest
+  (``root_block`` / ``child_block`` produce arbitrary row ranges), and
+* generation can stream directly into the memory-mapped column store
+  (:class:`~repro.relational.storage.StoreWriter`) without ever holding a
+  full table in RAM.
+
+Schema::
+
+    site(id, region, x0, x1, score)          -- complete evidence table
+      1:n reading(id, site_id, kind, v0, v1) -- incomplete target
+
+``generate_scale`` produces the complete database;
+``generate_scale_incomplete`` applies MCAR removal to ``reading`` *by
+construction* (the keep decision is a counter draw keyed by the child id,
+so no full-table mask pass is needed) and returns the database together
+with a :class:`~repro.relational.SchemaAnnotation` whose tuple factors are
+the true fan-outs for an annotated fraction of sites.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..relational import (
+    ColumnKind,
+    Database,
+    ForeignKey,
+    SchemaAnnotation,
+    Table,
+)
+from ..relational.storage import StoreWriter
+from ..relational.tuple_factors import TF_UNKNOWN
+from ..runtime import rng as rt_rng
+
+# Generation lineage tags: disjoint from the join's walk tags, so dataset
+# randomness and completion randomness never share a stream even at equal
+# seeds.
+_TAG_ROOT = np.uint64(0x5CA1AB1E00000001)
+_TAG_CHILD = np.uint64(0x5CA1AB1E00000002)
+_TAG_KEEP = np.uint64(0x5CA1AB1E00000003)
+_TAG_ANNOT = np.uint64(0x5CA1AB1E00000004)
+
+_ROOT_DRAWS = 5     # region, x0, x1, score, fan-out
+_CHILD_DRAWS = 4    # kind switch, kind value, v0, v1
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs of the scale-tier generator.
+
+    ``scale_factor`` is the headline SF: roots = ``100_000 * scale_factor``
+    (with a small floor), expected children ≈ ``fan_out_mean`` times that.
+    ``fan_out_cap`` truncates the Poisson fan-out so the tuple-factor
+    vocabulary is identical at every SF — a model trained on a small slice
+    transplants onto a big layout without shape mismatches.
+    """
+
+    scale_factor: float = 1.0
+    seed: int = 0
+    num_regions: int = 12
+    num_kinds: int = 8
+    fan_out_mean: float = 3.0
+    fan_out_cap: int = 8
+    predictability: float = 0.8
+    keep_rate: float = 0.6
+    tf_annotation_rate: float = 0.5
+    block_rows: int = 1 << 16
+    roots_per_sf: int = 100_000
+    num_roots_override: Optional[int] = None
+
+    @property
+    def num_roots(self) -> int:
+        if self.num_roots_override is not None:
+            return int(self.num_roots_override)
+        return max(64, int(round(self.roots_per_sf * self.scale_factor)))
+
+    @property
+    def seed64(self) -> np.uint64:
+        return rt_rng.fold_seed(self.seed)
+
+
+def _region_cdf(config: ScaleConfig) -> np.ndarray:
+    """Mildly skewed (zipf-ish) region popularity CDF."""
+    weights = 1.0 / np.power(np.arange(1, config.num_regions + 1), 1.1)
+    cdf = np.cumsum(weights / weights.sum())
+    cdf[-1] = 1.0
+    return cdf
+
+def _fan_cdf(config: ScaleConfig) -> np.ndarray:
+    """Truncated-Poisson fan-out CDF over ``0 .. fan_out_cap``."""
+    ks = np.arange(config.fan_out_cap + 1, dtype=np.float64)
+    log_pmf = ks * np.log(config.fan_out_mean) - config.fan_out_mean
+    log_pmf -= np.cumsum(np.concatenate([[0.0], np.log(np.maximum(ks[1:], 1.0))]))
+    pmf = np.exp(log_pmf)
+    cdf = np.cumsum(pmf / pmf.sum())
+    cdf[-1] = 1.0
+    return cdf
+
+
+def _root_uniforms(config: ScaleConfig, start: int, stop: int) -> np.ndarray:
+    rows = np.arange(start, stop, dtype=np.int64)
+    streams = rt_rng.derive_streams(
+        rt_rng.root_streams(rows), _TAG_ROOT, np.zeros(len(rows), dtype=np.uint64)
+    )
+    counters = np.zeros(len(rows), dtype=np.uint64)
+    return rt_rng.uniforms(config.seed64, streams, counters, _ROOT_DRAWS)
+
+
+def _region_codes(config: ScaleConfig, u: np.ndarray) -> np.ndarray:
+    return np.searchsorted(_region_cdf(config), u, side="right").astype(np.int64)
+
+
+def fan_outs(config: ScaleConfig, start: int, stop: int) -> np.ndarray:
+    """True child counts of roots ``[start, stop)`` — regenerable anywhere."""
+    u = _root_uniforms(config, start, stop)[:, 4]
+    return np.searchsorted(_fan_cdf(config), u, side="right").astype(np.int64)
+
+
+def children_before(config: ScaleConfig, root: int) -> int:
+    """Global child ordinal at which root ``root``'s children start.
+
+    Streams the fan-out prefix sum in blocks — O(root) time, O(block)
+    memory — so any root range knows its child-id base without a full
+    materialized offsets array.
+    """
+    total = 0
+    for start in range(0, root, config.block_rows):
+        stop = min(start + config.block_rows, root)
+        total += int(fan_outs(config, start, stop).sum())
+    return total
+
+
+def total_children(config: ScaleConfig) -> int:
+    return children_before(config, config.num_roots)
+
+
+def root_block(config: ScaleConfig, start: int, stop: int) -> Dict[str, np.ndarray]:
+    """Columns of the ``site`` rows ``[start, stop)``."""
+    u = _root_uniforms(config, start, stop)
+    region_code = _region_codes(config, u[:, 0])
+    # x0: region-correlated exponential; x1: uniform scale; score mixes the
+    # region signal with noise at the configured predictability.
+    x0 = -np.log1p(-u[:, 1]) * (1.0 + region_code)
+    x1 = u[:, 2] * 10.0
+    score = (
+        config.predictability * region_code
+        + (1.0 - config.predictability) * u[:, 3] * config.num_regions
+    )
+    region = np.array([f"r{c:02d}" for c in region_code], dtype=object)
+    return {
+        "id": np.arange(start, stop, dtype=np.int64),
+        "region": region,
+        "x0": x0,
+        "x1": x1,
+        "score": score,
+    }
+
+
+def child_block(
+    config: ScaleConfig, start: int, stop: int, base_child_id: Optional[int] = None
+) -> Dict[str, np.ndarray]:
+    """Columns of every ``reading`` row whose parent is in ``[start, stop)``.
+
+    ``base_child_id`` is the global ordinal of the first child (computed by
+    :func:`children_before` when omitted); child ids are globally
+    sequential, so the same child has the same id at every block size.
+    """
+    if base_child_id is None:
+        base_child_id = children_before(config, start)
+    fans = fan_outs(config, start, stop)
+    num_children = int(fans.sum())
+    parent_rows = np.repeat(np.arange(start, stop, dtype=np.int64), fans)
+    offsets = np.concatenate([[0], np.cumsum(fans)[:-1]])
+    ordinals = np.arange(num_children, dtype=np.int64) - offsets[parent_rows - start]
+
+    parent_streams = rt_rng.root_streams(parent_rows)
+    streams = rt_rng.derive_streams(parent_streams, _TAG_CHILD, ordinals)
+    counters = np.zeros(num_children, dtype=np.uint64)
+    u = rt_rng.uniforms(config.seed64, streams, counters, _CHILD_DRAWS)
+
+    parent_u = _root_uniforms(config, start, stop)
+    parent_region = _region_codes(config, parent_u[:, 0])[parent_rows - start]
+    random_kind = np.floor(u[:, 1] * config.num_kinds).astype(np.int64)
+    random_kind = np.minimum(random_kind, config.num_kinds - 1)
+    kind_code = np.where(
+        u[:, 0] < config.predictability,
+        parent_region % config.num_kinds,
+        random_kind,
+    )
+    v0 = kind_code + u[:, 2]
+    v1 = (
+        config.predictability * v0
+        + (1.0 - config.predictability) * u[:, 3] * config.num_kinds
+    )
+    kind = np.array([f"k{c:02d}" for c in kind_code], dtype=object)
+    return {
+        "id": base_child_id + np.arange(num_children, dtype=np.int64),
+        "site_id": parent_rows,
+        "kind": kind,
+        "v0": v0,
+        "v1": v1,
+    }
+
+
+def keep_mask(config: ScaleConfig, child_ids: np.ndarray) -> np.ndarray:
+    """MCAR keep decision per child id — a pure counter draw."""
+    streams = rt_rng.key_streams(_TAG_KEEP, np.asarray(child_ids, dtype=np.int64))
+    counters = np.zeros(len(streams), dtype=np.uint64)
+    u = rt_rng.uniforms(config.seed64, streams, counters, 1)[:, 0]
+    return u < config.keep_rate
+
+
+def annotated_mask(config: ScaleConfig, root_ids: np.ndarray) -> np.ndarray:
+    """Which sites carry a true tuple-factor annotation."""
+    streams = rt_rng.key_streams(_TAG_ANNOT, np.asarray(root_ids, dtype=np.int64))
+    counters = np.zeros(len(streams), dtype=np.uint64)
+    u = rt_rng.uniforms(config.seed64, streams, counters, 1)[:, 0]
+    return u < config.tf_annotation_rate
+
+
+ROOT_KINDS = {
+    "id": ColumnKind.KEY,
+    "region": ColumnKind.CATEGORICAL,
+    "x0": ColumnKind.CONTINUOUS,
+    "x1": ColumnKind.CONTINUOUS,
+    "score": ColumnKind.CONTINUOUS,
+}
+CHILD_KINDS = {
+    "id": ColumnKind.KEY,
+    "site_id": ColumnKind.KEY,
+    "kind": ColumnKind.CATEGORICAL,
+    "v0": ColumnKind.CONTINUOUS,
+    "v1": ColumnKind.CONTINUOUS,
+}
+SCALE_FK = ForeignKey("reading", "site_id", "site", "id")
+
+
+class _RamSink:
+    """Accumulates row blocks in RAM (the small-scale / testing path)."""
+
+    def __init__(self, kinds: Dict[str, ColumnKind]):
+        self.kinds = kinds
+        self.blocks = []
+
+    def __call__(self, block: Dict[str, np.ndarray]) -> None:
+        self.blocks.append(block)
+
+    def table(self, name: str, num_rows: int) -> Table:
+        if not self.blocks:
+            columns = {c: np.array([], dtype=object if k is ColumnKind.CATEGORICAL
+                                   else np.int64)
+                       for c, k in self.kinds.items()}
+        else:
+            columns = {
+                c: np.concatenate([b[c] for b in self.blocks])
+                for c in self.blocks[0]
+            }
+        table = Table(name, columns, self.kinds)
+        assert table.num_rows == num_rows
+        return table
+
+
+class _StoreSink:
+    """Streams row blocks into a pre-sized mapped store."""
+
+    def __init__(self, directory: str, name: str, num_rows: int,
+                 kinds: Dict[str, ColumnKind]):
+        self.writer = StoreWriter(directory, name, num_rows)
+        for column, kind in kinds.items():
+            dtype = None if kind is ColumnKind.CATEGORICAL else (
+                np.int64 if kind is ColumnKind.KEY else np.float64
+            )
+            self.writer.add_column(column, kind, dtype=dtype)
+
+    def __call__(self, block: Dict[str, np.ndarray]) -> None:
+        self.writer.append_rows(block)
+
+    def table(self, name: str, num_rows: int) -> Table:
+        return Table.from_store(self.writer.finalize(), name=name)
+
+
+def _emit(
+    config: ScaleConfig,
+    root_sink: Callable[[Dict[str, np.ndarray]], None],
+    child_sink: Callable[[Dict[str, np.ndarray]], None],
+    incomplete: bool,
+) -> None:
+    base_child = 0
+    for start in range(0, config.num_roots, config.block_rows):
+        stop = min(start + config.block_rows, config.num_roots)
+        root_sink(root_block(config, start, stop))
+        children = child_block(config, start, stop, base_child_id=base_child)
+        base_child += len(children["id"])
+        if incomplete:
+            kept = keep_mask(config, children["id"])
+            children = {c: v[kept] for c, v in children.items()}
+        child_sink(children)
+
+
+def _generate(config: ScaleConfig, spill_dir: Optional[str],
+              incomplete: bool) -> Database:
+    num_children = total_children(config)
+    if incomplete:
+        # Pre-size the child store by streaming the keep decisions once.
+        kept_total = 0
+        base = 0
+        for start in range(0, config.num_roots, config.block_rows):
+            stop = min(start + config.block_rows, config.num_roots)
+            block_children = int(fan_outs(config, start, stop).sum())
+            ids = base + np.arange(block_children, dtype=np.int64)
+            kept_total += int(keep_mask(config, ids).sum())
+            base += block_children
+        num_children = kept_total
+    if spill_dir is None:
+        root_sink = _RamSink(ROOT_KINDS)
+        child_sink = _RamSink(CHILD_KINDS)
+    else:
+        root_sink = _StoreSink(
+            os.path.join(spill_dir, "site"), "site", config.num_roots, ROOT_KINDS
+        )
+        child_sink = _StoreSink(
+            os.path.join(spill_dir, "reading"), "reading", num_children, CHILD_KINDS
+        )
+    _emit(config, root_sink, child_sink, incomplete)
+    site = root_sink.table("site", config.num_roots)
+    reading = child_sink.table("reading", num_children)
+    return Database([site, reading], [SCALE_FK])
+
+
+def generate_scale(
+    config: ScaleConfig, spill_dir: Optional[str] = None
+) -> Database:
+    """The complete scale-tier database (in RAM, or spilled when given a
+    directory — then no full table is ever held in memory)."""
+    return _generate(config, spill_dir, incomplete=False)
+
+
+def scale_annotation(config: ScaleConfig) -> SchemaAnnotation:
+    """Completeness annotation of the incomplete variant.
+
+    True fan-outs for the annotated fraction of sites, ``TF_UNKNOWN``
+    elsewhere — built in blocks (one int64 per root resident)."""
+    tfs = np.full(config.num_roots, TF_UNKNOWN, dtype=np.int64)
+    for start in range(0, config.num_roots, config.block_rows):
+        stop = min(start + config.block_rows, config.num_roots)
+        ids = np.arange(start, stop, dtype=np.int64)
+        known = annotated_mask(config, ids)
+        block_tfs = fan_outs(config, start, stop)
+        tfs[start:stop] = np.where(known, block_tfs, TF_UNKNOWN)
+    return SchemaAnnotation(
+        complete_tables={"site"},
+        incomplete_tables={"reading"},
+        known_tuple_factors={str(SCALE_FK): tfs},
+    )
+
+
+def generate_scale_incomplete(
+    config: ScaleConfig, spill_dir: Optional[str] = None
+) -> Tuple[Database, SchemaAnnotation]:
+    """The MCAR-incomplete scale database plus its annotation.
+
+    Incompleteness is applied *during* generation (keep draws keyed by
+    child id), so the complete table never exists — essential at SF 100.
+    The complete variant at the same config regenerates the ground truth.
+    """
+    db = _generate(config, spill_dir, incomplete=True)
+    return db, scale_annotation(config)
+
+
+def scale_training_slice(config: ScaleConfig, num_roots: int) -> ScaleConfig:
+    """A small prefix-config: the first ``num_roots`` sites of the same
+    universe (identical rows where they overlap), for cheap model fitting."""
+    return replace(config, num_roots_override=int(num_roots))
+
+
+__all__ = [
+    "CHILD_KINDS",
+    "ROOT_KINDS",
+    "SCALE_FK",
+    "ScaleConfig",
+    "annotated_mask",
+    "child_block",
+    "children_before",
+    "fan_outs",
+    "generate_scale",
+    "generate_scale_incomplete",
+    "keep_mask",
+    "root_block",
+    "scale_annotation",
+    "scale_training_slice",
+    "total_children",
+]

@@ -75,6 +75,18 @@ class MutationError(ReStoreError, ValueError):
     code = "mutation_invalid"
 
 
+class StorageError(ReStoreError, ValueError):
+    """A column store cannot be written or read (bad schema, bad directory)."""
+
+    code = "storage_error"
+
+
+class StoreIntegrityError(StorageError):
+    """Store metadata failed its self-digest or a column file is damaged."""
+
+    code = "storage_integrity"
+
+
 class ArtifactError(ReStoreError, ValueError):
     """Base class for everything that can go wrong with an artifact."""
 
@@ -118,6 +130,8 @@ WIRE_CODES: Dict[str, Type[ReStoreError]] = {
         ProtocolError,
         WorkerError,
         MutationError,
+        StorageError,
+        StoreIntegrityError,
         ArtifactError,
         ArtifactVersionError,
         ArtifactIntegrityError,
@@ -152,6 +166,8 @@ __all__ = [
     "ProtocolError",
     "WorkerError",
     "MutationError",
+    "StorageError",
+    "StoreIntegrityError",
     "ArtifactError",
     "ArtifactVersionError",
     "ArtifactIntegrityError",

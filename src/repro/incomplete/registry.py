@@ -415,3 +415,31 @@ _scenario(
     ),),
     tf_keep_rate=0.2, dangling_parents=("movie",),
 )
+
+
+# ----------------------------------------------------------------------
+# Scale tier (site 1:n reading, counter-based generator; TF keep 50%).
+# The invariant harness runs these at a tiny SF; the benchmarks rerun the
+# same scenarios at SF 1/10/100 on the mapped backend.
+# ----------------------------------------------------------------------
+_scenario(
+    "scale/mcar", "scale", ("mcar",),
+    "readings vanish completely at random",
+    lambda keep, corr: (RemovalSpec(
+        "reading", keep_rate=keep, mechanism=MCAR(),
+    ),),
+)
+_scenario(
+    "scale/biased", "scale", ("biased",),
+    "reading removal biased on its own measurement v0",
+    lambda keep, corr: (RemovalSpec("reading", "v0", keep, corr),),
+)
+_scenario(
+    "scale/mar_parent", "scale", ("mar_parent",),
+    "readings of high-scoring sites go unreported (MAR via FK)",
+    lambda keep, corr: (RemovalSpec(
+        "reading", keep_rate=keep,
+        mechanism=MARParent(parent_table="site", attribute="score",
+                            correlation=corr),
+    ),),
+)

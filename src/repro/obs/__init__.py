@@ -43,8 +43,12 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    current_rss_bytes,
+    peak_rss_bytes,
     registry,
+    reset_peak_rss,
     set_registry,
+    update_process_gauges,
 )
 from .profile import (
     KernelProfiler,
@@ -89,6 +93,10 @@ __all__ = [
     "Histogram",
     "registry",
     "set_registry",
+    "current_rss_bytes",
+    "peak_rss_bytes",
+    "reset_peak_rss",
+    "update_process_gauges",
     # kernel profiling
     "KernelProfiler",
     "profile_kernels",

@@ -18,7 +18,7 @@ import sys
 import time
 from typing import List
 
-from .metrics import registry
+from .metrics import registry, update_process_gauges
 from .trace import get_tracer, tracing_enabled
 
 __all__ = ["bench_envelope", "validate_envelope", "ENVELOPE_VERSION"]
@@ -53,7 +53,14 @@ def _git_sha() -> str:
 
 
 def obs_summary() -> dict:
-    """A compact snapshot of the process's telemetry state."""
+    """A compact snapshot of the process's telemetry state.
+
+    Refreshes the ``process.*`` memory gauges first, so every benchmark
+    envelope records the peak RSS and (via the spill counters, when a
+    mapped store was involved) the out-of-core read/write traffic of the
+    run it stamps.
+    """
+    update_process_gauges()
     tracer = get_tracer()
     return {
         "tracing_enabled": tracing_enabled(),

@@ -33,8 +33,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "current_rss_bytes",
+    "peak_rss_bytes",
     "registry",
+    "reset_peak_rss",
     "set_registry",
+    "update_process_gauges",
 ]
 
 
@@ -256,6 +260,59 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
             self._collectors.clear()
+
+
+# ----------------------------------------------------------------------
+# Process memory accounting (Linux /proc; 0 where unavailable)
+# ----------------------------------------------------------------------
+
+def _proc_status_kb(field: str) -> int:
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
+
+
+def current_rss_bytes() -> int:
+    """The process's resident set size right now (``VmRSS``)."""
+    return _proc_status_kb("VmRSS") * 1024
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size (``VmHWM``) since start or the
+    last :func:`reset_peak_rss`."""
+    return _proc_status_kb("VmHWM") * 1024
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel's peak-RSS watermark to the current RSS.
+
+    Writes ``5`` to ``/proc/self/clear_refs`` (Linux ≥ 4.0), which lets a
+    benchmark measure the peak of one *phase* rather than of the whole
+    process lifetime.  Returns whether the reset took effect.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def update_process_gauges(reg: Optional[MetricsRegistry] = None) -> dict:
+    """Refresh the ``process.*`` memory gauges and return their values."""
+    reg = reg if reg is not None else registry()
+    values = {
+        "process.rss_bytes": float(current_rss_bytes()),
+        "process.peak_rss_bytes": float(peak_rss_bytes()),
+    }
+    for name, value in values.items():
+        reg.gauge(name).set(value)
+    return values
 
 
 _default = MetricsRegistry()

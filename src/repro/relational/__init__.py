@@ -1,6 +1,15 @@
 """Relational substrate: tables, schemas, tuple factors, schema-graph walks."""
 
 from .column import MISSING_KEY, ColumnKind, ColumnMeta, coerce_values
+from .storage import (
+    ColumnStore,
+    InMemoryStore,
+    MappedStore,
+    StoreColumns,
+    StoreWriter,
+    contiguous_range,
+    spill_arrays,
+)
 from .table import Table
 from .schema import Database, ForeignKey, SchemaAnnotation
 from .tuple_factors import (
@@ -22,6 +31,13 @@ __all__ = [
     "ColumnMeta",
     "MISSING_KEY",
     "coerce_values",
+    "ColumnStore",
+    "InMemoryStore",
+    "MappedStore",
+    "StoreColumns",
+    "StoreWriter",
+    "contiguous_range",
+    "spill_arrays",
     "Table",
     "Database",
     "ForeignKey",

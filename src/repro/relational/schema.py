@@ -92,6 +92,56 @@ class Database:
         return Database(list(self.tables.values()), self.foreign_keys)
 
     # ------------------------------------------------------------------
+    # Storage backends
+    # ------------------------------------------------------------------
+    def spill_to(self, directory: str) -> "Database":
+        """Spill every table to a mapped store under ``directory``.
+
+        Each table lands in its own subdirectory; ``database.json`` records
+        the schema (table order, foreign keys) so :meth:`from_store` can
+        reopen the database from a fresh process.
+        """
+        import json
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        tables = [
+            table.spill_to(os.path.join(directory, name))
+            for name, table in self.tables.items()
+        ]
+        manifest = {
+            "tables": list(self.tables),
+            "foreign_keys": [
+                [fk.child_table, fk.child_column, fk.parent_table, fk.parent_column]
+                for fk in self.foreign_keys
+            ],
+        }
+        with open(os.path.join(directory, "database.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+        return Database(tables, self.foreign_keys)
+
+    @classmethod
+    def from_store(cls, directory: str) -> "Database":
+        """Reopen a spilled database (lazy, memory-mapped tables)."""
+        import json
+        import os
+
+        with open(os.path.join(directory, "database.json"), "r",
+                  encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        tables = [
+            Table.from_store(os.path.join(directory, name), name=name)
+            for name in manifest["tables"]
+        ]
+        fks = [ForeignKey(*entry) for entry in manifest["foreign_keys"]]
+        return cls(tables, fks)
+
+    def nbytes_materialized(self) -> int:
+        """Bytes the whole database occupies (or would) materialized in RAM."""
+        return sum(t.nbytes_materialized() for t in self.tables.values())
+
+    # ------------------------------------------------------------------
     # Schema graph
     # ------------------------------------------------------------------
     def fks_between(self, table_a: str, table_b: str) -> List[ForeignKey]:
@@ -139,11 +189,10 @@ class Database:
         for fk in self.foreign_keys:
             child = self.tables[fk.child_table]
             parent = self.tables[fk.parent_table]
-            child_vals = child[fk.child_column]
-            valid = set(parent[fk.parent_column].tolist())
-            dangling = sum(
-                1 for v in child_vals.tolist() if v >= 0 and v not in valid
-            )
+            child_vals = np.asarray(child[fk.child_column])
+            parent_keys = np.asarray(parent[fk.parent_column])
+            real = child_vals[child_vals >= 0]
+            dangling = int(len(real) - np.isin(real, parent_keys).sum())
             if dangling:
                 problems.append(f"{fk}: {dangling} dangling references")
         return problems

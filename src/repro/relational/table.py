@@ -1,18 +1,30 @@
-"""Column-oriented in-memory tables.
+"""Column-oriented tables over a pluggable storage backend.
 
-A :class:`Table` stores equal-length numpy arrays keyed by column name plus
-per-column :class:`~repro.relational.column.ColumnMeta`.  Operations return
-new tables (copy-on-write at the array level: selections use fancy indexing,
-which copies; metadata is shared).
+A :class:`Table` stores equal-length columns keyed by name plus per-column
+:class:`~repro.relational.column.ColumnMeta`.  The physical bytes live
+behind a :class:`~repro.relational.storage.ColumnStore` seam: the default
+backend keeps plain numpy arrays in RAM; :meth:`Table.spill_to` /
+:meth:`Table.from_store` move a table onto the memory-mapped columnar
+backend, where columns materialize lazily and row ranges are read through
+short-lived maps.  Operations return new (in-RAM) tables; contiguous row
+selections return zero-copy range views on both backends, everything else
+falls back to fancy indexing (which copies).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .column import ColumnKind, ColumnMeta, coerce_values
+from .storage import (
+    ColumnStore,
+    InMemoryStore,
+    MappedStore,
+    contiguous_range,
+    spill_arrays,
+)
 
 
 class Table:
@@ -43,6 +55,7 @@ class Table:
         self.name = name
         self._columns: Dict[str, np.ndarray] = {}
         self._meta: Dict[str, ColumnMeta] = {}
+        self._store: Optional[MappedStore] = None
         lengths = set()
         for col_name, values in columns.items():
             if col_name not in kinds:
@@ -65,6 +78,71 @@ class Table:
         self.primary_key = primary_key
 
     # ------------------------------------------------------------------
+    # Storage backends
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls, store, name: Optional[str] = None
+    ) -> "Table":
+        """A table backed by an existing column store (lazy columns).
+
+        ``store`` is a :class:`~repro.relational.storage.MappedStore` or a
+        spill-directory path to open one from.
+        """
+        if not isinstance(store, MappedStore):
+            store = MappedStore.open(str(store))
+        table = cls.__new__(cls)
+        table.name = name if name is not None else store.table_name
+        table._store = store
+        table._columns = {}
+        table._meta = {
+            col: ColumnMeta(col, store.kind(col)) for col in store.names()
+        }
+        table._num_rows = store.num_rows
+        table.primary_key = store.primary_key
+        return table
+
+    def spill_to(self, directory: str) -> "Table":
+        """Write this table's columns to a mapped store; return the
+        store-backed table.  Round-trips are bitwise identical."""
+        store = spill_arrays(
+            directory,
+            self.name,
+            {c: self.column(c) for c in self.column_names},
+            self.kinds(),
+            primary_key=self.primary_key,
+        )
+        return Table.from_store(store, name=self.name)
+
+    @property
+    def is_mapped(self) -> bool:
+        """True when the bytes live in a mapped store (lazy columns)."""
+        return self._store is not None
+
+    @property
+    def store(self) -> Optional[MappedStore]:
+        return self._store
+
+    def __getstate__(self) -> dict:
+        if self._store is not None and self._store.persistent:
+            # Ship the store path, not the bytes: workers reopen the mmap.
+            return {
+                "name": self.name,
+                "primary_key": self.primary_key,
+                "store_dir": self._store.directory,
+            }
+        return dict(self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        store_dir = state.pop("store_dir", None)
+        if store_dir is not None:
+            restored = Table.from_store(store_dir, name=state["name"])
+            self.__dict__.update(restored.__dict__)
+            self.primary_key = state["primary_key"]
+            return
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -76,19 +154,56 @@ class Table:
 
     @property
     def column_names(self) -> List[str]:
-        return list(self._columns)
+        return list(self._meta) if self._store is not None else list(self._columns)
 
     def __contains__(self, column: str) -> bool:
-        return column in self._columns
+        return column in self._meta
 
     def column(self, name: str) -> np.ndarray:
-        """The raw values of one column (no copy)."""
+        """The raw values of one column.
+
+        In-RAM backend: the resident array, no copy.  Mapped backend: a
+        fresh read (memmap view for numeric columns, decoded copy for
+        dictionary columns) — deliberately *not* cached, so large columns
+        do not accumulate in RSS behind the caller's back.
+        """
+        if self._store is not None:
+            if name not in self._meta:
+                raise KeyError(f"{self.name} has no column {name!r}")
+            return self._store.read_full(name)
         if name not in self._columns:
             raise KeyError(f"{self.name} has no column {name!r}")
         return self._columns[name]
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.column(name)
+
+    def column_range(self, name: str, start: int, stop: int) -> np.ndarray:
+        """Zero-copy view of a contiguous row range of one column.
+
+        Both backends return basic-slice views (the mapped backend's view
+        holds its short-lived map alive until the caller drops it), so
+        chunked walks stop paying the fancy-indexing copy tax.
+        """
+        if name not in self._meta:
+            raise KeyError(f"{self.name} has no column {name!r}")
+        if self._store is not None:
+            return self._store.read_range(name, start, stop)
+        return self._columns[name][start:stop]
+
+    def gather(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Rows of one column at the given positions.
+
+        Contiguous requests become range views; anything else is a fancy
+        gather (mapped columns read only the touched rows)."""
+        if name not in self._meta:
+            raise KeyError(f"{self.name} has no column {name!r}")
+        if self._store is not None:
+            return self._store.gather(name, rows)
+        bounds = contiguous_range(rows)
+        if bounds is not None:
+            return self._columns[name][bounds[0]:bounds[1]]
+        return self._columns[name][np.asarray(rows)]
 
     def meta(self, name: str) -> ColumnMeta:
         if name not in self._meta:
@@ -102,23 +217,50 @@ class Table:
         """Columns whose distribution a completion model should learn."""
         return [name for name, meta in self._meta.items() if meta.is_modelable]
 
+    def nbytes_materialized(self) -> int:
+        """Bytes this table occupies (or would occupy) materialized in RAM."""
+        if self._store is not None:
+            return self._store.nbytes_materialized()
+        return int(sum(arr.nbytes for arr in self._columns.values()))
+
     def __repr__(self) -> str:
-        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.column_names})"
+        backend = "mapped" if self._store is not None else "ram"
+        return (
+            f"Table({self.name!r}, rows={self.num_rows}, "
+            f"cols={self.column_names}, backend={backend})"
+        )
 
     # ------------------------------------------------------------------
     # Row-level operations
     # ------------------------------------------------------------------
     def take(self, indices: np.ndarray) -> "Table":
-        """Rows at the given positions (duplicates and reordering allowed)."""
+        """Rows at the given positions (duplicates and reordering allowed).
+
+        Contiguous ascending positions return zero-copy range views."""
         idx = np.asarray(indices)
-        return self._with_columns({name: arr[idx] for name, arr in self._columns.items()})
+        bounds = contiguous_range(idx)
+        if bounds is not None:
+            return self.slice_rows(bounds[0], bounds[1])
+        return self._with_columns(
+            {name: self.gather(name, idx) for name in self.column_names}
+        )
 
     def select(self, mask: np.ndarray) -> "Table":
-        """Rows where the boolean ``mask`` is true."""
+        """Rows where the boolean ``mask`` is true (range view if contiguous)."""
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (self._num_rows,):
             raise ValueError("mask must have one entry per row")
         return self.take(np.flatnonzero(mask))
+
+    def slice_rows(self, start: int, stop: int) -> "Table":
+        """The contiguous row range ``[start, stop)`` as zero-copy views."""
+        start = max(0, int(start))
+        stop = min(self._num_rows, int(stop))
+        if stop < start:
+            stop = start
+        return self._with_columns(
+            {name: self.column_range(name, start, stop) for name in self.column_names}
+        )
 
     def head(self, n: int) -> "Table":
         return self.take(np.arange(min(n, self._num_rows)))
@@ -129,14 +271,14 @@ class Table:
     def project(self, columns: Iterable[str]) -> "Table":
         """Keep only the given columns (primary key dropped if not listed)."""
         cols = list(columns)
-        data = {name: self._columns[name] for name in cols}
+        data = {name: self.column(name) for name in cols}
         kinds = {name: self._meta[name].kind for name in cols}
         pk = self.primary_key if self.primary_key in cols else None
         return Table(self.name, data, kinds, primary_key=pk)
 
     def with_column(self, name: str, values: Sequence, kind: ColumnKind) -> "Table":
-        """A new table with one column added or replaced."""
-        data = dict(self._columns)
+        """A new (in-RAM) table with one column added or replaced."""
+        data = {c: self.column(c) for c in self.column_names}
         kinds = self.kinds()
         data[name] = values
         kinds[name] = kind
@@ -150,7 +292,7 @@ class Table:
                 f"{self.column_names} vs {other.column_names}"
             )
         data = {
-            name: np.concatenate([self._columns[name], other._columns[name]])
+            name: np.concatenate([self.column(name), other.column(name)])
             for name in self.column_names
         }
         return Table(self.name, data, self.kinds(), primary_key=self.primary_key)
@@ -160,6 +302,7 @@ class Table:
         table.name = self.name
         table._columns = columns
         table._meta = self._meta
+        table._store = None
         lengths = {len(arr) for arr in columns.values()}
         table._num_rows = lengths.pop() if lengths else 0
         table.primary_key = self.primary_key
@@ -170,8 +313,9 @@ class Table:
     # ------------------------------------------------------------------
     def to_dicts(self) -> List[dict]:
         """Row dictionaries — convenient for assertions on small tables."""
+        columns = {name: self.column(name) for name in self.column_names}
         return [
-            {name: self._columns[name][i] for name in self.column_names}
+            {name: columns[name][i] for name in columns}
             for i in range(self._num_rows)
         ]
 
@@ -179,5 +323,5 @@ class Table:
         """Map primary-key value → row position (requires a primary key)."""
         if self.primary_key is None:
             raise ValueError(f"{self.name} has no primary key")
-        keys = self._columns[self.primary_key]
+        keys = self.column(self.primary_key)
         return {int(k): i for i, k in enumerate(keys)}

@@ -264,6 +264,11 @@ class PartialJoinCache:
         fingerprints: FrozenSet,
         output: Any,
     ) -> None:
+        # Spilled chunk outputs live in a run-scoped directory that is
+        # gone after assembly — caching the handle would serve dangling
+        # paths.  Such outputs declare themselves non-cacheable.
+        if not getattr(output, "cacheable", True):
+            return
         base = self._base_key(signature, grid, task)
         key = (base, fingerprints)
         with self._lock:

@@ -115,6 +115,29 @@ class ThreadExecutor(Executor):
             return _collect([pool.submit(fn, state, task) for task in tasks])
 
 
+def _record_payload_bytes(payload: Any) -> int:
+    """Fan-out shipping telemetry: how many bytes the payload pickles to.
+
+    Store-backed tables pickle as their spill-directory path, so a join
+    over a mapped database ships O(kilobytes) per fan-out regardless of
+    table size — this counter is what the scale benchmarks assert on.
+    The extra pickle pass only runs on the multi-worker pool path, where
+    the payload is serialized anyway.
+    """
+    import pickle
+
+    try:
+        nbytes = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+    from ..obs.metrics import registry
+
+    registry().counter("parallel.dispatches").add(1)
+    registry().counter("parallel.payload_bytes").add(nbytes)
+    registry().gauge("parallel.last_payload_bytes").set(float(nbytes))
+    return nbytes
+
+
 # Worker-side state of the process backend, set once by the pool initializer.
 _WORKER_STATE: Any = None
 
@@ -180,6 +203,7 @@ class ProcessExecutor(Executor):
         if self.n_workers == 1 or len(tasks) <= 1:
             state = _make_state(payload, init)
             return [fn(state, task) for task in tasks]
+        _record_payload_bytes(payload)
         ctx = multiprocessing.get_context(self.start_method)
         with ProcessPoolExecutor(
             max_workers=min(self.n_workers, len(tasks)),

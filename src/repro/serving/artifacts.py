@@ -94,6 +94,7 @@ _MANIFEST = "manifest.json"
 _CONFIG = "config.json"
 _SCHEMA = "schema.json"
 _DATABASE = "database.npz"
+_DATABASE_STORE = "database_store"
 _ENCODERS_JSON = "encoders.json"
 _ENCODERS_NPZ = "encoders.npz"
 _MODELS_JSON = "models.json"
@@ -222,14 +223,17 @@ def database_digest(db: Database, annotation: SchemaAnnotation) -> str:
     return digest.hexdigest()
 
 
-def _database_state(db: Database, annotation: SchemaAnnotation):
+def _database_state(
+    db: Database, annotation: SchemaAnnotation, include_tables: bool = True
+):
     arrays: Dict[str, np.ndarray] = {}
     tables = []
     for name in db.table_names():
         table = db.table(name)
         columns = []
         for column in table.column_names:
-            arrays[f"table/{name}/{column}"] = table[column]
+            if include_tables:
+                arrays[f"table/{name}/{column}"] = table[column]
             columns.append({"name": column, "kind": table.meta(column).kind.value})
         tables.append({
             "name": name,
@@ -253,6 +257,18 @@ def _database_state(db: Database, annotation: SchemaAnnotation):
     return schema, arrays
 
 
+def _annotation_from_state(schema, arrays) -> SchemaAnnotation:
+    ann = schema["annotation"]
+    return SchemaAnnotation(
+        complete_tables=set(ann["complete"]),
+        incomplete_tables=set(ann["incomplete"]),
+        known_tuple_factors={
+            entry["fk"]: np.asarray(arrays[entry["array"]], dtype=np.int64)
+            for entry in ann["tuple_factors"]
+        },
+    )
+
+
 def _database_from_state(schema, arrays) -> Tuple[Database, SchemaAnnotation]:
     try:
         tables = []
@@ -268,18 +284,34 @@ def _database_from_state(schema, arrays) -> Tuple[Database, SchemaAnnotation]:
                 Table(entry["name"], data, kinds, primary_key=entry["primary_key"])
             )
         db = Database(tables, [ForeignKey(**fk) for fk in schema["foreign_keys"]])
-        ann = schema["annotation"]
-        annotation = SchemaAnnotation(
-            complete_tables=set(ann["complete"]),
-            incomplete_tables=set(ann["incomplete"]),
-            known_tuple_factors={
-                entry["fk"]: np.asarray(arrays[entry["array"]], dtype=np.int64)
-                for entry in ann["tuple_factors"]
-            },
-        )
+        annotation = _annotation_from_state(schema, arrays)
     except (KeyError, TypeError, ValueError) as exc:
         raise _ArtifactIntegrityError(f"database state is inconsistent: {exc}") from exc
     return db, annotation
+
+
+def _database_from_store(path: Path, schema, arrays) -> Tuple[Database, SchemaAnnotation]:
+    """Reopen a columnar artifact's database (lazy, memory-mapped tables)."""
+    store_dir = path / _DATABASE_STORE
+    if not store_dir.is_dir():
+        raise _ArtifactIntegrityError(
+            f"columnar artifact is missing its {_DATABASE_STORE}/ directory"
+        )
+    try:
+        db = Database.from_store(str(store_dir))
+        annotation = _annotation_from_state(schema, arrays)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _ArtifactIntegrityError(f"database store is inconsistent: {exc}") from exc
+    return db, annotation
+
+
+def _store_file_hashes(store_dir: Path) -> Dict[str, str]:
+    """Relative path -> sha256 for every file under the database store."""
+    return {
+        str(file.relative_to(store_dir)): _sha256_file(file)
+        for file in sorted(store_dir.rglob("*"))
+        if file.is_file()
+    }
 
 
 # ======================================================================
@@ -495,6 +527,7 @@ def save_artifact(
     overwrite: bool = False,
     parent=None,
     delta=None,
+    columnar: bool = False,
 ) -> Path:
     """Serialize a fitted engine to ``path`` (a directory) and return it.
 
@@ -502,6 +535,16 @@ def save_artifact(
     engine's dataset came from (provenance only; defaults to the engine's
     ``scenario_name``).  Refuses to clobber an existing non-empty
     directory unless ``overwrite`` is set.
+
+    ``columnar`` stores the database as a memory-mapped column store
+    (``database_store/``, one spill directory per table) instead of
+    packing every column into ``database.npz``: loading such an artifact
+    reopens the tables lazily, so a scale-tier engine serves without ever
+    materializing its database in RAM.  The store's files are hashed into
+    the manifest under ``store_files`` (``database.npz`` still carries
+    the tuple-factor annotation arrays), and the database content digest
+    is identical for both layouts — the two formats are interchangeable
+    provenance-wise.
 
     ``parent`` (a path to the artifact this one was derived from — e.g.
     by :meth:`~repro.core.ReStore.fine_tune` after mutations) records
@@ -541,7 +584,16 @@ def save_artifact(
         )
     path.mkdir(parents=True, exist_ok=True)
 
-    schema, db_arrays = _database_state(engine.db, engine.annotation)
+    schema, db_arrays = _database_state(
+        engine.db, engine.annotation, include_tables=not columnar
+    )
+    store_hashes: Optional[Dict[str, str]] = None
+    if columnar:
+        # Tables go to a per-table mapped store (streamed in blocks);
+        # database.npz keeps only the small tuple-factor arrays.
+        store_dir = path / _DATABASE_STORE
+        engine.db.spill_to(str(store_dir))
+        store_hashes = _store_file_hashes(store_dir)
     encoder_arrays: Dict[str, np.ndarray] = {}
     encoders_meta = {
         name: _extract_arrays(
@@ -576,6 +628,9 @@ def save_artifact(
         "train_backends": train_backends,
         "files": {name: _sha256_file(path / name) for name in _HASHED_FILES},
     }
+    if columnar:
+        manifest["database_format"] = "columnar"
+        manifest["store_files"] = store_hashes
     if lineage is not None:
         manifest["lineage"] = lineage
     _write_json(path / _MANIFEST, manifest)
@@ -655,6 +710,25 @@ def verify_artifact(path) -> dict:
                 f"artifact file {name} is corrupted "
                 f"(sha256 {actual[:12]}… != recorded {expected[:12]}…)"
             )
+    if manifest.get("database_format") == "columnar":
+        store_files = manifest.get("store_files")
+        if not isinstance(store_files, dict) or not store_files:
+            raise _ArtifactIntegrityError(
+                "columnar artifact manifest lists no store files"
+            )
+        store_dir = path / _DATABASE_STORE
+        for rel, expected in store_files.items():
+            target = store_dir / rel
+            if not target.exists():
+                raise _ArtifactIntegrityError(
+                    f"database store file {rel} is missing"
+                )
+            actual = _sha256_file(target)
+            if actual != expected:
+                raise _ArtifactIntegrityError(
+                    f"database store file {rel} is corrupted "
+                    f"(sha256 {actual[:12]}… != recorded {expected[:12]}…)"
+                )
     return manifest
 
 
@@ -679,7 +753,10 @@ def load_artifact(
 
     schema = _read_json(path / _SCHEMA, "schema")
     db_arrays = _read_npz(path / _DATABASE, "database")
-    db, annotation = _database_from_state(schema, db_arrays)
+    if manifest.get("database_format") == "columnar":
+        db, annotation = _database_from_store(path, schema, db_arrays)
+    else:
+        db, annotation = _database_from_state(schema, db_arrays)
     digest = database_digest(db, annotation)
     if digest != manifest.get("database_digest"):
         raise _ArtifactIntegrityError(

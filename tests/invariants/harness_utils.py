@@ -12,7 +12,7 @@ HARNESS_SEED = 7
 
 #: Complete-database scale per dataset family (small, but large enough that
 #: keep rates resolve to better than the harness tolerance).
-DB_SCALE = {"synthetic": 0.4, "housing": 0.1, "movies": 0.1}
+DB_SCALE = {"synthetic": 0.4, "housing": 0.1, "movies": 0.1, "scale": 0.003}
 
 
 def keep_rate_tolerance(num_rows: int) -> float:
